@@ -1,0 +1,83 @@
+"""Shared fixtures and reporting helpers for the paper-reproduction benches.
+
+Every benchmark prints the table/figure it regenerates next to the paper's
+reference numbers.  Scale knobs come from environment variables so CI can
+run the quick defaults while a workstation reproduces at larger scale:
+
+* ``REPRO_STANFORD_SUBNETS``  (default 2)  — subnets per Stanford zone,
+* ``REPRO_I2_PREFIXES``       (default 3)  — prefixes per Internet2 PoP,
+* ``REPRO_FNR_TRIALS``        (default 2000) — deviation trials per point,
+* ``REPRO_LOC_TRIALS``        (default 15) — fault-injection trials.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import build_and_measure
+from repro.topologies import build_fattree, build_internet2, build_stanford
+
+
+def env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+STANFORD_SUBNETS = env_int("REPRO_STANFORD_SUBNETS", 2)
+I2_PREFIXES = env_int("REPRO_I2_PREFIXES", 3)
+FNR_TRIALS = env_int("REPRO_FNR_TRIALS", 2000)
+LOC_TRIALS = env_int("REPRO_LOC_TRIALS", 15)
+
+
+@pytest.fixture(scope="session")
+def stanford_row():
+    return build_and_measure(
+        build_stanford(subnets_per_zone=STANFORD_SUBNETS), "Stanford"
+    )
+
+
+@pytest.fixture(scope="session")
+def internet2_row():
+    return build_and_measure(
+        build_internet2(prefixes_per_pop=I2_PREFIXES), "Internet2"
+    )
+
+
+@pytest.fixture(scope="session")
+def ft4_row():
+    return build_and_measure(build_fattree(4), "FT(k=4)")
+
+
+@pytest.fixture(scope="session")
+def ft6_row():
+    return build_and_measure(build_fattree(6), "FT(k=6)")
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def print_table(title: str, headers, rows, slug: str = "") -> None:
+    """Render an aligned text table; also persist it to benchmarks/results/.
+
+    pytest captures stdout, so the persisted copy is what survives a normal
+    ``pytest benchmarks/ --benchmark-only`` run; use ``-s`` to see it live.
+    """
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "=" * 72,
+        title,
+        "=" * 72,
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += [
+        "  ".join(str(c).ljust(w) for c, w in zip(row, widths)) for row in rows
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    if slug:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, f"{slug}.txt"), "w") as handle:
+            handle.write(text + "\n")

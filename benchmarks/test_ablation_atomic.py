@@ -1,0 +1,84 @@
+"""Ablation: direct BDD traversal vs atomic-predicate traversal ([56]).
+
+The paper builds its header-set machinery on Yang & Lam's atomic
+predicates.  This bench quantifies what that buys Algorithm 2: after a
+one-time atomisation of all transfer predicates, every traversal
+intersection becomes a native set operation.  The one-time cost amortises
+across rebuilds (and in [56]'s setting, across all subsequent queries).
+
+Output: per-topology traversal time direct vs atomic, atomisation cost,
+and the number of atoms (tiny compared to 2^104 headers — the compression
+that makes the technique work).
+"""
+
+import pytest
+
+from repro.bdd.headerspace import HeaderSpace
+from repro.core.atomic_builder import AtomicPathTableBuilder
+from repro.core.pathtable import PathTableBuilder
+from repro.topologies import build_fattree, build_internet2, build_stanford
+
+from conftest import I2_PREFIXES, STANFORD_SUBNETS, print_table
+
+SCENARIOS = [
+    ("Stanford", lambda: build_stanford(subnets_per_zone=STANFORD_SUBNETS)),
+    ("Internet2", lambda: build_internet2(prefixes_per_pop=I2_PREFIXES)),
+    ("FT(k=6)", lambda: build_fattree(6)),
+]
+
+_rows = []
+
+
+@pytest.mark.parametrize("name,factory", SCENARIOS, ids=[n for n, _ in SCENARIOS])
+def test_atomic_vs_direct(benchmark, name, factory):
+    scenario = factory()
+    hs_direct = HeaderSpace()
+    direct_builder = PathTableBuilder(scenario.topo, hs_direct)
+    direct_table = direct_builder.build()
+
+    hs_atomic = HeaderSpace()
+    atomic_builder = AtomicPathTableBuilder(scenario.topo, hs_atomic)
+    atomic_builder.build()  # includes one-time atomisation
+
+    # Benchmark the *repeated* cost: one traversal with atoms ready.
+    atomic_table = benchmark.pedantic(
+        atomic_builder.build, rounds=3, iterations=1, warmup_rounds=1
+    )
+
+    speedup = direct_table.build_time_s / max(atomic_table.build_time_s, 1e-9)
+    _rows.append(
+        (
+            name,
+            f"{direct_table.build_time_s:.3f}",
+            f"{atomic_table.build_time_s:.3f}",
+            f"{atomic_builder.atomization_time_s:.3f}",
+            len(atomic_builder.universe),
+            f"{speedup:.1f}x",
+        )
+    )
+    benchmark.extra_info.update(
+        atoms=len(atomic_builder.universe),
+        traversal_speedup=round(speedup, 2),
+    )
+
+    # The optimisation must not change the result.
+    sig_direct = {
+        (i, o, e.hops) for i, o, e in direct_table.all_entries()
+    }
+    sig_atomic = {
+        (i, o, e.hops) for i, o, e in atomic_table.all_entries()
+    }
+    assert sig_direct == sig_atomic
+    # And it must actually help the traversal.
+    assert atomic_table.build_time_s < direct_table.build_time_s
+
+
+def test_atomic_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if _rows:
+        print_table(
+            "Ablation: Algorithm 2 traversal, direct BDDs vs atomic predicates",
+            ["setup", "direct (s)", "atomic (s)", "atomize (s)", "atoms", "speedup"],
+            _rows,
+            slug="ablation_atomic_predicates",
+        )

@@ -1,0 +1,84 @@
+"""Ablation: Bloom hash count (the paper fixes k=3 without a sweep).
+
+Section 5 adopts Kirsch-Mitzenmacher with exactly three hashes.  Sweeping
+k on a 16-bit tag over ~4-hop fat-tree paths measures both sides of the
+coin: detection FNR (tag-equality collisions) and the ``may_contain``
+false-positive rate that Algorithm 4's localization rides on.
+
+**Reproduction finding:** both metrics share a shallow optimum at small k
+(k=2 measures best here; the analytic optimum of ``(1-(1-1/m)^{kn})^k``
+for m=16, n≈4 indeed sits near k≈m·ln2/n ≈ 2.8 — flat between 2 and 3),
+and both degrade sharply once ``k*n`` saturates the 16 bits (k >= 4).
+The paper's k=3 is within noise of optimal; the real design constraint is
+avoiding the saturation cliff, which the bench pins down.
+"""
+
+import random
+
+import pytest
+
+from repro.core.bloom import BloomTagScheme
+from repro.analysis import measure_fnr
+from repro.netmodel.hops import Hop
+
+from conftest import print_table
+
+HASH_COUNTS = (1, 2, 3, 4, 5)
+
+
+def membership_fp_rate(row, k: int, trials: int, rng: random.Random) -> float:
+    """Rate of ``may_contain`` false positives for foreign hops."""
+    scheme = BloomTagScheme(bits=16, hashes=k)
+    entries = [e for _, _, e in row.table.all_entries() if len(e.hops) >= 3]
+    false_positives = 0
+    for i in range(trials):
+        entry = rng.choice(entries)
+        tag = scheme.tag_of_path(entry.hops)
+        foreign = Hop(rng.randrange(1, 50), f"ghost{i}", rng.randrange(1, 50))
+        if scheme.may_contain(tag, foreign):
+            false_positives += 1
+    return false_positives / trials
+
+
+def test_ablation_hash_count(benchmark, ft4_row):
+    def sweep():
+        fnr = {}
+        member_fp = {}
+        for k in HASH_COUNTS:
+            fnr[k] = measure_fnr(
+                ft4_row.builder, ft4_row.table, bits=16, trials=1500,
+                rng=random.Random(21), hashes=k,
+            )
+            member_fp[k] = membership_fp_rate(
+                ft4_row, k, trials=3000, rng=random.Random(22)
+            )
+        return fnr, member_fp
+
+    fnr, member_fp = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (
+            k,
+            fnr[k].missed,
+            f"{100 * fnr[k].absolute_fnr:.2f}%",
+            f"{100 * member_fp[k]:.2f}%",
+        )
+        for k in HASH_COUNTS
+    ]
+    print_table(
+        "Ablation: Bloom hash count at 16-bit tags (FT k=4; paper uses k=3).\n"
+        "Detection favours small k; localization membership favours larger k.",
+        ["k hashes", "missed (n2)", "detection FNR", "membership FP (Alg 4)"],
+        rows,
+        slug="ablation_hash_count",
+    )
+    # The saturation cliff: k=5 is strictly worse than k=3 on both axes.
+    assert fnr[5].missed > fnr[3].missed
+    assert member_fp[5] > member_fp[3]
+    # The optimum is shallow around small k: the paper's k=3 stays within
+    # a small absolute margin of the best measured k on both metrics.
+    best_fnr = min(fnr[k].absolute_fnr for k in HASH_COUNTS)
+    best_fp = min(member_fp[k] for k in HASH_COUNTS)
+    assert fnr[3].absolute_fnr <= best_fnr + 0.02
+    assert member_fp[3] <= best_fp + 0.08
+    # And k=3 keeps detection FNR within a few percent absolute overall.
+    assert fnr[3].absolute_fnr < 0.05

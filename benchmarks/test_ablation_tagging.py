@@ -1,0 +1,155 @@
+"""Ablation: Bloom-filter tagging vs the rejected alternatives.
+
+Section 3.3 of the paper: "Initially, we were tempted to use hash-based
+tagging ... Later, we found that this tagging method prevents us from
+localizing the faulty switch."  Section 4.3 additionally rejects a strawman
+localizer (blame the first hop failing the Bloom membership test) because
+Bloom false positives mis-blame downstream switches.
+
+This bench quantifies both decisions:
+
+1. **Detection** — XOR-hash tags detect deviations at least as well as
+   Bloom tags of the same width (in fact better: XOR is order- and
+   multiset-sensitive, while Bloom saturates bits), so the paper's choice
+   of Bloom *costs* a little detection accuracy.  The trade is deliberate:
+2. **Localization gap** — only the Bloom tag supports per-hop membership
+   tests; the XOR tag has no such API, so Algorithm 4 cannot run at all.
+3. **Strawman vs PathInfer** — at narrow widths where false positives
+   bite, PathInfer's path reconstruction blames the truly faulty switch
+   far more often than the strawman's first-failing-hop heuristic.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.fnr import simulate_deviation
+from repro.core.bloom import BloomTagScheme, XorTagScheme
+from repro.core.localization import PathInferLocalizer, StrawmanLocalizer
+from repro.core.reports import TagReport
+from repro.netmodel.packet import Header
+from repro.netmodel.rules import DROP_PORT
+from repro.netmodel.topology import PortRef
+
+from conftest import print_table
+
+TRIALS = 1500
+
+
+def deviation_cases(row, rng, trials):
+    """Random single-switch deviations with ground truth, as in Fig 12/Tab 3."""
+    candidates = [
+        (inport, outport, entry)
+        for inport, outport, entry in row.table.all_entries()
+        if outport.port != DROP_PORT and len(entry.hops) >= 2
+    ]
+    cases = []
+    for _ in range(trials):
+        inport, outport, entry = rng.choice(candidates)
+        header = row.builder.hs.sample_header(entry.headers)
+        deviate_at = rng.randrange(len(entry.hops))
+        victim = entry.hops[deviate_at]
+        ports = [
+            p for p in row.builder.topo.ports_of(victim.switch) if p != victim.out_port
+        ]
+        wrong = rng.choice(ports)
+        real = simulate_deviation(row.builder, entry.hops, header, deviate_at, wrong)
+        cases.append((inport, outport, entry, header, real, victim.switch))
+    return cases
+
+
+def test_ablation_detection_parity(benchmark, ft4_row):
+    """Detection comparison on same-exit deviations: XOR never loses to
+    Bloom (it is order/multiset-sensitive); Bloom pays a small FNR for the
+    membership structure localization needs."""
+    rng = random.Random(5)
+    cases = deviation_cases(ft4_row, rng, TRIALS)
+
+    def count_misses():
+        missed = {"bloom": 0, "xor": 0, "same_exit": 0}
+        bloom = BloomTagScheme(bits=16)
+        xor = XorTagScheme(bits=16)
+        for inport, outport, entry, header, real, _ in cases:
+            last = real[-1]
+            if not (last.switch == outport.switch and last.out_port == outport.port):
+                continue  # wrong exit: caught structurally by both schemes
+            missed["same_exit"] += 1
+            if bloom.tag_of_path(real) == bloom.tag_of_path(entry.hops):
+                missed["bloom"] += 1
+            if xor.tag_of_path(real) == xor.tag_of_path(entry.hops):
+                missed["xor"] += 1
+        return missed
+
+    missed = benchmark.pedantic(count_misses, rounds=1, iterations=1)
+    print_table(
+        "Ablation: detection misses at 16 bits (same-exit deviations only)",
+        ["scheme", "missed", "of same-exit cases"],
+        [
+            ("bloom", missed["bloom"], missed["same_exit"]),
+            ("xor-hash", missed["xor"], missed["same_exit"]),
+        ],
+        slug="ablation_detection_parity",
+    )
+    # Both schemes are strong detectors at 16 bits; XOR never loses.
+    assert missed["bloom"] <= 0.06 * max(missed["same_exit"], 1)
+    assert missed["xor"] <= missed["bloom"]
+
+
+def test_ablation_localization_gap(benchmark):
+    """The structural point: the XOR scheme has no membership test, so the
+    localization machinery cannot even be instantiated for it."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert hasattr(BloomTagScheme(), "may_contain")
+    assert not hasattr(XorTagScheme(), "may_contain")
+
+
+@pytest.mark.parametrize("bits", [8, 16])
+def test_ablation_strawman_vs_pathinfer(benchmark, ft4_row, bits):
+    """Blame accuracy: first-failing-hop heuristic vs Algorithm 4."""
+    rng = random.Random(6)
+    cases = deviation_cases(ft4_row, rng, 400)
+    scheme = BloomTagScheme(bits=bits)
+    strawman = StrawmanLocalizer(ft4_row.builder, scheme)
+    pathinfer = PathInferLocalizer(ft4_row.builder, scheme, ft4_row.builder.topo)
+
+    def run():
+        correct = {"strawman": 0, "pathinfer": 0, "detected": 0}
+        for inport, outport, entry, header, real, faulty_switch in cases:
+            tag = scheme.tag_of_path(real)
+            last = real[-1]
+            report = TagReport(
+                inport=inport,
+                outport=PortRef(last.switch, last.out_port),
+                header=Header(**header),
+                tag=tag,
+            )
+            if tuple(real) == entry.hops:
+                continue  # deviation was a no-op
+            correct["detected"] += 1
+            if faulty_switch in strawman.localize(report).blamed_switches():
+                correct["strawman"] += 1
+            if faulty_switch in pathinfer.localize(report).blamed_switches():
+                correct["pathinfer"] += 1
+        return correct
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    detected = max(result["detected"], 1)
+    print_table(
+        f"Ablation: blame accuracy at {bits}-bit tags (FT k=4)",
+        ["localizer", "correct blames", "cases", "accuracy"],
+        [
+            (
+                name,
+                result[name],
+                result["detected"],
+                f"{100 * result[name] / detected:.1f}%",
+            )
+            for name in ("strawman", "pathinfer")
+        ],
+        slug=f"ablation_strawman_{bits}b",
+    )
+    # PathInfer must never lose to the strawman, and should win when false
+    # positives are plentiful (8-bit tags).
+    assert result["pathinfer"] >= result["strawman"]
+    if bits == 8:
+        assert result["pathinfer"] > 0

@@ -1,0 +1,91 @@
+"""Figure 13 — time to verify a tag report on the VeriDP server.
+
+Paper reference: 2-3 microseconds per report for Stanford and Internet2 on
+an i7 desktop (C-speed), i.e. ~5x10^5 verifications/second single-threaded.
+Pure Python is 1-2 orders slower per operation, so the absolute target here
+is the *shape*: per-report time flat across topologies (lookup is O(paths
+per pair), not O(table size)) and comfortably above 10^4 verifications/s.
+"""
+
+import pytest
+
+from repro.analysis import measure_verification_time, reports_from_table
+from repro.core.verifier import Verifier
+
+from conftest import print_table
+
+_timings = {}
+
+
+@pytest.mark.parametrize("fixture", ["stanford_row", "internet2_row"])
+def test_fig13_verify_one_report(benchmark, fixture, request):
+    """pytest-benchmark timing of a single Algorithm 3 verification."""
+    row = request.getfixturevalue(fixture)
+    reports = reports_from_table(row.builder, row.table, limit=256)
+    verifier = Verifier(row.table, row.builder.hs)
+    cycle = iter(range(len(reports)))
+
+    def verify_next():
+        nonlocal cycle
+        try:
+            index = next(cycle)
+        except StopIteration:
+            cycle = iter(range(len(reports)))
+            index = next(cycle)
+        return verifier.verify(reports[index])
+
+    result = benchmark(verify_next)
+    assert result.passed
+
+
+@pytest.mark.parametrize("fixture", ["stanford_row", "internet2_row"])
+def test_fig13_full_table_sweep(benchmark, fixture, request):
+    """The paper's protocol: verify every path's report repeatedly, average."""
+    row = request.getfixturevalue(fixture)
+
+    def sweep():
+        return measure_verification_time(
+            row.builder, row.table, row.setup, repeats=20
+        )
+
+    timing = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _timings[row.setup] = timing
+    benchmark.extra_info.update(
+        mean_us=round(timing.mean_us, 2),
+        throughput=int(timing.throughput_per_s),
+    )
+    # Shape: all reports verified; throughput far above report rates that
+    # sampled production traffic would generate.
+    assert timing.reports == row.stats.num_paths
+    assert timing.throughput_per_s > 1e4
+
+
+def test_fig13_report(benchmark, stanford_row, internet2_row):
+    """Print the Figure 13 reproduction."""
+    for row in (stanford_row, internet2_row):
+        if row.setup not in _timings:
+            _timings[row.setup] = measure_verification_time(
+                row.builder, row.table, row.setup, repeats=20
+            )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        (
+            t.label,
+            t.reports,
+            f"{t.mean_us:.2f}",
+            f"{t.median_us:.2f}",
+            f"{t.p99_us:.2f}",
+            f"{t.throughput_per_s:,.0f}",
+            "2-3 us (C, i7)",
+        )
+        for t in _timings.values()
+    ]
+    print_table(
+        "Figure 13: verification time per tag report",
+        ["setup", "reports", "mean us", "median us", "p99 us", "verifs/s", "paper"],
+        rows,
+        slug="fig13_verification_time",
+    )
+    # Shape: Stanford and Internet2 within ~3x of each other (flat curve).
+    means = [t.mean_us for t in _timings.values()]
+    assert max(means) <= 3 * min(means)

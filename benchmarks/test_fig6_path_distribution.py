@@ -1,0 +1,63 @@
+"""Figure 6 — distribution of the number of paths per (inport, outport) pair.
+
+The paper plots this distribution for the Stanford backbone and Internet2 to
+justify Algorithm 3's linear scan: "the number of paths per inport-outport
+pair is relatively small".  We regenerate the histogram and CDF for both
+topologies and assert the linear-scan feasibility claim: the overwhelming
+majority of pairs hold only a handful of paths.
+"""
+
+import pytest
+
+from repro.analysis import distribution_cdf, path_count_distribution
+
+from conftest import print_table
+
+
+def test_fig6_distribution(benchmark, stanford_row, internet2_row):
+    """Regenerate the Figure 6 series for Stanford-like and Internet2-like."""
+    dists = benchmark.pedantic(
+        lambda: {
+            "Stanford": path_count_distribution(stanford_row.table),
+            "Internet2": path_count_distribution(internet2_row.table),
+        },
+        rounds=3,
+        iterations=1,
+    )
+    rows = []
+    for label, dist in dists.items():
+        cdf = distribution_cdf(dist)
+        total_pairs = sum(dist.values())
+        for k, frac in cdf:
+            rows.append((label, k, dist[k], f"{100 * frac:.1f}%"))
+        # Linear-scan feasibility: nearly all pairs have few paths.
+        frac_small = sum(count for k, count in dist.items() if k <= 4) / total_pairs
+        assert frac_small >= 0.95, f"{label}: too many paths per pair for linear scan"
+        assert max(dist) <= 16, f"{label}: pathological pair with {max(dist)} paths"
+    print_table(
+        "Figure 6: paths per (inport, outport) pair (histogram + CDF)",
+        ["setup", "#paths/pair", "#pairs", "CDF"],
+        rows,
+        slug="fig6_path_distribution",
+    )
+
+
+def test_fig6_lookup_cost_is_flat(benchmark, stanford_row):
+    """The practical consequence of Figure 6: per-pair scans stay O(few).
+
+    Benchmark a verification-style scan over every pair's path list.
+    """
+    table = stanford_row.table
+    hs = stanford_row.builder.hs
+
+    def scan_all_pairs():
+        touched = 0
+        for pair in table.pairs():
+            touched += len(table.lookup(*pair))
+        return touched
+
+    total = benchmark(scan_all_pairs)
+    assert total == table.num_paths()
+    # The average list length is what the linear scan costs per report.
+    avg = total / len(table.pairs())
+    assert avg <= 4.0

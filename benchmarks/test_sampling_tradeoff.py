@@ -1,0 +1,58 @@
+"""Detection latency vs sampling overhead — Section 4.5, measured.
+
+The paper proves the ``T_s + T_a`` worst-case bound analytically (Figure 9)
+but never measures it.  This bench sweeps the sampling interval on a
+fat-tree workload and reports, per interval: mean/max detection latency,
+the theoretical bound, and the fraction of packets tagged (the data-plane
+overhead knob from Table 4).  Assertions pin the bound (no measured latency
+may exceed it) and the monotone trade-off (longer intervals -> lower
+sampling rate, higher latency).
+"""
+
+import pytest
+
+from repro.analysis.sampling_experiments import sweep_sampling_intervals
+from repro.topologies import build_fattree
+
+from conftest import print_table
+
+INTERVALS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def test_sampling_tradeoff(benchmark):
+    results = benchmark.pedantic(
+        lambda: sweep_sampling_intervals(
+            lambda: build_fattree(4), INTERVALS, trials=8, seed=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            f"{r.sampling_interval:.2f}",
+            f"{r.mean_latency:.2f}",
+            f"{r.max_latency:.2f}",
+            f"{r.theoretical_bound:.2f}",
+            f"{100 * r.sampling_rate:.1f}%",
+            r.undetected,
+        )
+        for r in results
+    ]
+    print_table(
+        "Section 4.5 trade-off: detection latency vs sampling overhead "
+        "(FT k=4, 0.1s packet period)",
+        ["T_s (s)", "mean lat (s)", "max lat (s)", "bound (s)", "sampled", "missed"],
+        rows,
+        slug="sampling_tradeoff",
+    )
+
+    for r in results:
+        # The paper's bound holds in every trial (small epsilon for the
+        # discrete tick grid).
+        assert r.undetected == 0
+        assert r.max_latency <= r.theoretical_bound + 1e-9
+    # Monotone trade-off across the sweep.
+    rates = [r.sampling_rate for r in results]
+    assert all(a >= b for a, b in zip(rates, rates[1:]))
+    bounds = [r.theoretical_bound for r in results]
+    assert all(a <= b for a, b in zip(bounds, bounds[1:]))

@@ -1,0 +1,95 @@
+"""Table 2 — path table statistics.
+
+Paper reference (Table 2):
+
+| Setup     | # entries | # paths | avg. path len. | time (s) |
+|-----------|-----------|---------|----------------|----------|
+| Stanford  | 26K       | 77K     | 4.85           | 4.32     |
+| Internet2 | 43K       | 50K     | 2.89           | 3.22     |
+| FT(k=4)   | 448       | 448     | 3.79           | 0.10     |
+| FT(k=6)   | 4176      | 4176    | 4.23           | 0.26     |
+
+Our Stanford/Internet2 are synthetic (scaled rule counts, see DESIGN.md), so
+absolute entry counts differ; the *shape* — fat trees have exactly one path
+per pair, Internet2's paths are shorter than Stanford's/fat-trees', build
+time grows with network size but stays interactive — is asserted below.
+"""
+
+import pytest
+
+from repro.bdd.headerspace import HeaderSpace
+from repro.core.pathtable import PathTableBuilder
+from repro.topologies import build_fattree, build_internet2, build_stanford
+
+from conftest import I2_PREFIXES, STANFORD_SUBNETS, print_table
+
+PAPER_ROWS = {
+    "Stanford": (26_000, 77_000, 4.85, 4.32),
+    "Internet2": (43_000, 50_000, 2.89, 3.22),
+    "FT(k=4)": (448, 448, 3.79, 0.10),
+    "FT(k=6)": (4176, 4176, 4.23, 0.26),
+}
+
+SCENARIOS = [
+    ("Stanford", lambda: build_stanford(subnets_per_zone=STANFORD_SUBNETS)),
+    ("Internet2", lambda: build_internet2(prefixes_per_pop=I2_PREFIXES)),
+    ("FT(k=4)", lambda: build_fattree(4)),
+    ("FT(k=6)", lambda: build_fattree(6)),
+]
+
+_measured = {}
+
+
+@pytest.mark.parametrize("setup,factory", SCENARIOS, ids=[s for s, _ in SCENARIOS])
+def test_table2_build(benchmark, setup, factory):
+    """Benchmark Algorithm 2's full path-table construction per topology."""
+    scenario = factory()
+
+    def build():
+        return PathTableBuilder(scenario.topo, HeaderSpace()).build()
+
+    table = benchmark.pedantic(build, rounds=3, iterations=1, warmup_rounds=1)
+    stats = table.stats()
+    _measured[setup] = stats
+    benchmark.extra_info.update(
+        entries=stats.num_pairs,
+        paths=stats.num_paths,
+        avg_path_len=round(stats.avg_path_length, 2),
+    )
+    assert stats.num_paths >= stats.num_pairs > 0
+    if setup.startswith("FT"):
+        # Fat trees with single-path routing: exactly one path per pair.
+        assert stats.num_paths == stats.num_pairs
+
+
+def test_table2_report(benchmark, stanford_row, internet2_row, ft4_row, ft6_row):
+    """Print the measured Table 2 next to the paper's reference."""
+    measured = [stanford_row, internet2_row, ft4_row, ft6_row]
+    benchmark.pedantic(
+        lambda: [row.table.stats() for row in measured], rounds=3, iterations=1
+    )
+    rows = []
+    for row in measured:
+        paper = PAPER_ROWS[row.setup]
+        s = row.stats
+        rows.append(
+            (
+                row.setup,
+                s.num_pairs,
+                s.num_paths,
+                f"{s.avg_path_length:.2f}",
+                f"{s.build_time_s:.3f}",
+                f"{paper[0]}/{paper[1]}/{paper[2]}/{paper[3]}",
+            )
+        )
+    print_table(
+        "Table 2: path table statistics (ours vs paper entries/paths/len/time)",
+        ["setup", "entries", "paths", "avg len", "time (s)", "paper"],
+        rows,
+        slug="table2_pathtable",
+    )
+    # Shape assertions that survive the synthetic scaling:
+    assert ft4_row.stats.num_paths < ft6_row.stats.num_paths
+    assert 3.0 <= ft4_row.stats.avg_path_length <= 4.5  # paper: 3.79
+    assert 3.5 <= ft6_row.stats.avg_path_length <= 5.0  # paper: 4.23
+    assert internet2_row.stats.avg_path_length < stanford_row.stats.avg_path_length + 1

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Self-healing SDN: detect -> localize -> repair -> re-verify.
+
+The paper's conclusion sketches the next step beyond monitoring:
+"automatically repair the flow table of a faulty switch ... with minimal
+human interaction".  This example closes that loop with the
+:class:`~repro.core.repair.RepairEngine`: a sequence of distinct data-plane
+corruptions hit a fat-tree network, VeriDP detects and localizes each one,
+and the repair engine restores consistency — escalating from a targeted
+rule re-push to a full table resync when a foreign rule is squatting in
+the table, and honestly giving up on dead hardware.
+
+Run:  python examples/self_healing.py
+"""
+
+from repro.core import RepairEngine, VeriDPServer
+from repro.dataplane import (
+    DataPlaneNetwork,
+    DeleteRule,
+    InjectRule,
+    KillSwitch,
+    ModifyRuleOutput,
+)
+from repro.netmodel.rules import DROP_PORT, FlowRule, Forward, Match
+from repro.topologies import build_fattree
+
+
+def main() -> None:
+    scenario = build_fattree(k=4)
+    server = VeriDPServer(scenario.topo, scenario.channel)
+    net = DataPlaneNetwork(
+        scenario.topo, scenario.channel, report_sink=server.receive_report_bytes
+    )
+    engine = RepairEngine(scenario.controller, server, probe=net.inject)
+
+    flow = ("h0_0_0", "h3_1_1")
+    header = scenario.header_between(*flow)
+
+    def victim_rule(switch="a0_0"):
+        probe = net.inject_from_host(flow[0], header)
+        server.drain_incidents()
+        hop = next(h for h in probe.hops if h.switch == switch)
+        return net.switch(switch).table.lookup(header, hop.in_port)
+
+    faults = [
+        ("out-of-band rule deletion",
+         lambda: DeleteRule("a0_0", victim_rule().rule_id).apply(net)),
+        ("output port rewired",
+         lambda: ModifyRuleOutput("a0_0", victim_rule().rule_id, 1).apply(net)),
+        ("black-holed rule",
+         lambda: ModifyRuleOutput("a0_0", victim_rule().rule_id, DROP_PORT).apply(net)),
+        ("foreign shadow rule injected",
+         lambda: InjectRule("a0_0", FlowRule(
+             5000, Match.build(dst=scenario.subnets[flow[1]]), Forward(2))).apply(net)),
+        ("switch hardware death",
+         lambda: KillSwitch("a0_0").apply(net)),
+    ]
+
+    for name, inject_fault in faults:
+        print(f"\n=== fault: {name} ===")
+        inject_fault()
+        result = net.inject_from_host(flow[0], header)
+        incidents = server.drain_incidents()
+        if not incidents:
+            if result.status == "lost":
+                print("  packet silently lost — no tag report "
+                      "(VeriDP's documented blind spot)")
+                print("  repair engine cannot engage without an incident; "
+                      "operator escalation required")
+                continue
+            print("  (fault not on this flow's path)")
+            continue
+        incident = incidents[0]
+        print(f"  detected : {incident.verification.verdict.value}")
+        print(f"  blamed   : {', '.join(incident.blamed_switches)}")
+        repair = engine.repair(incident)
+        print(f"  repair   : {repair}")
+        check = net.inject_from_host(flow[0], header)
+        leftover = server.drain_incidents()
+        print(f"  post-fix : {check.status}, "
+              f"{'consistent' if not leftover else 'STILL INCONSISTENT'}")
+
+
+if __name__ == "__main__":
+    main()

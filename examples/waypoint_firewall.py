@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Waypoint traversal monitoring — the paper's Figure 2 scenario.
+
+The security policy says: traffic from the client H1 to the server H2 must
+traverse a firewall middlebox.  The controller compiles the policy into
+ingress-pinned rules that hair-pin the traffic through the middlebox port.
+
+Then the high-priority waypoint rule *fails at the data plane* (the paper's
+"consider the high-priority rules R1 and/or R2 fail"): packets fall back to
+the plain shortest-path rule and reach the server **without crossing the
+firewall** — invisible to any controller-side verifier, but caught by
+VeriDP because the packet's Bloom tag no longer matches the path table.
+
+Run:  python examples/waypoint_firewall.py
+"""
+
+from repro.core import VeriDPServer
+from repro.dataplane import DataPlaneNetwork, DeleteRule
+from repro.netmodel import Match, Topology
+from repro.topologies.base import wire_scenario
+
+
+def build_network():
+    """H1 - S1 - S2 - S3 - H2, with a firewall middlebox hanging off S2."""
+    topo = Topology("waypoint")
+    topo.add_switch("S1", num_ports=3)
+    topo.add_switch("S2", num_ports=4)
+    topo.add_switch("S3", num_ports=3)
+    topo.add_link("S1", 2, "S2", 1)
+    topo.add_link("S2", 2, "S3", 1)
+    topo.add_host("H1", "S1", 1)
+    topo.add_host("H2", "S3", 2)
+    topo.add_middlebox("FW", "S2", 3)
+    subnets = {"H1": "10.0.1.0/24", "H2": "10.0.2.0/24"}
+    ips = {"H1": "10.0.1.1", "H2": "10.0.2.1"}
+    return wire_scenario(topo, subnets, ips, install_routes=True)
+
+
+def main() -> None:
+    scenario = build_network()
+    ctrl = scenario.controller
+
+    # Policy: client->server traffic must traverse the firewall.
+    waypoint_rules = ctrl.install_waypoint_path(
+        Match.build(src="10.0.1.0/24", dst="10.0.2.0/24"), "H1", "FW", "H2"
+    )
+    print(f"installed {len(waypoint_rules)} waypoint rules")
+
+    server = VeriDPServer(scenario.topo, scenario.channel)
+    net = DataPlaneNetwork(
+        scenario.topo, scenario.channel, report_sink=server.receive_report_bytes
+    )
+
+    header = scenario.header_between("H1", "H2")
+    result = net.inject_from_host("H1", header)
+    crossings = sum(1 for hop in result.hops if hop.switch == "S2")
+    print(f"healthy: {result.status}, S2 crossed {crossings}x (firewall on path)")
+    print(f"  path: {result.path_string()}")
+    assert not server.incidents
+
+    # Fault: the waypoint rule at S2 vanishes from the data plane (R1 fails).
+    waypoint_ids = {r.rule_id for r in waypoint_rules}
+    s2_waypoint = next(
+        r
+        for r in net.switch("S2").table
+        if r.rule_id in waypoint_ids and r.match.in_port == 1
+    )
+    DeleteRule("S2", s2_waypoint.rule_id).apply(net)
+    print(f"\nfault: S2 waypoint rule {s2_waypoint.rule_id} lost at the data plane")
+
+    result = net.inject_from_host("H1", header)
+    crossings = sum(1 for hop in result.hops if hop.switch == "S2")
+    print(f"after fault: {result.status}, S2 crossed {crossings}x -> FIREWALL BYPASSED")
+    print(f"  path: {result.path_string()}")
+
+    for incident in server.drain_incidents():
+        print(f"VeriDP: {incident.verification.verdict.value}, "
+              f"blamed {incident.blamed_switches}")
+        assert "S2" in incident.blamed_switches
+
+
+if __name__ == "__main__":
+    main()

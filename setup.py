@@ -1,0 +1,14 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) fail with
+``invalid command 'bdist_wheel'``.  This shim enables the legacy path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

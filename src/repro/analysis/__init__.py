@@ -1,0 +1,69 @@
+"""Experiment harnesses reproducing the paper's Section 6 evaluation.
+
+* :mod:`repro.analysis.tables`       — Table 2 rows and Figure 6 distributions,
+* :mod:`repro.analysis.fnr`          — Figure 12 false-negative sweeps,
+* :mod:`repro.analysis.localization` — Table 3 localization campaigns,
+* :mod:`repro.analysis.timing`       — Figure 13/14 latency measurements.
+
+Each harness returns plain dataclasses; the ``benchmarks/`` directory turns
+them into the paper's tables and figures.
+"""
+
+from .coverage import CoverageReport, CoverageTracker
+from .fuzz import FaultClassStats, FuzzReport, run_fault_fuzz
+from .fnr import FnrResult, measure_fnr, simulate_deviation, sweep_fnr_over_bits
+from .localization import (
+    CampaignResult,
+    MultiFaultResult,
+    run_localization_campaign,
+    run_multi_fault_campaign,
+)
+from .monitor import IncidentAggregator, SuspectReport
+from .sampling_experiments import (
+    LatencyTrialResult,
+    measure_detection_latency,
+    sweep_sampling_intervals,
+)
+from .tables import (
+    Table2Row,
+    build_and_measure,
+    distribution_cdf,
+    path_count_distribution,
+)
+from .timing import (
+    UpdateTimingResult,
+    VerificationTimingResult,
+    measure_update_times,
+    measure_verification_time,
+    reports_from_table,
+)
+
+__all__ = [
+    "CoverageTracker",
+    "CoverageReport",
+    "FnrResult",
+    "FaultClassStats",
+    "FuzzReport",
+    "run_fault_fuzz",
+    "measure_fnr",
+    "sweep_fnr_over_bits",
+    "simulate_deviation",
+    "CampaignResult",
+    "MultiFaultResult",
+    "run_multi_fault_campaign",
+    "IncidentAggregator",
+    "SuspectReport",
+    "LatencyTrialResult",
+    "measure_detection_latency",
+    "sweep_sampling_intervals",
+    "run_localization_campaign",
+    "Table2Row",
+    "build_and_measure",
+    "path_count_distribution",
+    "distribution_cdf",
+    "VerificationTimingResult",
+    "measure_verification_time",
+    "UpdateTimingResult",
+    "measure_update_times",
+    "reports_from_table",
+]

@@ -1,0 +1,143 @@
+"""Verification coverage: how much of the configuration has been checked?
+
+VeriDP only validates what sampled traffic exercises — a corrupted rule on
+a path no flow currently uses stays invisible (the Table 3 campaigns show
+exactly this: faults off the ping paths produce zero failed verifications).
+Operators therefore need the complement of the incident log: *which parts
+of the path table have actually been verified recently, and which are dark*.
+
+:class:`CoverageTracker` consumes the same verification results the server
+produces and reports per-path, per-hop and per-switch coverage, plus the
+dark list — the paths a probing round (ATPG-style) should exercise to close
+the gap.  This operationalises the paper's implicit sampling/coverage
+trade-off and composes with :mod:`repro.baselines.atpg` for active filling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.pathtable import PathEntry, PathTable
+from ..core.verifier import VerificationResult
+from ..netmodel.hops import Hop
+from ..netmodel.topology import PortRef
+
+__all__ = ["CoverageReport", "CoverageTracker"]
+
+
+@dataclass
+class CoverageReport:
+    """Snapshot of verification coverage over one path table."""
+
+    total_paths: int
+    verified_paths: int
+    total_hops: int
+    verified_hops: int
+    dark_paths: List[Tuple[PortRef, PortRef, PathEntry]] = field(default_factory=list)
+    switch_coverage: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def path_coverage(self) -> float:
+        """Fraction of path-table entries verified at least once."""
+        return self.verified_paths / self.total_paths if self.total_paths else 0.0
+
+    @property
+    def hop_coverage(self) -> float:
+        """Fraction of distinct hops appearing on some verified path."""
+        return self.verified_hops / self.total_hops if self.total_hops else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"coverage: {self.verified_paths}/{self.total_paths} paths "
+            f"({100 * self.path_coverage:.1f}%), "
+            f"{self.verified_hops}/{self.total_hops} hops "
+            f"({100 * self.hop_coverage:.1f}%), {len(self.dark_paths)} dark"
+        )
+
+
+class CoverageTracker:
+    """Track which path-table entries passing traffic has validated."""
+
+    def __init__(self, table: PathTable) -> None:
+        self.table = table
+        self._verified_entries: Set[int] = set()  # id() of PathEntry objects
+        self._verified_hops: Set[Hop] = set()
+        self.observations = 0
+
+    # -- ingestion ---------------------------------------------------------
+
+    def observe(self, result: VerificationResult) -> None:
+        """Record one verification outcome.
+
+        Only *passes* mark coverage: a failed verification tells you about
+        a fault, not about the configured path working as intended.
+        """
+        self.observations += 1
+        if not result.passed or result.matched_entry is None:
+            return
+        entry = result.matched_entry
+        self._verified_entries.add(id(entry))
+        self._verified_hops.update(entry.hops)
+
+    def observe_all(self, results) -> None:
+        """Record a batch of verification results."""
+        for result in results:
+            self.observe(result)
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self) -> CoverageReport:
+        """Aggregate the current coverage picture."""
+        all_hops: Set[Hop] = set()
+        switch_total: Dict[str, int] = {}
+        switch_hit: Dict[str, int] = {}
+        total_paths = 0
+        verified_paths = 0
+        dark: List[Tuple[PortRef, PortRef, PathEntry]] = []
+        for inport, outport, entry in self.table.all_entries():
+            total_paths += 1
+            covered = id(entry) in self._verified_entries
+            if covered:
+                verified_paths += 1
+            else:
+                dark.append((inport, outport, entry))
+            for hop in entry.hops:
+                all_hops.add(hop)
+                switch_total[hop.switch] = switch_total.get(hop.switch, 0) + 1
+                if hop in self._verified_hops:
+                    switch_hit[hop.switch] = switch_hit.get(hop.switch, 0) + 1
+        # Deduplicate the per-switch tallies over distinct hops.
+        switch_total_d: Dict[str, int] = {}
+        switch_hit_d: Dict[str, int] = {}
+        for hop in all_hops:
+            switch_total_d[hop.switch] = switch_total_d.get(hop.switch, 0) + 1
+            if hop in self._verified_hops:
+                switch_hit_d[hop.switch] = switch_hit_d.get(hop.switch, 0) + 1
+        coverage = {
+            switch: switch_hit_d.get(switch, 0) / count
+            for switch, count in switch_total_d.items()
+        }
+        return CoverageReport(
+            total_paths=total_paths,
+            verified_paths=verified_paths,
+            total_hops=len(all_hops),
+            verified_hops=len(self._verified_hops & all_hops),
+            dark_paths=dark,
+            switch_coverage=coverage,
+        )
+
+    def dark_switches(self, threshold: float = 0.5) -> List[str]:
+        """Switches with less than ``threshold`` of their hops verified."""
+        report = self.report()
+        return sorted(
+            switch
+            for switch, fraction in report.switch_coverage.items()
+            if fraction < threshold
+        )
+
+    def reset(self) -> None:
+        """Forget all coverage (e.g. after a configuration change)."""
+        self._verified_entries.clear()
+        self._verified_hops.clear()
+        self.observations = 0

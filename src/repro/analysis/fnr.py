@@ -1,0 +1,159 @@
+"""False-negative-rate measurement — the Figure 12 experiment.
+
+Methodology (Section 6.3, "Detection accuracy"): select paths from the path
+table, generate one packet per path, pick a random switch on its forwarding
+path and divert the packet to a different output port; downstream the packet
+follows the (otherwise healthy) configuration.  With
+
+* ``n``  — diverted packets in total,
+* ``n1`` — those that still arrive at the original destination port,
+* ``n2`` — those that arrive there *and* carry a tag equal to the path
+  table's (i.e. the fault is missed),
+
+the paper defines the **absolute** false-negative rate ``n2/n`` and the
+**relative** rate ``n2/n1``.  Detection has *no false positives* by
+construction, so these two rates fully characterise accuracy.
+
+The simulation is symbolic: the correct path comes from the path table, the
+post-deviation trajectory from the control-plane forwarding function
+(``expected_path``), which is exactly what a healthy data plane would do.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.bloom import BloomTagScheme
+from ..core.pathtable import PathEntry, PathTable, PathTableBuilder
+from ..netmodel.hops import Hop
+from ..netmodel.rules import DROP_PORT
+from ..netmodel.topology import PortRef
+
+__all__ = ["FnrResult", "measure_fnr", "sweep_fnr_over_bits", "simulate_deviation"]
+
+
+@dataclass
+class FnrResult:
+    """One Figure 12 data point."""
+
+    bits: int
+    trials: int  # n
+    arrived: int  # n1
+    missed: int  # n2
+
+    @property
+    def absolute_fnr(self) -> float:
+        """``n2 / n`` — missed faults over all injected faults."""
+        return self.missed / self.trials if self.trials else 0.0
+
+    @property
+    def relative_fnr(self) -> float:
+        """``n2 / n1`` — missed faults over faults that kept the exit port."""
+        return self.missed / self.arrived if self.arrived else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"m={self.bits}: n={self.trials} n1={self.arrived} n2={self.missed} "
+            f"abs={self.absolute_fnr:.4f} rel={self.relative_fnr:.4f}"
+        )
+
+
+def simulate_deviation(
+    builder: PathTableBuilder,
+    entry_hops: Sequence[Hop],
+    header: Dict[str, int],
+    deviate_at: int,
+    wrong_port: int,
+) -> List[Hop]:
+    """The real path of a packet diverted at hop ``deviate_at``.
+
+    The prefix up to the deviation follows the correct path; the deviating
+    switch outputs to ``wrong_port``; from there the packet follows the
+    control-plane configuration of the downstream switches.
+    """
+    topo = builder.topo
+    hops: List[Hop] = list(entry_hops[:deviate_at])
+    bad = entry_hops[deviate_at]
+    first = Hop(bad.in_port, bad.switch, wrong_port)
+    hops.append(first)
+    if wrong_port == DROP_PORT:
+        return hops
+    egress = PortRef(bad.switch, wrong_port)
+    if topo.is_edge_port(egress):
+        return hops
+    peer = topo.link(egress)
+    if peer is None:
+        return hops
+    remaining = builder.max_path_length - len(hops)
+    hops.extend(builder.expected_path(peer, header)[: max(remaining, 0)])
+    return hops
+
+
+def measure_fnr(
+    builder: PathTableBuilder,
+    table: PathTable,
+    bits: int,
+    trials: int,
+    rng: Optional[random.Random] = None,
+    hashes: int = 3,
+) -> FnrResult:
+    """Run the deviation experiment for one Bloom width."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    rng = rng or random.Random(0)
+    scheme = BloomTagScheme(bits=bits, hashes=hashes)
+    # Only deliverable paths make sense: a packet on a drop path has no
+    # destination port to (wrongly) arrive at.
+    candidates: List[Tuple[PortRef, PortRef, PathEntry]] = [
+        (inport, outport, entry)
+        for inport, outport, entry in table.all_entries()
+        if outport.port != DROP_PORT
+    ]
+    if not candidates:
+        raise ValueError("path table has no deliverable paths to test")
+
+    arrived = 0
+    missed = 0
+    hs = builder.hs
+    for _ in range(trials):
+        inport, outport, entry = rng.choice(candidates)
+        header = hs.sample_header(entry.headers)
+        if header is None:  # defensive: table entries are non-empty
+            continue
+        deviate_at = rng.randrange(len(entry.hops))
+        victim = entry.hops[deviate_at]
+        ports = [
+            p
+            for p in builder.topo.ports_of(victim.switch)
+            if p != victim.out_port
+        ] + ([DROP_PORT] if victim.out_port != DROP_PORT else [])
+        wrong_port = rng.choice(ports)
+        real = simulate_deviation(builder, entry.hops, header, deviate_at, wrong_port)
+        if not real:
+            continue
+        last = real[-1]
+        if last.switch == outport.switch and last.out_port == outport.port:
+            arrived += 1
+            if scheme.tag_of_path(real) == scheme.tag_of_path(entry.hops):
+                missed += 1
+    return FnrResult(bits=bits, trials=trials, arrived=arrived, missed=missed)
+
+
+def sweep_fnr_over_bits(
+    builder: PathTableBuilder,
+    table: PathTable,
+    bit_widths: Sequence[int] = (8, 16, 24, 32, 48, 64),
+    trials: int = 2000,
+    seed: int = 0,
+) -> List[FnrResult]:
+    """The full Figure 12 sweep: FNR for each Bloom-filter width.
+
+    The same RNG seed yields the same fault sample across widths so the
+    curves differ only by tag width, as in the paper's figure.
+    """
+    return [
+        measure_fnr(builder, table, bits, trials, rng=random.Random(seed))
+        for bits in bit_widths
+    ]

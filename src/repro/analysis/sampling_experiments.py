@@ -1,0 +1,195 @@
+"""Detection-latency experiments — Section 4.5's bound, measured.
+
+The paper's Figure 9 argues the worst-case detection latency under per-flow
+sampling is ``T_s + T_a`` (sampling interval plus maximum inter-packet
+gap), and that operators should size ``T_s <= tau - T_a`` for a latency
+budget ``tau``.  The paper never measures this; this harness does:
+
+* a steady workload of long-lived flows ticks through a network,
+* at a known instant, a rule on an active flow's path is corrupted,
+* the detection latency is the gap between fault injection and the first
+  failed verification at the VeriDP server,
+* repeated over many trials and swept over sampling intervals, yielding the
+  operator's real trade-off curve: detection latency vs tagging overhead
+  (the fraction of packets sampled).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.sampling import FlowSampler, worst_case_detection_latency
+from ..core.server import VeriDPServer
+from ..dataplane.network import DataPlaneNetwork
+from ..dataplane.switch import DataPlaneSwitch
+from ..netmodel.rules import FlowRule
+from ..topologies.base import Scenario
+
+__all__ = ["LatencyTrialResult", "measure_detection_latency", "sweep_sampling_intervals"]
+
+
+@dataclass
+class LatencyTrialResult:
+    """Aggregated detection latencies for one sampling interval."""
+
+    sampling_interval: float
+    packet_period: float
+    latencies: List[float] = field(default_factory=list)
+    undetected: int = 0
+    sampling_rate: float = 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        """Average detection latency over detected trials."""
+        return statistics.fmean(self.latencies) if self.latencies else float("inf")
+
+    @property
+    def max_latency(self) -> float:
+        """Worst observed detection latency."""
+        return max(self.latencies) if self.latencies else float("inf")
+
+    @property
+    def theoretical_bound(self) -> float:
+        """The Section 4.5 worst case: ``T_s + T_a``.
+
+        With a strictly periodic workload the inter-arrival gap equals the
+        packet period.
+        """
+        return worst_case_detection_latency(
+            self.sampling_interval, self.packet_period
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"T_s={self.sampling_interval:.2f}s: mean {self.mean_latency:.2f}s, "
+            f"max {self.max_latency:.2f}s (bound {self.theoretical_bound:.2f}s), "
+            f"sampling rate {100 * self.sampling_rate:.1f}%"
+        )
+
+
+def _fault_on_flow(
+    scenario: Scenario,
+    net: DataPlaneNetwork,
+    flow: Tuple[str, str],
+    rng: random.Random,
+) -> Tuple[str, FlowRule]:
+    """Corrupt a mid-path rule of the given flow; returns (switch, original)."""
+    header = scenario.header_between(*flow)
+    probe = net.inject_from_host(flow[0], header)
+    hop = rng.choice(probe.hops[1:] or probe.hops)
+    switch: DataPlaneSwitch = net.switch(hop.switch)
+    rule = switch.table.lookup(header, hop.in_port)
+    original = rule
+    wrong_ports = sorted(switch.ports - {rule.output_port()})
+    switch.external_modify_output(rule.rule_id, rng.choice(wrong_ports))
+    return hop.switch, original
+
+
+def measure_detection_latency(
+    scenario: Scenario,
+    sampling_interval: float,
+    trials: int = 10,
+    packet_period: float = 0.1,
+    num_flows: int = 20,
+    seed: int = 0,
+) -> LatencyTrialResult:
+    """Measure detection latency for one sampling interval.
+
+    Each trial runs the steady workload, injects one mid-path fault at a
+    random phase of the sampling cycle, and ticks until detection (bounded
+    by twice the theoretical worst case — anything beyond counts as
+    undetected, which would falsify the Section 4.5 bound).
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    rng = random.Random(seed)
+    result = LatencyTrialResult(
+        sampling_interval=sampling_interval, packet_period=packet_period
+    )
+
+    server = VeriDPServer(scenario.topo, scenario.channel, localize_failures=False)
+    samplers: List[FlowSampler] = []
+
+    def sampler_factory(switch_id: str) -> FlowSampler:
+        sampler = FlowSampler(default_interval=sampling_interval)
+        samplers.append(sampler)
+        return sampler
+
+    net = DataPlaneNetwork(
+        scenario.topo,
+        scenario.channel,
+        report_sink=server.receive_report_bytes,
+        sampler_factory=sampler_factory,
+    )
+    hosts = scenario.topo.hosts()
+    flows = [tuple(rng.sample(hosts, 2)) for _ in range(num_flows)]
+    bound = worst_case_detection_latency(sampling_interval, packet_period)
+    clock = 0.0
+
+    def tick() -> None:
+        nonlocal clock
+        for src, dst in flows:
+            net.inject_from_host(src, scenario.header_between(src, dst), now=clock)
+        clock += packet_period
+
+    # Warm the samplers so trials start mid-cycle, not at the all-sampled
+    # first packet.
+    warmup_ticks = max(int(sampling_interval / packet_period) + 1, 2)
+    for _ in range(warmup_ticks):
+        tick()
+    server.drain_incidents()
+
+    for _ in range(trials):
+        # Random phase offset within the sampling cycle.
+        for _ in range(rng.randrange(warmup_ticks)):
+            tick()
+        server.drain_incidents()
+        victim_switch, original = _fault_on_flow(
+            scenario, net, rng.choice(flows), rng
+        )
+        server.drain_incidents()  # discard the probe used to find the rule
+        fault_time = clock
+        detected_at: Optional[float] = None
+        while clock - fault_time <= 2 * bound + packet_period:
+            tick()
+            if server.drain_incidents():
+                detected_at = clock
+                break
+        if detected_at is None:
+            result.undetected += 1
+        else:
+            result.latencies.append(detected_at - fault_time)
+        # Heal for the next trial.
+        net.switch(victim_switch).install(original)
+        server.drain_incidents()
+
+    seen = sum(s.seen_count for s in samplers)
+    sampled = sum(s.sampled_count for s in samplers)
+    result.sampling_rate = (sampled / seen) if seen else 0.0
+    return result
+
+
+def sweep_sampling_intervals(
+    scenario_factory,
+    intervals: Sequence[float],
+    trials: int = 10,
+    packet_period: float = 0.1,
+    seed: int = 0,
+) -> List[LatencyTrialResult]:
+    """The trade-off curve: one latency measurement per sampling interval.
+
+    A fresh scenario per point keeps sampler state independent.
+    """
+    return [
+        measure_detection_latency(
+            scenario_factory(),
+            sampling_interval=interval,
+            trials=trials,
+            packet_period=packet_period,
+            seed=seed,
+        )
+        for interval in intervals
+    ]

@@ -1,0 +1,180 @@
+"""Timing harnesses — Figures 13 and 14.
+
+* :func:`measure_verification_time` — generate one test packet per path in
+  the path table, collect its tag report, verify each report many times and
+  average (the paper repeats each verification 10^4 times; the repeat count
+  is a knob here).
+* :func:`measure_update_times` — populate all but one switch, then install
+  the last switch's prefix rules one-by-one through the incremental updater,
+  recording each update's wall time (Figure 14's per-rule series).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.incremental import IncrementalPathTable, LpmProvider
+from ..core.pathtable import PathTable, PathTableBuilder
+from ..core.reports import TagReport
+from ..core.verifier import Verifier
+from ..netmodel.packet import Header
+from ..netmodel.rules import DROP_PORT
+from ..topologies.base import Scenario
+
+__all__ = [
+    "VerificationTimingResult",
+    "measure_verification_time",
+    "UpdateTimingResult",
+    "measure_update_times",
+]
+
+
+@dataclass
+class VerificationTimingResult:
+    """Per-report verification latency statistics (Figure 13)."""
+
+    label: str
+    reports: int
+    repeats: int
+    mean_us: float
+    median_us: float
+    p99_us: float
+    throughput_per_s: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: {self.reports} reports x {self.repeats} repeats, "
+            f"mean {self.mean_us:.2f} us, median {self.median_us:.2f} us, "
+            f"p99 {self.p99_us:.2f} us, {self.throughput_per_s:,.0f} verifs/s"
+        )
+
+
+def reports_from_table(
+    builder: PathTableBuilder, table: PathTable, limit: Optional[int] = None
+) -> List[TagReport]:
+    """One well-formed tag report per deliverable path in the table.
+
+    This mirrors the paper's Figure 13 setup: "for each topology, we
+    generate a test packet for each path in the path table ... and collect
+    the tag reports".
+    """
+    hs = builder.hs
+    reports: List[TagReport] = []
+    for inport, outport, entry in table.all_entries():
+        header = hs.sample_header(entry.headers)
+        if header is None:
+            continue
+        reports.append(
+            TagReport(
+                inport=inport,
+                outport=outport,
+                header=Header(**header),
+                tag=entry.tag,
+            )
+        )
+        if limit is not None and len(reports) >= limit:
+            break
+    return reports
+
+
+def measure_verification_time(
+    builder: PathTableBuilder,
+    table: PathTable,
+    label: str,
+    repeats: int = 100,
+    report_limit: Optional[int] = None,
+) -> VerificationTimingResult:
+    """Average per-report verification latency over the whole table."""
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    reports = reports_from_table(builder, table, limit=report_limit)
+    if not reports:
+        raise ValueError("path table produced no reports to verify")
+    verifier = Verifier(table, builder.hs)
+    per_report_us: List[float] = []
+    for report in reports:
+        started = time.perf_counter()
+        for _ in range(repeats):
+            verifier.verify(report)
+        elapsed = time.perf_counter() - started
+        per_report_us.append(elapsed / repeats * 1e6)
+    mean_us = statistics.fmean(per_report_us)
+    ranked = sorted(per_report_us)
+    return VerificationTimingResult(
+        label=label,
+        reports=len(reports),
+        repeats=repeats,
+        mean_us=mean_us,
+        median_us=ranked[len(ranked) // 2],
+        p99_us=ranked[min(len(ranked) - 1, int(0.99 * len(ranked)))],
+        throughput_per_s=1e6 / mean_us if mean_us else 0.0,
+    )
+
+
+@dataclass
+class UpdateTimingResult:
+    """Per-rule incremental update times (Figure 14)."""
+
+    label: str
+    times_ms: List[float] = field(default_factory=list)
+
+    @property
+    def mean_ms(self) -> float:
+        """Average update time."""
+        return statistics.fmean(self.times_ms) if self.times_ms else 0.0
+
+    @property
+    def max_ms(self) -> float:
+        """Worst-case update time."""
+        return max(self.times_ms) if self.times_ms else 0.0
+
+    def fraction_under(self, threshold_ms: float) -> float:
+        """Fraction of updates faster than ``threshold_ms`` (paper: 10 ms)."""
+        if not self.times_ms:
+            return 0.0
+        return sum(t < threshold_ms for t in self.times_ms) / len(self.times_ms)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: {len(self.times_ms)} updates, mean "
+            f"{self.mean_ms:.2f} ms, max {self.max_ms:.2f} ms, "
+            f"{100 * self.fraction_under(10.0):.1f}% under 10 ms"
+        )
+
+
+def measure_update_times(
+    scenario: Scenario,
+    ruleset: Dict[str, List[Tuple[str, int]]],
+    target_switch: str,
+    label: Optional[str] = None,
+) -> Tuple[UpdateTimingResult, IncrementalPathTable]:
+    """The Figure 14 protocol on an LPM scenario.
+
+    Rules of every switch except ``target_switch`` are installed first (and
+    folded into the initial path-table build); then the target's rules are
+    added one at a time through the incremental updater, timing each.
+    Returns the timing series and the live incremental table (so callers can
+    cross-check it against a full rebuild).
+    """
+    if target_switch not in ruleset:
+        raise KeyError(f"{target_switch!r} has no rules in the ruleset")
+    hs_topo = scenario.topo
+    from ..bdd.headerspace import HeaderSpace
+
+    hs = HeaderSpace()
+    provider = LpmProvider(hs_topo, hs)
+    for switch_id, rules in ruleset.items():
+        if switch_id == target_switch:
+            continue
+        for prefix, out_port in rules:
+            provider.add_rule(switch_id, prefix, out_port)
+    inc = IncrementalPathTable(hs_topo, hs, provider=provider)
+
+    result = UpdateTimingResult(label=label or f"{hs_topo.name}/{target_switch}")
+    for prefix, out_port in ruleset[target_switch]:
+        elapsed = inc.add_rule(target_switch, prefix, out_port)
+        result.times_ms.append(elapsed * 1e3)
+    return result, inc

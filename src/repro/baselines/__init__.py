@@ -1,0 +1,35 @@
+"""Baseline systems the paper positions VeriDP against (Sections 3.1 & 7).
+
+* :mod:`repro.baselines.atpg`     — reachability probing (ATPG [57]):
+  checks probe *reception* only, blind to path-dependent policies,
+* :mod:`repro.baselines.monocle`  — per-rule probing (Monocle [41]):
+  exact rule-presence tests, but probe generation limits update rates,
+* :mod:`repro.baselines.netsight` — per-hop postcards (NetSight [29]):
+  exact histories at per-hop message cost.
+
+Each is a faithful miniature: enough mechanism to measure the comparative
+claims (what each system can detect, and at what overhead) in
+``benchmarks/test_baseline_comparison.py``.
+"""
+
+from .atpg import AtpgProber, AtpgReport, Probe
+from .monocle import MonocleProber, MonocleReport, RuleProbe
+from .netsight import (
+    NetSightCollector,
+    PacketHistory,
+    POSTCARD_BYTES,
+    Postcard,
+)
+
+__all__ = [
+    "AtpgProber",
+    "AtpgReport",
+    "Probe",
+    "MonocleProber",
+    "MonocleReport",
+    "RuleProbe",
+    "NetSightCollector",
+    "PacketHistory",
+    "Postcard",
+    "POSTCARD_BYTES",
+]

@@ -1,0 +1,472 @@
+"""Reduced Ordered Binary Decision Diagram (ROBDD) engine.
+
+VeriDP represents packet header sets as BDDs (Section 4.1 of the paper,
+following Yang & Lam's atomic-predicates work [56]).  This module is a
+self-contained, pure-Python ROBDD implementation with:
+
+* hash-consed node storage (a *unique table*), so structural equality is
+  pointer (integer id) equality,
+* memoized ``ite`` (if-then-else), the single primitive from which all binary
+  Boolean connectives are derived,
+* existential/universal quantification and variable restriction,
+* model counting and satisfying-cube enumeration.
+
+Nodes are referenced by small integers.  ``FALSE = 0`` and ``TRUE = 1`` are
+the two terminals.  An internal node ``u`` has a *level* (its variable index
+in the global ordering; smaller level = closer to the root), a *low* child
+(the cofactor when the variable is 0) and a *high* child (cofactor when 1).
+
+The manager enforces the two ROBDD invariants:
+
+1. ordering: ``level(u) < level(low(u))`` and ``level(u) < level(high(u))``,
+2. reduction: no node with ``low == high``, and no two distinct nodes with
+   identical ``(level, low, high)`` triples.
+
+Together these make every Boolean function over the fixed ordering have a
+single canonical node id, which is what lets VeriDP compare and intersect
+header sets in O(size) time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["BDD", "FALSE", "TRUE"]
+
+#: Terminal node id for the constant-false function (empty header set).
+FALSE = 0
+#: Terminal node id for the constant-true function (the all-match header set).
+TRUE = 1
+
+#: Pseudo-level assigned to terminals; larger than any real variable level.
+_TERMINAL_LEVEL = 1 << 30
+
+
+class BDD:
+    """A manager owning a shared pool of ROBDD nodes.
+
+    All node ids returned by one manager are only meaningful to that manager.
+    The number of variables is fixed at construction; variable *levels* run
+    from 0 (root-most) to ``num_vars - 1``.
+
+    Example::
+
+        bdd = BDD(4)
+        x0, x1 = bdd.var(0), bdd.var(1)
+        f = bdd.and_(x0, bdd.not_(x1))
+        assert bdd.count(f) == 4  # of the 16 assignments over 4 vars
+    """
+
+    def __init__(self, num_vars: int) -> None:
+        if num_vars <= 0:
+            raise ValueError(f"num_vars must be positive, got {num_vars}")
+        self.num_vars = num_vars
+        # Parallel arrays indexed by node id.  Slots 0/1 are the terminals;
+        # their level sorts after every variable so cofactoring stops there.
+        self._level: List[int] = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
+        self._low: List[int] = [0, 1]
+        self._high: List[int] = [0, 1]
+        # unique table: (level, low, high) -> node id
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        # operation caches
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._not_cache: Dict[int, int] = {}
+        self._quant_cache: Dict[Tuple[int, int, frozenset], int] = {}
+        self._count_cache: Dict[int, int] = {}
+        # single-variable nodes are ubiquitous; build them lazily
+        self._var_nodes: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        """Return the canonical node for ``(level, low, high)``."""
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def var(self, level: int) -> int:
+        """The function that is true iff variable ``level`` is 1."""
+        if not 0 <= level < self.num_vars:
+            raise ValueError(f"variable level {level} out of range [0, {self.num_vars})")
+        node = self._var_nodes.get(level)
+        if node is None:
+            node = self._mk(level, FALSE, TRUE)
+            self._var_nodes[level] = node
+        return node
+
+    def nvar(self, level: int) -> int:
+        """The function that is true iff variable ``level`` is 0."""
+        if not 0 <= level < self.num_vars:
+            raise ValueError(f"variable level {level} out of range [0, {self.num_vars})")
+        return self._mk(level, TRUE, FALSE)
+
+    # ------------------------------------------------------------------
+    # structural accessors
+    # ------------------------------------------------------------------
+
+    def level_of(self, node: int) -> int:
+        """Variable level of ``node`` (terminals report a huge sentinel)."""
+        return self._level[node]
+
+    def low_of(self, node: int) -> int:
+        """Low (variable = 0) cofactor child."""
+        return self._low[node]
+
+    def high_of(self, node: int) -> int:
+        """High (variable = 1) cofactor child."""
+        return self._high[node]
+
+    def size(self, node: int) -> int:
+        """Number of distinct nodes reachable from ``node`` (incl. terminals)."""
+        seen = {node}
+        stack = [node]
+        while stack:
+            u = stack.pop()
+            if u <= TRUE:
+                continue
+            for child in (self._low[u], self._high[u]):
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return len(seen)
+
+    def num_nodes(self) -> int:
+        """Total nodes allocated by this manager (a capacity metric)."""
+        return len(self._level)
+
+    # ------------------------------------------------------------------
+    # the ite primitive and derived connectives
+    # ------------------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: the function ``(f AND g) OR (NOT f AND h)``."""
+        # terminal shortcuts
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g], self._level[h])
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        h0, h1 = self._cofactors(h, level)
+        result = self._mk(level, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
+        if self._level[node] == level:
+            return self._low[node], self._high[node]
+        return node, node
+
+    def not_(self, f: int) -> int:
+        """Complement of ``f``."""
+        if f == FALSE:
+            return TRUE
+        if f == TRUE:
+            return FALSE
+        cached = self._not_cache.get(f)
+        if cached is not None:
+            return cached
+        result = self._mk(
+            self._level[f], self.not_(self._low[f]), self.not_(self._high[f])
+        )
+        self._not_cache[f] = result
+        self._not_cache[result] = f
+        return result
+
+    def and_(self, f: int, g: int) -> int:
+        """Conjunction (header-set intersection)."""
+        return self.ite(f, g, FALSE)
+
+    def or_(self, f: int, g: int) -> int:
+        """Disjunction (header-set union)."""
+        return self.ite(f, TRUE, g)
+
+    def xor(self, f: int, g: int) -> int:
+        """Exclusive or (symmetric difference of header sets)."""
+        return self.ite(f, self.not_(g), g)
+
+    def diff(self, f: int, g: int) -> int:
+        """Set difference ``f AND NOT g``."""
+        return self.ite(f, self.not_(g), FALSE)
+
+    def implies(self, f: int, g: int) -> bool:
+        """True iff every satisfying assignment of ``f`` also satisfies ``g``."""
+        return self.diff(f, g) == FALSE
+
+    def equiv(self, f: int, g: int) -> bool:
+        """Semantic equality, which by canonicity is id equality."""
+        return f == g
+
+    def and_many(self, terms: Iterable[int]) -> int:
+        """Conjunction of an iterable of functions (TRUE for empty input)."""
+        acc = TRUE
+        for t in terms:
+            acc = self.and_(acc, t)
+            if acc == FALSE:
+                return FALSE
+        return acc
+
+    def or_many(self, terms: Iterable[int]) -> int:
+        """Disjunction of an iterable of functions (FALSE for empty input)."""
+        acc = FALSE
+        for t in terms:
+            acc = self.or_(acc, t)
+            if acc == TRUE:
+                return TRUE
+        return acc
+
+    # ------------------------------------------------------------------
+    # cube construction (the workhorse for match predicates)
+    # ------------------------------------------------------------------
+
+    def cube(self, literals: Sequence[Tuple[int, bool]]) -> int:
+        """Conjunction of literals given as ``(level, polarity)`` pairs.
+
+        Builds the cube bottom-up in a single pass, which is far cheaper than
+        repeated ``and_`` calls: a 32-bit exact-match predicate costs exactly
+        32 node allocations.
+        """
+        node = TRUE
+        for level, positive in sorted(literals, key=lambda lp: lp[0], reverse=True):
+            if positive:
+                node = self._mk(level, FALSE, node)
+            else:
+                node = self._mk(level, node, FALSE)
+        return node
+
+    # ------------------------------------------------------------------
+    # restriction and quantification
+    # ------------------------------------------------------------------
+
+    def restrict(self, f: int, assignment: Dict[int, bool]) -> int:
+        """Substitute constants for variables: ``f|_{x_i = b_i}``."""
+        if not assignment:
+            return f
+        cache: Dict[int, int] = {}
+
+        def walk(u: int) -> int:
+            if u <= TRUE:
+                return u
+            hit = cache.get(u)
+            if hit is not None:
+                return hit
+            level = self._level[u]
+            if level in assignment:
+                result = walk(self._high[u] if assignment[level] else self._low[u])
+            else:
+                result = self._mk(level, walk(self._low[u]), walk(self._high[u]))
+            cache[u] = result
+            return result
+
+        return walk(f)
+
+    def exists(self, f: int, levels: Iterable[int]) -> int:
+        """Existential quantification over the given variable levels."""
+        levelset = frozenset(levels)
+        if not levelset:
+            return f
+        return self._quantify(f, levelset, conjunctive=False)
+
+    def forall(self, f: int, levels: Iterable[int]) -> int:
+        """Universal quantification over the given variable levels."""
+        levelset = frozenset(levels)
+        if not levelset:
+            return f
+        return self._quantify(f, levelset, conjunctive=True)
+
+    def _quantify(self, f: int, levelset: frozenset, conjunctive: bool) -> int:
+        key = (f, int(conjunctive), levelset)
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            return cached
+        if f <= TRUE:
+            return f
+        level = self._level[f]
+        lo = self._quantify(self._low[f], levelset, conjunctive)
+        hi = self._quantify(self._high[f], levelset, conjunctive)
+        if level in levelset:
+            result = self.and_(lo, hi) if conjunctive else self.or_(lo, hi)
+        else:
+            result = self._mk(level, lo, hi)
+        self._quant_cache[key] = result
+        return result
+
+    def support(self, f: int) -> List[int]:
+        """Sorted list of variable levels that ``f`` actually depends on."""
+        seen = set()
+        levels = set()
+        stack = [f]
+        while stack:
+            u = stack.pop()
+            if u <= TRUE or u in seen:
+                continue
+            seen.add(u)
+            levels.add(self._level[u])
+            stack.append(self._low[u])
+            stack.append(self._high[u])
+        return sorted(levels)
+
+    # ------------------------------------------------------------------
+    # model counting and enumeration
+    # ------------------------------------------------------------------
+
+    def count(self, f: int, num_vars: Optional[int] = None) -> int:
+        """Number of satisfying assignments over ``num_vars`` variables.
+
+        ``num_vars`` defaults to the manager width; pass a smaller value only
+        if you know ``f``'s support fits inside it.
+        """
+        width = self.num_vars if num_vars is None else num_vars
+
+        def effective_level(u: int) -> int:
+            return width if u <= TRUE else self._level[u]
+
+        def solutions(u: int) -> int:
+            """Satisfying assignments over levels [level(u), width)."""
+            if u == FALSE:
+                return 0
+            if u == TRUE:
+                return 1
+            key = (u, width)
+            cached = self._count_cache.get(key)
+            if cached is None:
+                level = self._level[u]
+                lo, hi = self._low[u], self._high[u]
+                cached = (solutions(lo) << (effective_level(lo) - level - 1)) + (
+                    solutions(hi) << (effective_level(hi) - level - 1)
+                )
+                self._count_cache[key] = cached
+            return cached
+
+        return solutions(f) << effective_level(f)
+
+    def cubes(self, f: int) -> Iterator[Dict[int, bool]]:
+        """Yield satisfying *cubes* as partial assignments ``level -> bool``.
+
+        Unassigned levels in a yielded dict are don't-cares.  The cubes are
+        disjoint and their union is exactly the satisfying set of ``f``.
+        """
+        path: Dict[int, bool] = {}
+
+        def walk(u: int) -> Iterator[Dict[int, bool]]:
+            if u == FALSE:
+                return
+            if u == TRUE:
+                yield dict(path)
+                return
+            level = self._level[u]
+            path[level] = False
+            yield from walk(self._low[u])
+            path[level] = True
+            yield from walk(self._high[u])
+            del path[level]
+
+        yield from walk(f)
+
+    def pick(self, f: int) -> Optional[Dict[int, bool]]:
+        """One satisfying cube of ``f``, or ``None`` if unsatisfiable."""
+        for cube in self.cubes(f):
+            return cube
+        return None
+
+    def evaluate(self, f: int, assignment: Dict[int, bool]) -> bool:
+        """Evaluate ``f`` under a *total* assignment of its support."""
+        u = f
+        while u > TRUE:
+            level = self._level[u]
+            try:
+                u = self._high[u] if assignment[level] else self._low[u]
+            except KeyError as exc:
+                raise ValueError(f"assignment missing variable level {level}") from exc
+        return u == TRUE
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def clear_caches(self) -> None:
+        """Drop operation caches (the unique table is kept).
+
+        Long-running servers can call this between workloads to bound memory;
+        node ids stay valid.
+        """
+        self._ite_cache.clear()
+        self._not_cache.clear()
+        self._quant_cache.clear()
+        self._count_cache.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Allocation and cache-size counters, for capacity benchmarks."""
+        return {
+            "nodes": len(self._level),
+            "ite_cache": len(self._ite_cache),
+            "not_cache": len(self._not_cache),
+            "quant_cache": len(self._quant_cache),
+        }
+
+    def to_dot(
+        self,
+        node: int,
+        var_names: Optional[Dict[int, str]] = None,
+        title: str = "bdd",
+    ) -> str:
+        """Graphviz DOT rendering of the BDD rooted at ``node``.
+
+        Dashed edges are low (variable = 0) branches, solid edges high.
+        ``var_names`` maps levels to labels (e.g. header field bit names).
+        """
+        var_names = var_names or {}
+        lines = [
+            f'digraph "{title}" {{',
+            "  rankdir=TB;",
+            '  node [shape=circle];',
+            '  f [label="0", shape=box];' if node != TRUE else "",
+            '  t [label="1", shape=box];' if node != FALSE else "",
+        ]
+        seen = set()
+
+        def name(u: int) -> str:
+            if u == FALSE:
+                return "f"
+            if u == TRUE:
+                return "t"
+            return f"n{u}"
+
+        stack = [node]
+        while stack:
+            u = stack.pop()
+            if u <= TRUE or u in seen:
+                continue
+            seen.add(u)
+            level = self._level[u]
+            label = var_names.get(level, f"x{level}")
+            lines.append(f'  n{u} [label="{label}"];')
+            lines.append(f"  n{u} -> {name(self._low[u])} [style=dashed];")
+            lines.append(f"  n{u} -> {name(self._high[u])};")
+            stack.append(self._low[u])
+            stack.append(self._high[u])
+        if node == FALSE:
+            lines.append('  f [label="0", shape=box];')
+        if node == TRUE:
+            lines.append('  t [label="1", shape=box];')
+        lines.append("}")
+        return "\n".join(line for line in lines if line)

@@ -1,0 +1,375 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Usage::
+
+    python -m repro table2
+    python -m repro fig12 --trials 500 --topo ft4
+    python -m repro table3 --trials 5
+    python -m repro fig13 --repeats 10
+    python -m repro fig14
+    python -m repro table4
+    python -m repro fig6
+    python -m repro functest
+    python -m repro demo
+    python -m repro tradeoff --intervals 0.5 1 2
+    python -m repro paths --topo ft4
+    python -m repro report
+
+Each subcommand builds its scenario, runs the matching harness from
+:mod:`repro.analysis`, and prints the table/series the paper reports
+(``report`` collates the tables persisted by a benchmark run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Callable, Dict, List, Sequence
+
+__all__ = ["main", "render_table"]
+
+
+def render_table(title: str, headers: Sequence[str], rows: List[Sequence]) -> str:
+    """Aligned text table with a banner (the CLI's output format)."""
+    if rows:
+        widths = [
+            max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+            for i in range(len(headers))
+        ]
+    else:
+        widths = [len(str(h)) for h in headers]
+    lines = [
+        "=" * 72,
+        title,
+        "=" * 72,
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(str(c).ljust(w) for c, w in zip(r, widths)) for r in rows]
+    return "\n".join(lines)
+
+
+def _scenario_factories():
+    from .topologies import build_fattree, build_internet2, build_stanford
+
+    return {
+        "stanford": lambda args: build_stanford(subnets_per_zone=args.scale),
+        "internet2": lambda args: build_internet2(prefixes_per_pop=args.scale),
+        "ft4": lambda args: build_fattree(4),
+        "ft6": lambda args: build_fattree(6),
+    }
+
+
+# -- subcommands --------------------------------------------------------
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    from .analysis import build_and_measure
+
+    rows = []
+    for name, factory in _scenario_factories().items():
+        row = build_and_measure(factory(args), name)
+        s = row.stats
+        rows.append(
+            (name, s.num_pairs, s.num_paths,
+             f"{s.avg_path_length:.2f}", f"{s.build_time_s:.3f}")
+        )
+    print(render_table(
+        "Table 2: path table statistics",
+        ["setup", "entries", "paths", "avg len", "time (s)"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_fig6(args: argparse.Namespace) -> int:
+    from .analysis import build_and_measure, distribution_cdf, path_count_distribution
+
+    rows = []
+    for name in ("stanford", "internet2"):
+        row = build_and_measure(_scenario_factories()[name](args), name)
+        dist = path_count_distribution(row.table)
+        for k, frac in distribution_cdf(dist):
+            rows.append((name, k, dist[k], f"{100 * frac:.1f}%"))
+    print(render_table(
+        "Figure 6: paths per (inport, outport) pair",
+        ["setup", "#paths/pair", "#pairs", "CDF"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_fig12(args: argparse.Namespace) -> int:
+    from .analysis import build_and_measure, sweep_fnr_over_bits
+
+    row = build_and_measure(_scenario_factories()[args.topo](args), args.topo)
+    results = sweep_fnr_over_bits(
+        row.builder, row.table,
+        bit_widths=tuple(args.bits), trials=args.trials, seed=args.seed,
+    )
+    print(render_table(
+        f"Figure 12 ({args.topo}): false negative rate vs Bloom size",
+        ["bits", "n", "n1", "n2", "abs FNR", "rel FNR"],
+        [
+            (r.bits, r.trials, r.arrived, r.missed,
+             f"{100 * r.absolute_fnr:.2f}%", f"{100 * r.relative_fnr:.2f}%")
+            for r in results
+        ],
+    ))
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    from .analysis import run_localization_campaign
+    from .topologies import build_fattree
+
+    rows = []
+    for k in (4, 6):
+        result = run_localization_campaign(
+            build_fattree(k), trials=args.trials, seed=args.seed,
+            label=f"FT(k={k})",
+        )
+        rows.append(
+            (result.label, result.failed_verifications, result.recovered_paths,
+             f"{100 * result.localization_probability:.1f}%",
+             f"{100 * result.blame_accuracy:.1f}%")
+        )
+    print(render_table(
+        "Table 3: fault localization",
+        ["setup", "# failed", "# recovered", "loc. prob", "blame acc"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_fig13(args: argparse.Namespace) -> int:
+    from .analysis import build_and_measure, measure_verification_time
+
+    rows = []
+    for name in ("stanford", "internet2"):
+        row = build_and_measure(_scenario_factories()[name](args), name)
+        timing = measure_verification_time(
+            row.builder, row.table, name, repeats=args.repeats
+        )
+        rows.append(
+            (name, timing.reports, f"{timing.mean_us:.2f}",
+             f"{timing.median_us:.2f}", f"{timing.throughput_per_s:,.0f}")
+        )
+    print(render_table(
+        "Figure 13: verification time per tag report",
+        ["setup", "reports", "mean us", "median us", "verifs/s"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_fig14(args: argparse.Namespace) -> int:
+    import statistics
+
+    from .analysis import measure_update_times
+    from .topologies import build_internet2, internet2_lpm_ruleset
+
+    scenario = build_internet2(prefixes_per_pop=args.scale, install_routes=False)
+    ruleset = internet2_lpm_ruleset(scenario)
+    timing, _ = measure_update_times(scenario, ruleset, "NEWY")
+    print(render_table(
+        "Figure 14: incremental path-table update time (Internet2, NEWY)",
+        ["metric", "value"],
+        [
+            ("rules", len(timing.times_ms)),
+            ("mean (ms)", f"{timing.mean_ms:.3f}"),
+            ("median (ms)", f"{statistics.median(timing.times_ms):.3f}"),
+            ("max (ms)", f"{timing.max_ms:.3f}"),
+            ("% under 10 ms", f"{100 * timing.fraction_under(10):.1f}%"),
+        ],
+    ))
+    return 0
+
+
+def cmd_table4(args: argparse.Namespace) -> int:
+    from .dataplane import HardwarePipelineModel, PAPER_PACKET_SIZES
+
+    model = HardwarePipelineModel()
+    rows_by_metric = model.table4_rows(PAPER_PACKET_SIZES)
+    print(render_table(
+        "Table 4: data-plane processing delay (cycle model @125 MHz)",
+        ["metric", *PAPER_PACKET_SIZES],
+        [(metric, *values) for metric, values in rows_by_metric.items()],
+    ))
+    return 0
+
+
+def cmd_tradeoff(args: argparse.Namespace) -> int:
+    from .analysis import sweep_sampling_intervals
+    from .topologies import build_fattree
+
+    results = sweep_sampling_intervals(
+        lambda: build_fattree(4),
+        intervals=args.intervals,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    print(render_table(
+        "Section 4.5 trade-off: detection latency vs sampling overhead",
+        ["T_s (s)", "mean lat (s)", "max lat (s)", "bound (s)", "sampled", "missed"],
+        [
+            (
+                f"{r.sampling_interval:.2f}",
+                f"{r.mean_latency:.2f}",
+                f"{r.max_latency:.2f}",
+                f"{r.theoretical_bound:.2f}",
+                f"{100 * r.sampling_rate:.1f}%",
+                r.undetected,
+            )
+            for r in results
+        ],
+    ))
+    return 0
+
+
+def cmd_paths(args: argparse.Namespace) -> int:
+    from .bdd.headerspace import HeaderSpace
+    from .core.pathtable import PathTableBuilder
+
+    scenario = _scenario_factories()[args.topo](args)
+    hs = HeaderSpace()
+    table = PathTableBuilder(scenario.topo, hs).build()
+    print(table.dump(hs, limit=args.limit))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Collate every persisted bench table into one document."""
+    import glob
+    import os
+
+    results_dir = os.path.join("benchmarks", "results")
+    files = sorted(glob.glob(os.path.join(results_dir, "*.txt")))
+    if not files:
+        print(
+            f"no results in {results_dir}/ — run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+        return 1
+    print(f"# Reproduction results ({len(files)} tables)\n")
+    for path in files:
+        with open(path) as handle:
+            print(handle.read())
+    return 0
+
+
+def cmd_functest(args: argparse.Namespace) -> int:
+    # The Section 6.2 walk-through lives in the examples; run it in-process.
+    sys.path.insert(0, "examples")
+    import importlib
+
+    module = importlib.import_module("function_tests")
+    module.main()
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    import random as _random
+
+    from .core import VeriDPServer
+    from .dataplane import DataPlaneNetwork, random_misforward_fault
+    from .topologies import build_fattree
+
+    scenario = build_fattree(4)
+    server = VeriDPServer(scenario.topo, scenario.channel)
+    net = DataPlaneNetwork(
+        scenario.topo, scenario.channel, report_sink=server.receive_report_bytes
+    )
+    rng = _random.Random(args.seed)
+    fault = None
+    while True:
+        fault = random_misforward_fault(net, rng)
+        for src, dst in scenario.host_pairs():
+            net.inject_from_host(src, scenario.header_between(src, dst))
+        if server.incidents:
+            break
+    print(f"fault: {fault.describe()}")
+    incident = server.drain_incidents()[0]
+    print(f"detected: {incident.verification.verdict.value}")
+    print(f"blamed: {', '.join(incident.blamed_switches)}")
+    return 0
+
+
+# -- parser -------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=0, help="experiment RNG seed")
+    common.add_argument(
+        "--scale", type=int, default=2,
+        help="topology scale knob (subnets/zone or prefixes/PoP)",
+    )
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VeriDP (CoNEXT 2016) reproduction — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, help):
+        return sub.add_parser(name, help=help, parents=[common])
+
+    add("table2", "path table statistics")
+    add("fig6", "paths-per-pair distribution")
+
+    fig12 = add("fig12", "false negative rate vs Bloom size")
+    fig12.add_argument("--topo", choices=["stanford", "internet2", "ft4", "ft6"],
+                       default="stanford")
+    fig12.add_argument("--trials", type=int, default=1000)
+    fig12.add_argument("--bits", type=int, nargs="+",
+                       default=[8, 16, 24, 32, 48, 64])
+
+    table3 = add("table3", "localization probability")
+    table3.add_argument("--trials", type=int, default=10)
+
+    fig13 = add("fig13", "verification latency")
+    fig13.add_argument("--repeats", type=int, default=50)
+
+    add("fig14", "incremental update time")
+    add("table4", "data-plane overhead model")
+    add("functest", "the Section 6.2 function tests")
+    add("demo", "detect+localize one random fault")
+
+    tradeoff = add("tradeoff", "detection latency vs sampling overhead")
+    tradeoff.add_argument("--intervals", type=float, nargs="+",
+                          default=[0.5, 1.0, 2.0])
+    tradeoff.add_argument("--trials", type=int, default=5)
+
+    add("report", "collate persisted benchmark tables")
+    paths = add("paths", "dump a topology's path table")
+    paths.add_argument("--topo", choices=["stanford", "internet2", "ft4", "ft6"],
+                       default="ft4")
+    paths.add_argument("--limit", type=int, default=30)
+    return parser
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "table2": cmd_table2,
+    "fig6": cmd_fig6,
+    "fig12": cmd_fig12,
+    "table3": cmd_table3,
+    "fig13": cmd_fig13,
+    "fig14": cmd_fig14,
+    "table4": cmd_table4,
+    "functest": cmd_functest,
+    "tradeoff": cmd_tradeoff,
+    "report": cmd_report,
+    "paths": cmd_paths,
+    "demo": cmd_demo,
+}
+
+
+def main(argv: Sequence[str] = None) -> int:
+    """Entry point (``python -m repro ...``)."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""A mini router-configuration language (the paper's Cisco-config front end).
+
+The paper builds its Stanford path table from Cisco IOS configuration files
+(Section 4.1).  This package provides the equivalent toolchain for the
+reproduction: an IOS-flavoured text format for static routes, numbered ACLs
+and interface bindings, with a parser (:mod:`~repro.configlang.parser`),
+a writer (:mod:`~repro.configlang.writer`) and a directory loader/exporter
+(:mod:`~repro.configlang.loader`) that round-trip whole scenarios.
+"""
+
+from .loader import TOPOLOGY_FILE, export_network, load_network
+from .parser import (
+    AclStatement,
+    ConfigError,
+    RouteStatement,
+    SwitchConfig,
+    parse_config,
+)
+from .writer import UnrepresentableError, write_config
+
+__all__ = [
+    "parse_config",
+    "write_config",
+    "load_network",
+    "export_network",
+    "SwitchConfig",
+    "RouteStatement",
+    "AclStatement",
+    "ConfigError",
+    "UnrepresentableError",
+    "TOPOLOGY_FILE",
+]

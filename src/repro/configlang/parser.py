@@ -1,0 +1,259 @@
+"""Parser for the mini router-configuration language.
+
+The paper's Stanford experiments start from Cisco IOS configuration files,
+"specify[ing] forwarding rules, in-bound ACLs, out-bound ACLs, VLAN, etc.",
+which are compiled into port predicates (Section 4.1, following [56]).
+Real IOS is a jungle; this module implements the faithful core the paper
+actually consumes — static routes, numbered ACLs, and per-interface ACL
+bindings — in an IOS-flavoured syntax:
+
+.. code-block:: text
+
+    hostname boza
+    !
+    ! static routes: destination prefix -> egress interface
+    ip route 171.64.0.0/16 port1
+    ip route 172.20.10.32/27 port3
+    ip route 10.9.0.0/16 drop
+    !
+    ! numbered ACLs, first-match, implicit deny
+    access-list 101 deny ip any 10.0.0.0/8
+    access-list 101 permit tcp 171.64.0.0/16 any eq 22
+    access-list 101 permit ip any any
+    !
+    interface port1
+      ip access-group 101 in
+    interface port3
+      ip access-group 101 out
+
+Semantics:
+
+* routes use longest-prefix match (priority = prefix length, as real FIBs),
+* ``access-list`` entries are first-match with an implicit trailing deny,
+* ``ip access-group <id> in|out`` binds an ACL to an interface direction.
+
+:func:`parse_config` returns a :class:`SwitchConfig`;
+:meth:`SwitchConfig.apply_to` installs it into a
+:class:`~repro.netmodel.topology.SwitchInfo`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bdd.headerspace import parse_prefix
+from ..netmodel.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from ..netmodel.rules import Acl, AclEntry, Drop, FlowRule, Forward, Match
+from ..netmodel.topology import SwitchInfo
+
+__all__ = ["ConfigError", "RouteStatement", "AclStatement", "SwitchConfig", "parse_config"]
+
+_PROTO_NAMES = {"ip": None, "tcp": PROTO_TCP, "udp": PROTO_UDP, "icmp": PROTO_ICMP}
+_PORT_RE = re.compile(r"^port(\d+)$")
+
+
+class ConfigError(ValueError):
+    """A syntax or semantic error in a configuration file."""
+
+    def __init__(self, line_no: int, line: str, reason: str) -> None:
+        super().__init__(f"line {line_no}: {reason}: {line.strip()!r}")
+        self.line_no = line_no
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class RouteStatement:
+    """One ``ip route`` line."""
+
+    prefix: Tuple[int, int]
+    out_port: Optional[int]  # None = drop route
+
+    @property
+    def priority(self) -> int:
+        """Longest-prefix-match as priority: /24 beats /16."""
+        return self.prefix[1]
+
+
+@dataclass(frozen=True)
+class AclStatement:
+    """One ``access-list`` line."""
+
+    acl_id: int
+    permit: bool
+    match: Match
+
+
+@dataclass
+class SwitchConfig:
+    """The parsed content of one router's configuration file."""
+
+    hostname: str = ""
+    routes: List[RouteStatement] = field(default_factory=list)
+    acls: Dict[int, List[AclStatement]] = field(default_factory=dict)
+    # interface port -> (direction, acl id)
+    bindings: List[Tuple[int, str, int]] = field(default_factory=list)
+
+    def apply_to(self, info: SwitchInfo) -> List[FlowRule]:
+        """Install routes and ACL bindings into a switch's tables.
+
+        Returns the created flow rules (so a controller can replay them on
+        its channel).  Routes become dst-prefix rules at priority =
+        prefix length; bound ACLs become first-match
+        :class:`~repro.netmodel.rules.Acl` objects with implicit deny.
+        """
+        rules: List[FlowRule] = []
+        for route in self.routes:
+            action = Forward(route.out_port) if route.out_port is not None else Drop()
+            rule = FlowRule(
+                route.priority, Match(dst_prefix=route.prefix), action
+            )
+            info.flow_table.add(rule)
+            rules.append(rule)
+        for port, direction, acl_id in self.bindings:
+            statements = self.acls.get(acl_id)
+            if statements is None:
+                raise ConfigError(
+                    0, f"ip access-group {acl_id} {direction}",
+                    f"interface port{port} binds undefined access-list {acl_id}",
+                )
+            acl = Acl(
+                [AclEntry(s.match, s.permit) for s in statements],
+                default_permit=False,  # Cisco's implicit deny
+            )
+            target = info.in_acl if direction == "in" else info.out_acl
+            target[port] = acl
+        return rules
+
+
+def _parse_port(token: str, line_no: int, line: str) -> int:
+    matched = _PORT_RE.match(token)
+    if not matched:
+        raise ConfigError(line_no, line, f"bad interface name {token!r}")
+    port = int(matched.group(1))
+    if port <= 0:
+        raise ConfigError(line_no, line, "interface numbers start at 1")
+    return port
+
+
+def _parse_endpoint(token: str, line_no: int, line: str) -> Optional[Tuple[int, int]]:
+    """``any`` or ``a.b.c.d/len`` (or a bare host address)."""
+    if token == "any":
+        return None
+    try:
+        return parse_prefix(token)
+    except ValueError as exc:
+        raise ConfigError(line_no, line, f"bad address {token!r} ({exc})") from None
+
+
+def parse_config(text: str) -> SwitchConfig:
+    """Parse one configuration file's text into a :class:`SwitchConfig`."""
+    config = SwitchConfig()
+    current_interface: Optional[int] = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("!", 1)[0].rstrip()
+        stripped = line.strip()
+        if not stripped:
+            continue
+        tokens = stripped.split()
+        keyword = tokens[0]
+
+        if keyword == "hostname":
+            if len(tokens) != 2:
+                raise ConfigError(line_no, raw, "hostname takes one argument")
+            config.hostname = tokens[1]
+            current_interface = None
+
+        elif keyword == "interface":
+            if len(tokens) != 2:
+                raise ConfigError(line_no, raw, "interface takes one argument")
+            current_interface = _parse_port(tokens[1], line_no, raw)
+
+        elif stripped.startswith("ip access-group"):
+            if current_interface is None:
+                raise ConfigError(
+                    line_no, raw, "ip access-group outside an interface block"
+                )
+            if len(tokens) != 4 or tokens[3] not in ("in", "out"):
+                raise ConfigError(
+                    line_no, raw, "expected: ip access-group <id> in|out"
+                )
+            try:
+                acl_id = int(tokens[2])
+            except ValueError:
+                raise ConfigError(line_no, raw, "ACL id must be an integer") from None
+            config.bindings.append((current_interface, tokens[3], acl_id))
+
+        elif stripped.startswith("ip route"):
+            current_interface = None
+            if len(tokens) != 4:
+                raise ConfigError(
+                    line_no, raw, "expected: ip route <prefix> <portN|drop>"
+                )
+            prefix = _parse_endpoint(tokens[2], line_no, raw)
+            if prefix is None:
+                raise ConfigError(line_no, raw, "route destination cannot be 'any'")
+            if tokens[3] == "drop":
+                config.routes.append(RouteStatement(prefix, None))
+            else:
+                config.routes.append(
+                    RouteStatement(prefix, _parse_port(tokens[3], line_no, raw))
+                )
+
+        elif keyword == "access-list":
+            current_interface = None
+            config.acls.setdefault(_acl_id(tokens, line_no, raw), []).append(
+                _parse_acl_entry(tokens, line_no, raw)
+            )
+
+        else:
+            raise ConfigError(line_no, raw, f"unknown statement {keyword!r}")
+
+    return config
+
+
+def _acl_id(tokens: List[str], line_no: int, raw: str) -> int:
+    if len(tokens) < 3:
+        raise ConfigError(line_no, raw, "truncated access-list")
+    try:
+        return int(tokens[1])
+    except ValueError:
+        raise ConfigError(line_no, raw, "ACL id must be an integer") from None
+
+
+def _parse_acl_entry(tokens: List[str], line_no: int, raw: str) -> AclStatement:
+    # access-list <id> permit|deny <proto> <src> <dst> [eq <dport>]
+    if len(tokens) < 6:
+        raise ConfigError(
+            line_no, raw,
+            "expected: access-list <id> permit|deny <proto> <src> <dst> [eq <port>]",
+        )
+    acl_id = _acl_id(tokens, line_no, raw)
+    verdict = tokens[2]
+    if verdict not in ("permit", "deny"):
+        raise ConfigError(line_no, raw, f"bad ACL action {verdict!r}")
+    proto_name = tokens[3]
+    if proto_name not in _PROTO_NAMES:
+        raise ConfigError(line_no, raw, f"unknown protocol {proto_name!r}")
+    src = _parse_endpoint(tokens[4], line_no, raw)
+    dst = _parse_endpoint(tokens[5], line_no, raw)
+    dst_port = None
+    rest = tokens[6:]
+    if rest:
+        if len(rest) != 2 or rest[0] != "eq":
+            raise ConfigError(line_no, raw, "trailing tokens; expected 'eq <port>'")
+        try:
+            dst_port = int(rest[1])
+        except ValueError:
+            raise ConfigError(line_no, raw, "eq port must be an integer") from None
+        if not 0 <= dst_port <= 0xFFFF:
+            raise ConfigError(line_no, raw, "eq port out of range")
+    match = Match(
+        src_prefix=src,
+        dst_prefix=dst,
+        proto=_PROTO_NAMES[proto_name],
+        dst_port_range=(dst_port, dst_port) if dst_port is not None else None,
+    )
+    return AclStatement(acl_id=acl_id, permit=(verdict == "permit"), match=match)

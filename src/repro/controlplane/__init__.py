@@ -1,0 +1,30 @@
+"""Control plane substrate: controller, OpenFlow-style messages, channel.
+
+The :class:`~repro.controlplane.controller.Controller` compiles intent into
+logical rules and emits FlowMods on a broadcast
+:class:`~repro.controlplane.messages.Channel`; the data plane and the VeriDP
+server both subscribe, reproducing the paper's deployment where the VeriDP
+server "intercepts the bidirectional OpenFlow messages" (Section 3.2).
+"""
+
+from .controller import (
+    Controller,
+    PRIORITY_ACL,
+    PRIORITY_HOST_ROUTE,
+    PRIORITY_POLICY,
+    RoutingError,
+)
+from .messages import Barrier, Channel, FlowMod, FlowModOp, TableFlush
+
+__all__ = [
+    "Controller",
+    "RoutingError",
+    "Channel",
+    "FlowMod",
+    "FlowModOp",
+    "Barrier",
+    "TableFlush",
+    "PRIORITY_HOST_ROUTE",
+    "PRIORITY_POLICY",
+    "PRIORITY_ACL",
+]

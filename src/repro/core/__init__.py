@@ -1,0 +1,89 @@
+"""VeriDP core: tags, path table, verification, localization, updates.
+
+This package is the paper's primary contribution:
+
+* :mod:`repro.core.bloom`        — Bloom-filter path tags (Section 5),
+* :mod:`repro.core.pathtable`    — the path table + Algorithm 2,
+* :mod:`repro.core.verifier`     — Algorithm 3,
+* :mod:`repro.core.localization` — Algorithm 4 + the strawman,
+* :mod:`repro.core.incremental`  — Section 4.4 incremental updates,
+* :mod:`repro.core.sampling`     — Section 4.5 flow sampling,
+* :mod:`repro.core.reports`      — tag-report wire formats (Section 5),
+* :mod:`repro.core.server`       — the VeriDP server tying it together,
+* :mod:`repro.core.repair`       — automatic flow-table repair (the paper's
+  future work #2).
+"""
+
+from .atomic_builder import AtomicPathTableBuilder
+from .daemon import UdpReportListener, VeriDPDaemon
+from .bloom import BloomTagScheme, XorTagScheme, murmur3_32
+from .incremental import IncrementalPathTable, LpmProvider, PrefixRuleTree, RuleDelta
+from .localization import (
+    CandidatePath,
+    LocalizationResult,
+    PathInferLocalizer,
+    StrawmanLocalizer,
+)
+from .pathtable import (
+    PathEntry,
+    PathTable,
+    PathTableBuilder,
+    PathTableStats,
+    ReachRecord,
+    SnapshotProvider,
+)
+from .repair import RepairAction, RepairEngine, RepairOutcome, RepairResult
+from .queries import PolicyChecker, QueryResult
+from .reports import PortCodec, TagReport, pack_report, unpack_report
+from .sampling import (
+    AlwaysSampler,
+    FlowSampler,
+    NeverSampler,
+    sampling_interval_for,
+    worst_case_detection_latency,
+)
+from .server import Incident, VeriDPServer
+from .verifier import VerificationResult, Verdict, Verifier
+
+__all__ = [
+    "BloomTagScheme",
+    "XorTagScheme",
+    "murmur3_32",
+    "PathEntry",
+    "PathTable",
+    "PathTableBuilder",
+    "AtomicPathTableBuilder",
+    "PathTableStats",
+    "ReachRecord",
+    "SnapshotProvider",
+    "Verifier",
+    "Verdict",
+    "VerificationResult",
+    "PathInferLocalizer",
+    "StrawmanLocalizer",
+    "LocalizationResult",
+    "CandidatePath",
+    "IncrementalPathTable",
+    "LpmProvider",
+    "PrefixRuleTree",
+    "RuleDelta",
+    "FlowSampler",
+    "AlwaysSampler",
+    "NeverSampler",
+    "sampling_interval_for",
+    "worst_case_detection_latency",
+    "TagReport",
+    "PortCodec",
+    "pack_report",
+    "unpack_report",
+    "VeriDPServer",
+    "Incident",
+    "VeriDPDaemon",
+    "UdpReportListener",
+    "RepairEngine",
+    "RepairResult",
+    "RepairAction",
+    "RepairOutcome",
+    "PolicyChecker",
+    "QueryResult",
+]

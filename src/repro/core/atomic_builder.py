@@ -1,0 +1,153 @@
+"""Path-table construction over atomic predicates — the [56] optimisation.
+
+Algorithm 2 spends its time intersecting header-set BDDs with transfer
+predicates.  Following Yang & Lam [56] (which the paper's Section 4.1
+explicitly builds on), this builder first computes the *atoms* of all
+transfer predicates, converts each predicate to a set of atom indices once,
+and then runs the very same traversal with ``frozenset`` intersections —
+orders of magnitude cheaper per step.
+
+The produced table is converted back to BDD header sets at the leaves, so
+it is drop-in compatible with the verifier, and asserted identical to the
+direct builder's output in the tests.  Paths with header rewrites are not
+supported in atomic mode (rewrites transform sets *across* the atom basis);
+the builder raises if a provider yields rewriting actions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..bdd.atomic import AtomicUniverse
+from ..bdd.headerspace import HeaderSpace
+from ..netmodel.hops import Hop
+from ..netmodel.rules import DROP_PORT
+from ..netmodel.topology import PortRef, Topology
+from .bloom import BloomTagScheme
+from .pathtable import PathEntry, PathTable, PathTableBuilder, PredicateProvider
+
+__all__ = ["AtomicPathTableBuilder"]
+
+
+class AtomicPathTableBuilder:
+    """Algorithm 2 with atom-set arithmetic instead of BDD arithmetic."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        hs: HeaderSpace,
+        scheme: Optional[BloomTagScheme] = None,
+        provider: Optional[PredicateProvider] = None,
+        max_path_length: Optional[int] = None,
+    ) -> None:
+        self.topo = topo
+        self.hs = hs
+        self.scheme = scheme or BloomTagScheme()
+        # Reuse the direct builder for provider plumbing and entry ports.
+        self._base = PathTableBuilder(
+            topo, hs, scheme=self.scheme, provider=provider,
+            max_path_length=max_path_length,
+        )
+        self.max_path_length = self._base.max_path_length
+        self.universe: Optional[AtomicUniverse] = None
+        self.atomization_time_s = 0.0
+        # (switch, in_port) -> list of (out_port, atom set)
+        self._atomic_actions: Dict[Tuple[str, int], List[Tuple[int, FrozenSet[int]]]] = {}
+
+    # -- precomputation ------------------------------------------------------
+
+    def _collect(self) -> None:
+        """Gather every transfer slice, atomise, and convert to atom sets."""
+        started = time.perf_counter()
+        slices: Dict[Tuple[str, int], List[Tuple[int, int]]] = {}
+        generators: List[int] = []
+        seen_ports = set()
+        for switch_id, info in sorted(self.topo.switches.items()):
+            for in_port in sorted(info.ports):
+                key = (switch_id, in_port)
+                actions = self._base._actions_at(switch_id, in_port)
+                per_port: List[Tuple[int, int]] = []
+                for action in actions:
+                    if action.rewrites:
+                        raise ValueError(
+                            "atomic mode does not support header rewrites "
+                            f"(found on {switch_id})"
+                        )
+                    per_port.append((action.out_port, action.pred))
+                    if action.pred not in seen_ports:
+                        seen_ports.add(action.pred)
+                        generators.append(action.pred)
+                slices[key] = per_port
+        self.universe = AtomicUniverse(self.hs.bdd, generators)
+        for key, per_port in slices.items():
+            self._atomic_actions[key] = [
+                (out_port, self.universe.from_bdd(pred))
+                for out_port, pred in per_port
+            ]
+        self.atomization_time_s = time.perf_counter() - started
+
+    # -- construction ----------------------------------------------------------
+
+    def build(self) -> PathTable:
+        """Build the table; timing covers traversal only (atomisation is
+        reported separately via :attr:`atomization_time_s`)."""
+        if self.universe is None:
+            self._collect()
+        table = PathTable()
+        started = time.perf_counter()
+        for inport in self._base.entry_ports():
+            self._traverse(
+                table,
+                inport=inport,
+                current=inport,
+                headers=self.universe.all_atoms,
+                hops=(),
+                tag=self.scheme.empty_tag,
+                visited=frozenset(),
+            )
+        table.build_time_s = time.perf_counter() - started
+        return table
+
+    def _traverse(
+        self,
+        table: PathTable,
+        inport: PortRef,
+        current: PortRef,
+        headers: FrozenSet[int],
+        hops: Tuple[Hop, ...],
+        tag: int,
+        visited: frozenset,
+    ) -> None:
+        if current in visited or len(hops) >= self.max_path_length:
+            return
+        visited = visited | {current}
+        for out_port, pred_atoms in self._atomic_actions[
+            (current.switch, current.port)
+        ]:
+            h_next = headers & pred_atoms  # the whole point: set intersection
+            if not h_next:
+                continue
+            hop = Hop(current.port, current.switch, out_port)
+            hops_next = hops + (hop,)
+            tag_next = self.scheme.add(tag, hop)
+            egress = PortRef(current.switch, out_port)
+            peer = None if out_port == DROP_PORT else self.topo.link(egress)
+            if (
+                out_port == DROP_PORT
+                or self.topo.is_edge_port(egress)
+                or peer is None
+            ):
+                table.add(
+                    inport,
+                    egress,
+                    PathEntry(
+                        headers=self.universe.to_bdd(h_next),
+                        hops=hops_next,
+                        tag=tag_next,
+                    ),
+                )
+                continue
+            self._traverse(
+                table, inport, peer, h_next, hops_next, tag_next, visited
+            )

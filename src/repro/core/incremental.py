@@ -1,0 +1,547 @@
+"""Incremental path-table update — Section 4.4 of the paper.
+
+Rebuilding the whole path table on every FlowMod cannot keep up with SDN
+update rates, so the paper maintains it incrementally for the common case:
+IP-prefix forwarding rules (no ACLs; modification = delete + add).
+
+**Rule forest -> tree.**  Per switch, prefix rules are organised by prefix
+containment.  A virtual drop rule ``0.0.0.0/0`` (zero-length prefix) turns
+the forest into a single tree, which uniformly handles table misses.  By
+longest-prefix match each rule ``R`` actually matches::
+
+    R.match = R.prefix \\ (union of R's children's prefixes)
+
+**Port predicate update.**  Adding rule ``R_i -> x`` under parent
+``R_j -> y`` moves exactly ``Δ = R_i.match`` from port ``y`` to ``x``::
+
+    P_x <- P_x ∨ Δ        P_y <- P_y ∧ ¬Δ
+
+Deletion is the mirror image.
+
+**Path entry update.**  The header slice ``Δ`` used to flow out of ``y``
+and now flows out of ``x``:
+
+1. every path entry (and downstream reach record) whose path traverses the
+   hop ``<*, S, y>`` loses ``Δ`` from its header set (entries that become
+   empty are deleted);
+2. every header set that *reaches* ``S`` (the builder's reach records)
+   contributes ``h ∧ Δ``, which is re-traversed out of port ``x`` —
+   merging into existing path entries with the same hop sequence, creating
+   new entries (and new reach records) otherwise.
+
+The result is bit-identical to a full rebuild (property-tested in
+``tests/core/test_incremental.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bdd.headerspace import HeaderSpace, parse_prefix
+from ..netmodel.hops import Hop
+from ..netmodel.rules import DROP_PORT
+from ..netmodel.topology import PortRef, Topology
+from .bloom import BloomTagScheme
+from .pathtable import PathEntry, PathTable, PathTableBuilder, ReachRecord
+
+__all__ = [
+    "PrefixRuleTree",
+    "RuleDelta",
+    "LpmProvider",
+    "IncrementalPathTable",
+]
+
+
+@dataclass
+class _Node:
+    """One rule in the prefix tree."""
+
+    prefix: Tuple[int, int]  # (value, plen)
+    out_port: int
+    children: List["_Node"] = field(default_factory=list)
+
+    def contains(self, other: Tuple[int, int]) -> bool:
+        """Does this node's prefix contain ``other`` (strictly or equally)?"""
+        value, plen = self.prefix
+        o_value, o_plen = other
+        if o_plen < plen:
+            return False
+        if plen == 0:
+            return True
+        shift = 32 - plen
+        return (o_value >> shift) == (value >> shift)
+
+
+@dataclass
+class RuleDelta:
+    """The effect of one mutation: ``Δ`` moved between two ports.
+
+    ``in_port`` restricts the move to paths entering the switch on that
+    ingress (used by inbound-ACL updates, which are per-port); ``None``
+    means the move applies regardless of ingress (prefix-rule updates).
+    """
+
+    switch_id: str
+    delta: int  # BDD of the moved header set
+    from_port: int
+    to_port: int
+    in_port: Optional[int] = None
+
+
+class PrefixRuleTree:
+    """Per-switch destination-prefix rules as a containment tree.
+
+    The root is the virtual drop rule ``0.0.0.0/0``; real rules with the
+    same zero-length prefix are rejected, as are duplicate prefixes (the
+    paper's model has one rule per prefix — priority *is* prefix length).
+    """
+
+    def __init__(self, hs: HeaderSpace, switch_id: str) -> None:
+        self.hs = hs
+        self.switch_id = switch_id
+        self.root = _Node(prefix=(0, 0), out_port=DROP_PORT)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- structural helpers ------------------------------------------------
+
+    def _prefix_bdd(self, prefix: Tuple[int, int]) -> int:
+        value, plen = prefix
+        return self.hs.prefix("dst_ip", value, plen)
+
+    def _node_match(self, node: _Node) -> int:
+        """``R.match = R.prefix \\ (∨ children prefixes)`` as a BDD."""
+        bdd = self.hs.bdd
+        match = self._prefix_bdd(node.prefix)
+        for child in node.children:
+            match = bdd.diff(match, self._prefix_bdd(child.prefix))
+        return match
+
+    def _find_parent(self, prefix: Tuple[int, int]) -> _Node:
+        """Deepest existing node strictly containing ``prefix``."""
+        node = self.root
+        while True:
+            nxt = None
+            for child in node.children:
+                if child.prefix == prefix:
+                    raise ValueError(
+                        f"duplicate prefix {prefix} on {self.switch_id}"
+                    )
+                if child.contains(prefix):
+                    nxt = child
+                    break
+            if nxt is None:
+                return node
+            node = nxt
+
+    def find(self, prefix: Tuple[int, int]) -> Optional[_Node]:
+        """The node with exactly this prefix, or ``None``."""
+        if prefix == (0, 0):
+            return self.root
+        node = self.root
+        while True:
+            for child in node.children:
+                if child.prefix == prefix:
+                    return child
+                if child.contains(prefix):
+                    node = child
+                    break
+            else:
+                return None
+
+    # -- mutations -------------------------------------------------------------
+
+    def add(self, prefix: Tuple[int, int], out_port: int) -> RuleDelta:
+        """Insert a rule; returns the ``Δ`` moved from the parent's port."""
+        if prefix == (0, 0):
+            raise ValueError("the zero prefix is reserved for the virtual drop rule")
+        parent = self._find_parent(prefix)
+        node = _Node(prefix=prefix, out_port=out_port)
+        # Children of the parent inside the new prefix move under the new node.
+        stolen = [c for c in parent.children if node.contains(c.prefix)]
+        for child in stolen:
+            parent.children.remove(child)
+        node.children = stolen
+        parent.children.append(node)
+        self._count += 1
+        return RuleDelta(
+            switch_id=self.switch_id,
+            delta=self._node_match(node),
+            from_port=parent.out_port,
+            to_port=out_port,
+        )
+
+    def delete(self, prefix: Tuple[int, int]) -> RuleDelta:
+        """Remove a rule; returns the ``Δ`` returned to the parent's port."""
+        if prefix == (0, 0):
+            raise ValueError("cannot delete the virtual drop rule")
+        parent = self.root
+        node = None
+        while node is None:
+            for child in parent.children:
+                if child.prefix == prefix:
+                    node = child
+                    break
+                if child.contains(prefix):
+                    parent = child
+                    break
+            else:
+                raise KeyError(f"no rule with prefix {prefix} on {self.switch_id}")
+        delta = self._node_match(node)
+        parent.children.remove(node)
+        parent.children.extend(node.children)
+        self._count -= 1
+        return RuleDelta(
+            switch_id=self.switch_id,
+            delta=delta,
+            from_port=node.out_port,
+            to_port=parent.out_port,
+        )
+
+    # -- full recomputation (for cross-checking) ------------------------------
+
+    def port_predicates(self) -> Dict[int, int]:
+        """``P_x`` for every port with rules, plus ``DROP_PORT``, from scratch."""
+        bdd = self.hs.bdd
+        preds: Dict[int, int] = {DROP_PORT: self.hs.empty}
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            match = self._node_match(node)
+            preds[node.out_port] = bdd.or_(
+                preds.get(node.out_port, self.hs.empty), match
+            )
+            stack.extend(node.children)
+        return preds
+
+
+class LpmProvider:
+    """A :class:`~repro.core.pathtable.PredicateProvider` over prefix trees.
+
+    Maintains per-switch port predicates *incrementally*: each tree mutation
+    patches exactly two predicates with the returned ``Δ``.  Optional
+    per-ingress deny sets model inbound ACLs (the paper's "the incremental
+    update can also be performed with ACL rules"): the transfer map for an
+    ingress subtracts its denied headers from every forwarding predicate
+    and adds them to the drop predicate.
+    """
+
+    def __init__(self, topo: Topology, hs: HeaderSpace) -> None:
+        self.topo = topo
+        self.hs = hs
+        self.trees: Dict[str, PrefixRuleTree] = {}
+        self._preds: Dict[str, Dict[int, int]] = {}
+        # switch -> in_port -> list of deny-entry BDDs (OR = denied set)
+        self._in_deny: Dict[str, Dict[int, List[int]]] = {}
+        for switch_id, info in topo.switches.items():
+            self.trees[switch_id] = PrefixRuleTree(hs, switch_id)
+            preds = {port: hs.empty for port in info.ports}
+            preds[DROP_PORT] = hs.all_match  # empty tree drops everything
+            self._preds[switch_id] = preds
+            self._in_deny[switch_id] = {}
+
+    def base_port_predicates(self, switch_id: str) -> Dict[int, int]:
+        """The pre-ACL (pure LPM) per-port predicates."""
+        return self._preds[switch_id]
+
+    def inbound_denied(self, switch_id: str, in_port: int) -> int:
+        """The headers an ingress port's ACL currently denies (a BDD)."""
+        entries = self._in_deny[switch_id].get(in_port, [])
+        return self.hs.bdd.or_many(entries)
+
+    def transfer_map(self, switch_id: str, in_port: int) -> Dict[int, int]:
+        """Per-port predicates for one ingress: LPM minus the ingress denies."""
+        base = self._preds[switch_id]
+        denied = self.inbound_denied(switch_id, in_port)
+        if denied == self.hs.empty:
+            return base
+        bdd = self.hs.bdd
+        derived = {
+            port: (
+                bdd.or_(pred, denied)
+                if port == DROP_PORT
+                else bdd.diff(pred, denied)
+            )
+            for port, pred in base.items()
+        }
+        return derived
+
+    def add_inbound_deny(self, switch_id: str, in_port: int, pred: int) -> int:
+        """Add a deny entry; returns the *newly* denied header set ``Δ``."""
+        old = self.inbound_denied(switch_id, in_port)
+        self._in_deny[switch_id].setdefault(in_port, []).append(pred)
+        new = self.hs.bdd.or_(old, pred)
+        return self.hs.bdd.diff(new, old)
+
+    def remove_inbound_deny(self, switch_id: str, in_port: int, pred: int) -> int:
+        """Remove a deny entry; returns the *re-allowed* header set ``Δ``."""
+        entries = self._in_deny[switch_id].get(in_port, [])
+        if pred not in entries:
+            raise KeyError(
+                f"no such deny entry on {switch_id} port {in_port}"
+            )
+        old = self.inbound_denied(switch_id, in_port)
+        entries.remove(pred)
+        new = self.inbound_denied(switch_id, in_port)
+        return self.hs.bdd.diff(old, new)
+
+    def add_rule(self, switch_id: str, prefix: str, out_port: int) -> RuleDelta:
+        """Insert ``prefix -> out_port`` and patch the port predicates."""
+        delta = self.trees[switch_id].add(parse_prefix(prefix), out_port)
+        self._apply(delta)
+        return delta
+
+    def delete_rule(self, switch_id: str, prefix: str) -> RuleDelta:
+        """Remove the rule for ``prefix`` and patch the port predicates."""
+        delta = self.trees[switch_id].delete(parse_prefix(prefix))
+        self._apply(delta)
+        return delta
+
+    def _apply(self, delta: RuleDelta) -> None:
+        bdd = self.hs.bdd
+        preds = self._preds[delta.switch_id]
+        preds.setdefault(delta.from_port, self.hs.empty)
+        preds.setdefault(delta.to_port, self.hs.empty)
+        preds[delta.from_port] = bdd.diff(preds[delta.from_port], delta.delta)
+        preds[delta.to_port] = bdd.or_(preds[delta.to_port], delta.delta)
+
+
+class IncrementalPathTable:
+    """A path table kept synchronised with prefix-rule updates.
+
+    Wraps a builder (with reach recording) and an :class:`LpmProvider`;
+    :meth:`add_rule`/:meth:`delete_rule` apply Section 4.4's two-phase
+    update and report the elapsed wall time (the Figure 14 metric).
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        hs: HeaderSpace,
+        scheme: Optional[BloomTagScheme] = None,
+        provider: Optional[LpmProvider] = None,
+        max_path_length: Optional[int] = None,
+    ) -> None:
+        self.topo = topo
+        self.hs = hs
+        self.scheme = scheme or BloomTagScheme()
+        self.provider = provider or LpmProvider(topo, hs)
+        self.builder = PathTableBuilder(
+            topo,
+            hs,
+            scheme=self.scheme,
+            provider=self.provider,
+            max_path_length=max_path_length,
+            record_reach=True,
+        )
+        self.table: PathTable = self.builder.build()
+        self.last_update_s: float = 0.0
+
+    # -- public update API ----------------------------------------------------
+
+    def add_rule(self, switch_id: str, prefix: str, out_port: int) -> float:
+        """Install a prefix rule and update the path table incrementally.
+
+        Returns the update's wall-clock seconds.
+        """
+        started = time.perf_counter()
+        delta = self.provider.add_rule(switch_id, prefix, out_port)
+        self._apply_move(delta)
+        self.last_update_s = time.perf_counter() - started
+        return self.last_update_s
+
+    def delete_rule(self, switch_id: str, prefix: str) -> float:
+        """Remove a prefix rule and update the path table incrementally."""
+        started = time.perf_counter()
+        delta = self.provider.delete_rule(switch_id, prefix)
+        self._apply_move(delta)
+        self.last_update_s = time.perf_counter() - started
+        return self.last_update_s
+
+    def add_inbound_deny(self, switch_id: str, in_port: int, pred: int) -> float:
+        """Install an inbound-ACL deny entry and update incrementally.
+
+        ``pred`` is the denied header set as a BDD (use
+        ``Match.to_bdd(hs)`` to build one from a match).  Per affected
+        egress port ``y``, the slice ``Δ ∧ P_y`` moves ``y -> ⊥`` for paths
+        entering the switch at ``in_port``.
+        """
+        started = time.perf_counter()
+        delta = self.provider.add_inbound_deny(switch_id, in_port, pred)
+        self._apply_acl_delta(switch_id, in_port, delta, deny=True)
+        self.last_update_s = time.perf_counter() - started
+        return self.last_update_s
+
+    def remove_inbound_deny(self, switch_id: str, in_port: int, pred: int) -> float:
+        """Remove an inbound-ACL deny entry and update incrementally."""
+        started = time.perf_counter()
+        delta = self.provider.remove_inbound_deny(switch_id, in_port, pred)
+        self._apply_acl_delta(switch_id, in_port, delta, deny=False)
+        self.last_update_s = time.perf_counter() - started
+        return self.last_update_s
+
+    def _apply_acl_delta(
+        self, switch_id: str, in_port: int, delta: int, deny: bool
+    ) -> None:
+        if delta == self.hs.empty:
+            return
+        bdd = self.hs.bdd
+        base = self.provider.base_port_predicates(switch_id)
+        for port in sorted(base):
+            if port == DROP_PORT:
+                continue  # ⊥-to-⊥ is a no-op
+            slice_ = bdd.and_(delta, base[port])
+            if slice_ == self.hs.empty:
+                continue
+            from_port, to_port = (port, DROP_PORT) if deny else (DROP_PORT, port)
+            self._apply_move(
+                RuleDelta(
+                    switch_id=switch_id,
+                    delta=slice_,
+                    from_port=from_port,
+                    to_port=to_port,
+                    in_port=in_port,
+                )
+            )
+
+    def rebuild(self) -> PathTable:
+        """Full Algorithm 2 rebuild (the baseline Figure 14 compares against)."""
+        self.table = self.builder.build()
+        return self.table
+
+    # -- Section 4.4's two phases ---------------------------------------------
+
+    def _apply_move(self, delta: RuleDelta) -> None:
+        if delta.delta == self.hs.empty or delta.from_port == delta.to_port:
+            return
+        self._subtract_phase(delta)
+        self._extend_phase(delta)
+
+    def _subtract_phase(self, delta: RuleDelta) -> None:
+        """Remove ``Δ`` from paths (and reach records) through ``<S, from>``."""
+        bdd = self.hs.bdd
+        switch_id, from_port = delta.switch_id, delta.from_port
+        acl_in_port = delta.in_port
+
+        def diverts(hops: Tuple[Hop, ...]) -> bool:
+            return any(
+                hop.switch == switch_id
+                and hop.out_port == from_port
+                and (acl_in_port is None or hop.in_port == acl_in_port)
+                for hop in hops
+            )
+
+        for _, _, entry in list(self.table.all_entries()):
+            if diverts(entry.hops):
+                entry.headers = bdd.diff(entry.headers, delta.delta)
+        self.table.remove_empty(self.hs)
+
+        for records in self.builder.reach_index.values():
+            kept = []
+            for record in records:
+                if diverts(record.hops):
+                    record.headers = bdd.diff(record.headers, delta.delta)
+                if record.headers != self.hs.empty:
+                    kept.append(record)
+            records[:] = kept
+
+    def _extend_phase(self, delta: RuleDelta) -> None:
+        """Re-traverse ``h ∧ Δ`` out of the new port for every reach record."""
+        bdd = self.hs.bdd
+        switch_id, to_port = delta.switch_id, delta.to_port
+        records = list(self.builder.reach_index.get(switch_id, ()))
+        for record in records:
+            if delta.in_port is not None and record.in_port != delta.in_port:
+                continue
+            h = bdd.and_(record.headers, delta.delta)
+            if h == self.hs.empty:
+                continue
+            # Respect this ingress's post-update behaviour: a slice that the
+            # ingress ACL (still) denies must not be extended out of a
+            # forwarding port.
+            allowed = self.provider.transfer_map(switch_id, record.in_port).get(
+                to_port, self.hs.empty
+            )
+            h = bdd.and_(h, allowed)
+            if h == self.hs.empty:
+                continue
+            hop = Hop(record.in_port, switch_id, to_port)
+            hops = record.hops + (hop,)
+            tag = self.scheme.add(record.tag, hop)
+            egress = PortRef(switch_id, to_port)
+            visited = {PortRef(h_.switch, h_.in_port) for h_ in record.hops}
+            visited.add(PortRef(switch_id, record.in_port))
+            if to_port == DROP_PORT or self.topo.is_edge_port(egress):
+                self._merge_entry(record.inport, egress, h, hops, tag)
+                continue
+            peer = self.topo.link(egress)
+            if peer is None:
+                self._merge_entry(record.inport, egress, h, hops, tag)
+                continue
+            self._continue_traverse(
+                record.inport, peer, h, hops, tag, frozenset(visited)
+            )
+
+    def _continue_traverse(
+        self,
+        inport: PortRef,
+        current: PortRef,
+        headers: int,
+        hops: Tuple[Hop, ...],
+        tag: int,
+        visited: frozenset,
+    ) -> None:
+        """Algorithm 2's recursion, merging into the live table."""
+        if current in visited or len(hops) >= self.builder.max_path_length:
+            return
+        self.builder.reach_index.setdefault(current.switch, []).append(
+            ReachRecord(
+                inport=inport,
+                switch=current.switch,
+                in_port=current.port,
+                headers=headers,
+                hops=hops,
+                tag=tag,
+            )
+        )
+        visited = visited | {current}
+        bdd = self.hs.bdd
+        transfer = self.provider.transfer_map(current.switch, current.port)
+        for out_port in sorted(transfer):
+            h_next = bdd.and_(headers, transfer[out_port])
+            if h_next == self.hs.empty:
+                continue
+            hop = Hop(current.port, current.switch, out_port)
+            hops_next = hops + (hop,)
+            tag_next = self.scheme.add(tag, hop)
+            egress = PortRef(current.switch, out_port)
+            if (
+                out_port == DROP_PORT
+                or self.topo.is_edge_port(egress)
+                or self.topo.link(egress) is None
+            ):
+                self._merge_entry(inport, egress, h_next, hops_next, tag_next)
+                continue
+            self._continue_traverse(
+                inport, self.topo.link(egress), h_next, hops_next, tag_next, visited
+            )
+
+    def _merge_entry(
+        self,
+        inport: PortRef,
+        outport: PortRef,
+        headers: int,
+        hops: Tuple[Hop, ...],
+        tag: int,
+    ) -> None:
+        """Union into an existing same-hops entry, or append a new one."""
+        bdd = self.hs.bdd
+        for entry in self.table.lookup(inport, outport):
+            if entry.hops == hops:
+                entry.headers = bdd.or_(entry.headers, headers)
+                return
+        self.table.add(inport, outport, PathEntry(headers, hops, tag))

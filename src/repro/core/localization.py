@@ -1,0 +1,207 @@
+"""Fault localization — Section 4.3 and Algorithm 4 (``PathInfer``).
+
+When verification fails, the server tries to reconstruct the *real* path the
+packet took from the Bloom-filter tag, and to blame the switch where it
+first deviated from the configured path.
+
+Two algorithms are provided:
+
+* :class:`StrawmanLocalizer` — the paper's strawman: walk the correct path
+  hop by hop, testing each hop's Bloom membership against the tag; the first
+  failing hop's switch is blamed.  Bloom false positives let the walk slide
+  past the actual deviation, mis-blaming a downstream switch.
+* :class:`PathInferLocalizer` — Algorithm 4: additionally *reconstructs* a
+  candidate real path by enumerating the suspect's output ports and chasing
+  downstream flow tables, backtracking when no tag-consistent continuation
+  reaches the reported output port.  A suspect is confirmed only when a full
+  consistent path exists, which suppresses most false-positive mis-blames
+  (Table 3: 99.2% / 96.6% recovery on fat trees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..netmodel.hops import Hop
+from ..netmodel.rules import DROP_PORT
+from ..netmodel.topology import PortRef, Topology
+from .bloom import BloomTagScheme
+from .pathtable import PathTableBuilder
+from .reports import TagReport
+
+__all__ = [
+    "LocalizationResult",
+    "CandidatePath",
+    "PathInferLocalizer",
+    "StrawmanLocalizer",
+]
+
+
+@dataclass
+class CandidatePath:
+    """One possible real path, with the switch blamed for the deviation."""
+
+    hops: Tuple[Hop, ...]
+    blamed_switch: Optional[str]
+
+    def __str__(self) -> str:
+        path = " -> ".join(str(hop) for hop in self.hops)
+        blame = self.blamed_switch or "(none)"
+        return f"blame {blame}: {path}"
+
+
+@dataclass
+class LocalizationResult:
+    """All candidate real paths recovered for one failed report."""
+
+    report: TagReport
+    candidates: List[CandidatePath] = field(default_factory=list)
+
+    @property
+    def recovered(self) -> bool:
+        """Did the algorithm produce at least one consistent real path?"""
+        return bool(self.candidates)
+
+    def blamed_switches(self) -> List[str]:
+        """Distinct blamed switches across candidates, in order."""
+        seen: List[str] = []
+        for candidate in self.candidates:
+            if candidate.blamed_switch and candidate.blamed_switch not in seen:
+                seen.append(candidate.blamed_switch)
+        return seen
+
+    def contains_path(self, hops: Sequence[Hop]) -> bool:
+        """Is the given (actual) path among the candidates?"""
+        target = tuple(hops)
+        return any(candidate.hops == target for candidate in self.candidates)
+
+    def contains_prefix_of(self, hops: Sequence[Hop]) -> bool:
+        """Is some candidate a (non-empty) prefix of the actual path?
+
+        This is the success notion for TTL-expired (loop) reports: the tag
+        only witnesses hops up to where the verification TTL ran out, and
+        repeated loop hops OR into the tag idempotently, so the best any
+        localizer can recover is the walk up to the loop entry.
+        """
+        target = tuple(hops)
+        return any(
+            candidate.hops and candidate.hops == target[: len(candidate.hops)]
+            for candidate in self.candidates
+        )
+
+
+class StrawmanLocalizer:
+    """The strawman of Section 4.3: first membership-test failure is blamed."""
+
+    def __init__(self, builder: PathTableBuilder, scheme: BloomTagScheme) -> None:
+        self.builder = builder
+        self.scheme = scheme
+
+    def localize(self, report: TagReport) -> LocalizationResult:
+        """Blame the first correct-path hop whose Bloom test fails."""
+        result = LocalizationResult(report=report)
+        header = report.header.as_dict()
+        correct = self.builder.expected_path(report.inport, header)
+        for hop in correct:
+            if not self.scheme.may_contain(report.tag, hop):
+                result.candidates.append(
+                    CandidatePath(hops=tuple(), blamed_switch=hop.switch)
+                )
+                return result
+        # Every hop passed the test: the strawman has nothing to blame.
+        return result
+
+
+class PathInferLocalizer:
+    """Algorithm 4: reconstruct the real path and blame the deviator."""
+
+    def __init__(
+        self,
+        builder: PathTableBuilder,
+        scheme: BloomTagScheme,
+        topo: Optional[Topology] = None,
+    ) -> None:
+        self.builder = builder
+        self.scheme = scheme
+        self.topo = topo or builder.topo
+
+    # The paper's Algorithm 4, with two pragmatic completions the prose
+    # demands but the pseudocode elides: (1) the deviating hop itself must
+    # pass the Bloom membership test ("only <1,S2,3> can pass the test"),
+    # and (2) a deviating hop that lands directly on the reported output
+    # port is itself a complete dev_path.
+
+    def localize(self, report: TagReport) -> LocalizationResult:
+        """Run ``PathInfer`` for one failed report."""
+        result = LocalizationResult(report=report)
+        header = report.header.as_dict()
+        tag = report.tag
+
+        # Phase 1: the longest prefix of the correct path consistent with
+        # the tag (Algorithm 4 lines 2-7).  com_path keeps the hop at which
+        # the path may deviate on top.
+        correct = self.builder.expected_path(report.inport, header)
+        com_path: List[Hop] = []
+        for hop in correct:
+            com_path.append(hop)
+            if not self.scheme.may_contain(tag, hop):
+                break  # the real path deviates at (or before) this hop
+
+        # Phase 2: backtrack, enumerating deviations (lines 8-22).
+        while com_path:
+            dev_hop = com_path.pop()
+            switch_id = dev_hop.switch
+            in_port = dev_hop.in_port
+            for out_port in self._candidate_out_ports(switch_id, dev_hop.out_port):
+                first = Hop(in_port, switch_id, out_port)
+                if not self.scheme.may_contain(tag, first):
+                    continue  # the deviating hop itself is not in the tag
+                dev_path = [first]
+                if self._hop_reaches(first, report.outport):
+                    self._accept(result, com_path, dev_path)
+                    continue
+                egress = PortRef(switch_id, out_port)
+                if out_port == DROP_PORT or self.topo.is_edge_port(egress):
+                    continue  # exits somewhere other than the reported port
+                peer = self.topo.link(egress)
+                if peer is None:
+                    continue
+                # Chase downstream flow tables (GetPath from the next hop).
+                downstream = self.builder.expected_path(peer, header)
+                for hop in downstream:
+                    if not self.scheme.may_contain(tag, hop):
+                        break  # dismiss this deviation
+                    dev_path.append(hop)
+                    if self._hop_reaches(hop, report.outport):
+                        self._accept(result, com_path, dev_path)
+                        break
+        return result
+
+    # -- helpers ---------------------------------------------------------
+
+    def _candidate_out_ports(self, switch_id: str, configured: int) -> List[int]:
+        """All output ports of a switch (including ⊥), configured one last.
+
+        Trying the configured port too lets Algorithm 4 recover paths whose
+        deviation happened strictly downstream of a Bloom false positive.
+        """
+        ports = [p for p in self.topo.ports_of(switch_id) if p != configured]
+        if configured != DROP_PORT:
+            ports.append(DROP_PORT)
+        ports.append(configured)
+        return ports
+
+    def _hop_reaches(self, hop: Hop, outport: PortRef) -> bool:
+        """Does this hop terminate exactly at the reported output port?"""
+        return hop.switch == outport.switch and hop.out_port == outport.port
+
+    @staticmethod
+    def _accept(
+        result: LocalizationResult, com_path: List[Hop], dev_path: List[Hop]
+    ) -> None:
+        hops = tuple(com_path) + tuple(dev_path)
+        blamed = dev_path[0].switch
+        candidate = CandidatePath(hops=hops, blamed_switch=blamed)
+        if all(existing.hops != candidate.hops for existing in result.candidates):
+            result.candidates.append(candidate)

@@ -1,0 +1,438 @@
+"""The path table and its construction — Sections 3.4 and 4.1 (Algorithm 2).
+
+The *path table* is VeriDP's control-plane abstraction: it maps each pair of
+edge ports ``(inport, outport)`` to the list of forwarding paths between
+them, where each path carries
+
+* ``hops``    — the sequence of ``<in_port, switch, out_port>`` hops,
+* ``headers`` — the BDD of packet headers that should follow this path,
+* ``tag``     — the Bloom-filter tag a correctly forwarded packet collects.
+
+Construction (Algorithm 2) injects the all-match header set at every edge
+port and recursively splits it across each switch's transfer predicates,
+recording a path entry whenever the flow reaches another edge port or the
+drop port ``⊥``.  Loops are cut by refusing to revisit an ingress port on
+the same path (the Section 6.1 rule) plus a TTL bound.
+
+The builder can also record *reach records* — every (header set, partial
+path) that arrives at each switch during the traversal.  The incremental
+updater (Section 4.4) consumes these to continue traversals from a changed
+switch without rebuilding the table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Protocol, Tuple
+
+from ..bdd.headerspace import HeaderSpace
+from ..netmodel.hops import Hop
+from ..netmodel.predicates import (
+    SwitchPredicates,
+    TransferAction,
+    build_all_predicates,
+)
+from ..netmodel.rules import DROP_PORT
+from ..netmodel.topology import PortRef, Topology
+from .bloom import BloomTagScheme
+
+__all__ = [
+    "PathEntry",
+    "PathTable",
+    "PathTableStats",
+    "ReachRecord",
+    "PredicateProvider",
+    "SnapshotProvider",
+    "PathTableBuilder",
+]
+
+
+@dataclass
+class PathEntry:
+    """One path of the path table: header sets + hop sequence + tag.
+
+    ``headers`` is the set of headers *as they enter the network* that
+    follow this path; ``exit_headers`` is that set's image through the
+    path's rewrite chain (what the exit switch reports).  With no rewrites
+    on the path the two are the same BDD, and ``rewrites`` is empty.
+    """
+
+    headers: int  # BDD node id (owned by the builder's HeaderSpace)
+    hops: Tuple[Hop, ...]
+    tag: int
+    exit_headers: Optional[int] = None
+    rewrites: Tuple[Tuple[str, int], ...] = ()
+
+    def exit_header_set(self) -> int:
+        """The header set an exit-switch report is matched against."""
+        return self.headers if self.exit_headers is None else self.exit_headers
+
+    def path_length(self) -> int:
+        """Number of hops (switch traversals) on the path."""
+        return len(self.hops)
+
+    def __str__(self) -> str:
+        path = " -> ".join(str(hop) for hop in self.hops)
+        suffix = ""
+        if self.rewrites:
+            suffix = " rw[" + ",".join(f"{n}={v}" for n, v in self.rewrites) + "]"
+        return f"PathEntry(tag={self.tag:#06x}, {path}){suffix}"
+
+
+@dataclass
+class PathTableStats:
+    """The Table 2 row for one built path table."""
+
+    num_pairs: int
+    num_paths: int
+    avg_path_length: float
+    build_time_s: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.num_pairs} entries, {self.num_paths} paths, "
+            f"avg len {self.avg_path_length:.2f}, built in {self.build_time_s:.2f}s"
+        )
+
+
+@dataclass
+class ReachRecord:
+    """A (header set, partial path) pair that arrived at a switch.
+
+    ``in_port`` is the local ingress port at the recorded switch; ``hops``
+    is the path taken so far (not including any hop of this switch); ``tag``
+    is the tag accumulated over ``hops``.
+    """
+
+    inport: PortRef
+    switch: str
+    in_port: int
+    headers: int
+    hops: Tuple[Hop, ...]
+    tag: int
+
+
+class PredicateProvider(Protocol):
+    """Anything that can answer "where do headers go at this switch?".
+
+    ``transfer_map(switch, x)`` returns ``{out_port: header_bdd}`` covering
+    the full header space (``DROP_PORT`` included), exactly like
+    :meth:`repro.netmodel.predicates.SwitchPredicates.transfer_map`.
+    """
+
+    def transfer_map(self, switch_id: str, in_port: int) -> Dict[int, int]:
+        """Per-output-port transfer predicates for packets entering at ``in_port``."""
+        ...
+
+
+class SnapshotProvider:
+    """Default provider: transfer predicates snapshotted from the flow tables."""
+
+    def __init__(self, topo: Topology, hs: HeaderSpace) -> None:
+        self._preds: Dict[str, SwitchPredicates] = build_all_predicates(topo, hs)
+        self._action_cache: Dict[Tuple[str, int], List[TransferAction]] = {}
+
+    def transfer_map(self, switch_id: str, in_port: int) -> Dict[int, int]:
+        """Delegate to the per-switch snapshot."""
+        return self._preds[switch_id].transfer_map(in_port)
+
+    def transfer_actions(self, switch_id: str, in_port: int) -> List[TransferAction]:
+        """Rewrite-aware transfer slices (cached per ingress)."""
+        key = (switch_id, in_port)
+        cached = self._action_cache.get(key)
+        if cached is None:
+            cached = self._preds[switch_id].transfer_actions(in_port)
+            self._action_cache[key] = cached
+        return cached
+
+    def refresh(self, topo: Topology, hs: HeaderSpace) -> None:
+        """Re-snapshot after flow-table changes."""
+        self._preds = build_all_predicates(topo, hs)
+        self._action_cache = {}
+
+
+class PathTable:
+    """The verification index: ``(inport, outport) -> [PathEntry]``."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[PortRef, PortRef], List[PathEntry]] = {}
+        self.build_time_s: float = 0.0
+
+    def add(self, inport: PortRef, outport: PortRef, entry: PathEntry) -> None:
+        """Append a path for an (inport, outport) pair."""
+        self._entries.setdefault((inport, outport), []).append(entry)
+
+    def lookup(self, inport: PortRef, outport: PortRef) -> List[PathEntry]:
+        """All paths for the pair (empty list if the pair is unknown)."""
+        return self._entries.get((inport, outport), [])
+
+    def pairs(self) -> List[Tuple[PortRef, PortRef]]:
+        """Every indexed (inport, outport) pair."""
+        return list(self._entries)
+
+    def all_entries(self) -> Iterator[Tuple[PortRef, PortRef, PathEntry]]:
+        """Iterate (inport, outport, entry) over the whole table."""
+        for (inport, outport), entries in self._entries.items():
+            for entry in entries:
+                yield inport, outport, entry
+
+    def remove_empty(self, hs: HeaderSpace) -> int:
+        """Drop entries whose header set became empty; returns removals."""
+        removed = 0
+        for key in list(self._entries):
+            entries = [e for e in self._entries[key] if e.headers != hs.empty]
+            removed += len(self._entries[key]) - len(entries)
+            if entries:
+                self._entries[key] = entries
+            else:
+                del self._entries[key]
+        return removed
+
+    def num_paths(self) -> int:
+        """Total number of paths across all pairs."""
+        return sum(len(entries) for entries in self._entries.values())
+
+    def paths_per_pair(self) -> List[int]:
+        """Path counts per (inport, outport) pair — the Figure 6 data."""
+        return [len(entries) for entries in self._entries.values()]
+
+    def stats(self) -> PathTableStats:
+        """The Table 2 row for this table."""
+        num_paths = self.num_paths()
+        total_hops = sum(
+            entry.path_length() for _, _, entry in self.all_entries()
+        )
+        return PathTableStats(
+            num_pairs=len(self._entries),
+            num_paths=num_paths,
+            avg_path_length=(total_hops / num_paths) if num_paths else 0.0,
+            build_time_s=self.build_time_s,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def dump(
+        self,
+        hs: Optional[HeaderSpace] = None,
+        limit: Optional[int] = None,
+    ) -> str:
+        """Human-readable rendering of the table (debugging/operator view).
+
+        With a :class:`HeaderSpace`, each entry also shows one sample header
+        from its set.  ``limit`` caps the number of printed entries.
+        """
+        lines = [f"path table: {self.stats()}"]
+        printed = 0
+        for inport, outport in sorted(self._entries):
+            for entry in self._entries[(inport, outport)]:
+                if limit is not None and printed >= limit:
+                    lines.append(f"  ... ({self.num_paths() - printed} more)")
+                    return "\n".join(lines)
+                sample = ""
+                if hs is not None:
+                    header = hs.sample_header(entry.headers)
+                    if header is not None:
+                        from ..netmodel.packet import Header
+
+                        sample = f"  e.g. {Header(**header)}"
+                lines.append(f"  {inport} -> {outport}: {entry}{sample}")
+                printed += 1
+        return "\n".join(lines)
+
+
+class PathTableBuilder:
+    """Algorithm 2: exhaustive symbolic traversal from every edge port."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        hs: HeaderSpace,
+        scheme: Optional[BloomTagScheme] = None,
+        provider: Optional[PredicateProvider] = None,
+        max_path_length: Optional[int] = None,
+        record_reach: bool = False,
+        entry_ports: Optional[List[PortRef]] = None,
+    ) -> None:
+        self.topo = topo
+        self.hs = hs
+        self.scheme = scheme or BloomTagScheme()
+        self.provider = provider or SnapshotProvider(topo, hs)
+        self.max_path_length = max_path_length or topo.diameter_bound()
+        self.record_reach = record_reach
+        self.reach_index: Dict[str, List[ReachRecord]] = {}
+        self._entry_ports = entry_ports
+
+    def entry_ports(self) -> List[PortRef]:
+        """Ports from which header sets are injected (all edge ports)."""
+        if self._entry_ports is not None:
+            return list(self._entry_ports)
+        return self.topo.edge_ports()
+
+    def build(self) -> PathTable:
+        """Run the traversal from every entry port and assemble the table."""
+        table = PathTable()
+        self.reach_index = {}
+        started = time.perf_counter()
+        for inport in self.entry_ports():
+            self._traverse(
+                table,
+                inport=inport,
+                current=inport,
+                headers=self.hs.all_match,
+                transformed=self.hs.all_match,
+                chain=(),
+                hops=(),
+                tag=self.scheme.empty_tag,
+                visited=frozenset(),
+            )
+        table.build_time_s = time.perf_counter() - started
+        return table
+
+    def _actions_at(self, switch_id: str, in_port: int) -> List[TransferAction]:
+        """Transfer slices for one ingress, from whichever API the provider has."""
+        getter = getattr(self.provider, "transfer_actions", None)
+        if getter is not None:
+            return getter(switch_id, in_port)
+        transfer = self.provider.transfer_map(switch_id, in_port)
+        return [
+            TransferAction(out_port, transfer[out_port], ())
+            for out_port in sorted(transfer)
+        ]
+
+    # -- Algorithm 2 (with the header-rewrite extension) ---------------------
+
+    def _traverse(
+        self,
+        table: PathTable,
+        inport: PortRef,
+        current: PortRef,
+        headers: int,
+        transformed: int,
+        chain: Tuple[Tuple[str, int], ...],
+        hops: Tuple[Hop, ...],
+        tag: int,
+        visited: frozenset,
+    ) -> None:
+        """One recursive step: split the header set across the current switch.
+
+        ``headers`` is the entry-relative set; ``transformed`` its image
+        through the rewrite ``chain`` accumulated so far — the invariant
+        ``transformed == image(headers, chain)`` is maintained using
+        ``image(A ∩ t⁻¹(B)) == image(A) ∩ B``.
+        """
+        if current in visited:
+            return  # loop cut (Section 6.1): port revisited on this path
+        if len(hops) >= self.max_path_length:
+            return  # TTL bound: longer paths cannot be verified anyway
+        if self.record_reach:
+            self.reach_index.setdefault(current.switch, []).append(
+                ReachRecord(
+                    inport=inport,
+                    switch=current.switch,
+                    in_port=current.port,
+                    headers=headers,
+                    hops=hops,
+                    tag=tag,
+                )
+            )
+        visited = visited | {current}
+        bdd = self.hs.bdd
+        for action in self._actions_at(current.switch, current.port):
+            t_next = bdd.and_(transformed, action.pred)
+            if t_next == self.hs.empty:
+                continue
+            if chain:
+                h_next = bdd.and_(
+                    headers, self.hs.preimage_sets(action.pred, chain)
+                )
+            else:
+                h_next = t_next
+            if action.rewrites:
+                t_next = self.hs.apply_sets(t_next, action.rewrites)
+                chain_next = chain + tuple(action.rewrites)
+            else:
+                chain_next = chain
+            hop = Hop(current.port, current.switch, action.out_port)
+            hops_next = hops + (hop,)
+            tag_next = self.scheme.add(tag, hop)
+            egress = PortRef(current.switch, action.out_port)
+            peer = (
+                None
+                if action.out_port == DROP_PORT
+                else self.topo.link(egress)
+            )
+            terminal = (
+                action.out_port == DROP_PORT
+                or self.topo.is_edge_port(egress)
+                or peer is None  # defensive: unwired non-edge port
+            )
+            if terminal:
+                self._add_entry(
+                    table, inport, egress, h_next, t_next, chain_next,
+                    hops_next, tag_next,
+                )
+                continue
+            self._traverse(
+                table, inport, peer, h_next, t_next, chain_next,
+                hops_next, tag_next, visited,
+            )
+
+    def _add_entry(
+        self,
+        table: PathTable,
+        inport: PortRef,
+        egress: PortRef,
+        headers: int,
+        transformed: int,
+        chain: Tuple[Tuple[str, int], ...],
+        hops: Tuple[Hop, ...],
+        tag: int,
+    ) -> None:
+        table.add(
+            inport,
+            egress,
+            PathEntry(
+                headers=headers,
+                hops=hops,
+                tag=tag,
+                exit_headers=transformed if chain else None,
+                rewrites=chain,
+            ),
+        )
+
+    # -- control-plane path query (used by the localizer) --------------------
+
+    def expected_path(self, entry: PortRef, header: Dict[str, int]) -> List[Hop]:
+        """``GetPath(inport, header)``: the concrete path the control plane
+        prescribes for one header injected at ``entry``.
+
+        Walks transfer actions picking the slice containing the current
+        header (applying any rewrites to it along the way), until an edge
+        port, ``⊥``, a revisited port, or the TTL bound.
+        """
+        hops: List[Hop] = []
+        current = entry
+        visited = set()
+        live_header = dict(header)
+        while len(hops) < self.max_path_length and current not in visited:
+            visited.add(current)
+            chosen: Optional[TransferAction] = None
+            for action in self._actions_at(current.switch, current.port):
+                if self.hs.contains(action.pred, live_header):
+                    chosen = action
+                    break
+            if chosen is None:  # defensive: transfer slices partition space
+                break
+            if chosen.rewrites:
+                live_header = self.hs.rewrite_header(live_header, chosen.rewrites)
+            hops.append(Hop(current.port, current.switch, chosen.out_port))
+            egress = PortRef(current.switch, chosen.out_port)
+            if chosen.out_port == DROP_PORT or self.topo.is_edge_port(egress):
+                break
+            peer = self.topo.link(egress)
+            if peer is None:
+                break
+            current = peer
+        return hops

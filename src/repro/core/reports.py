@@ -1,0 +1,176 @@
+"""Tag reports and the VeriDP wire formats (Section 5, "Packet format").
+
+A *tag report* is the 4-tuple ``<inport, outport, header, tag>`` an exit (or
+dropping, or TTL-expiring) switch sends to the VeriDP server, encapsulated in
+a plain UDP packet in the paper.  This module provides:
+
+* :class:`TagReport` — the in-memory report record,
+* :class:`PortCodec` — the 14-bit port encoding (8-bit switch id + 6-bit
+  local port id) carried in the second VLAN tag,
+* :func:`pack_report` / :func:`unpack_report` — the UDP payload layout, so
+  the simulated switches and server exchange real bytes and the encoding
+  rules (field widths, drop-port sentinel) are actually exercised.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..netmodel.packet import Header
+from ..netmodel.rules import DROP_PORT
+from ..netmodel.topology import PortRef
+
+__all__ = ["TagReport", "PortCodec", "pack_report", "unpack_report", "REPORT_VERSION"]
+
+REPORT_VERSION = 1
+
+#: Local port id meaning ``⊥`` inside the 6-bit port field (all ones).
+_WIRE_DROP_PORT = 0x3F
+#: Maximum encodable real port id (⊥ steals the top code point).
+MAX_PORT_ID = 0x3E
+#: Maximum number of switches addressable by the 8-bit switch field.
+MAX_SWITCHES = 0xFF
+
+
+class PortCodec:
+    """Bidirectional mapping between :class:`PortRef` and 14-bit wire ids.
+
+    The paper encodes the entry port as 8 bits of switch id plus 6 bits of
+    port id.  Switch ids are strings in our model, so the codec assigns each
+    switch a stable small integer in first-registration order (the real
+    system would use datapath ids).
+    """
+
+    def __init__(self, switch_ids: Iterable[str] = ()) -> None:
+        self._index: Dict[str, int] = {}
+        self._names: List[str] = []
+        for sid in switch_ids:
+            self.register(sid)
+
+    def register(self, switch_id: str) -> int:
+        """Assign (or return) the wire index of a switch."""
+        index = self._index.get(switch_id)
+        if index is None:
+            if len(self._names) > MAX_SWITCHES:
+                raise ValueError(
+                    f"cannot register {switch_id!r}: 8-bit switch space exhausted"
+                )
+            index = len(self._names)
+            self._index[switch_id] = index
+            self._names.append(switch_id)
+        return index
+
+    def encode(self, ref: PortRef) -> int:
+        """``PortRef -> 14-bit id``; ``⊥`` ports use the reserved port code."""
+        try:
+            switch_index = self._index[ref.switch]
+        except KeyError:
+            raise KeyError(f"switch {ref.switch!r} not registered in codec") from None
+        if ref.port == DROP_PORT:
+            port_code = _WIRE_DROP_PORT
+        elif 0 <= ref.port <= MAX_PORT_ID:
+            port_code = ref.port
+        else:
+            raise ValueError(
+                f"port {ref.port} of {ref.switch} does not fit in 6 bits"
+            )
+        return (switch_index << 6) | port_code
+
+    def decode(self, wire_id: int) -> PortRef:
+        """``14-bit id -> PortRef``."""
+        if not 0 <= wire_id < (1 << 14):
+            raise ValueError(f"wire port id {wire_id} does not fit in 14 bits")
+        switch_index = wire_id >> 6
+        port_code = wire_id & 0x3F
+        try:
+            switch_id = self._names[switch_index]
+        except IndexError:
+            raise ValueError(f"unknown switch index {switch_index}") from None
+        port = DROP_PORT if port_code == _WIRE_DROP_PORT else port_code
+        return PortRef(switch_id, port)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+
+@dataclass(frozen=True)
+class TagReport:
+    """The 4-tuple a reporting switch sends to the VeriDP server.
+
+    ``outport.port == DROP_PORT`` reports a rule-level drop; ``ttl_expired``
+    marks reports forced by the verification TTL hitting zero (loops).
+    """
+
+    inport: PortRef
+    outport: PortRef
+    header: Header
+    tag: int
+    ttl_expired: bool = False
+
+    def __str__(self) -> str:
+        flag = " (ttl-expired)" if self.ttl_expired else ""
+        return f"report {self.inport} -> {self.outport} tag={self.tag:#06x}{flag}"
+
+
+# UDP payload layout (big-endian):
+#   version:1  flags:1  inport:2  outport:2  tag:8
+#   src_ip:4  dst_ip:4  proto:1  src_port:2  dst_port:2
+_REPORT_STRUCT = struct.Struct(">BBHHQ" + "IIBHH")
+_FLAG_TTL_EXPIRED = 0x01
+
+
+def pack_report(report: TagReport, codec: PortCodec) -> bytes:
+    """Serialize a report to its UDP payload bytes."""
+    if not 0 <= report.tag < (1 << 64):
+        raise ValueError(f"tag {report.tag:#x} exceeds the 64-bit report field")
+    flags = _FLAG_TTL_EXPIRED if report.ttl_expired else 0
+    header = report.header
+    return _REPORT_STRUCT.pack(
+        REPORT_VERSION,
+        flags,
+        codec.encode(report.inport),
+        codec.encode(report.outport),
+        report.tag,
+        header.src_ip,
+        header.dst_ip,
+        header.proto,
+        header.src_port,
+        header.dst_port,
+    )
+
+
+def unpack_report(payload: bytes, codec: PortCodec) -> TagReport:
+    """Parse UDP payload bytes back into a :class:`TagReport`."""
+    if len(payload) != _REPORT_STRUCT.size:
+        raise ValueError(
+            f"report payload is {len(payload)} bytes, expected {_REPORT_STRUCT.size}"
+        )
+    (
+        version,
+        flags,
+        inport_id,
+        outport_id,
+        tag,
+        src_ip,
+        dst_ip,
+        proto,
+        src_port,
+        dst_port,
+    ) = _REPORT_STRUCT.unpack(payload)
+    if version != REPORT_VERSION:
+        raise ValueError(f"unsupported report version {version}")
+    return TagReport(
+        inport=codec.decode(inport_id),
+        outport=codec.decode(outport_id),
+        header=Header(
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            proto=proto,
+            src_port=src_port,
+            dst_port=dst_port,
+        ),
+        tag=tag,
+        ttl_expired=bool(flags & _FLAG_TTL_EXPIRED),
+    )

@@ -1,0 +1,173 @@
+"""The VeriDP server (Section 3.4): intercept, verify, localize.
+
+The server sits beside the controller.  It
+
+* subscribes to the OpenFlow :class:`~repro.controlplane.messages.Channel`
+  and keeps its path table synchronised with the rule stream (lazy full
+  rebuild by default; callers doing LPM-only workloads can use
+  :class:`~repro.core.incremental.IncrementalPathTable` directly),
+* receives tag reports — as wire bytes on :meth:`receive_report_bytes` or
+  as objects on :meth:`receive_report` — verifies them with Algorithm 3,
+* on failure runs Algorithm 4 to recover the real path and blame switches,
+* keeps an inconsistency log operators can drain.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..bdd.headerspace import HeaderSpace
+from ..controlplane.messages import Channel, FlowMod
+from ..netmodel.topology import Topology
+from .bloom import BloomTagScheme
+from .localization import LocalizationResult, PathInferLocalizer
+from .pathtable import PathTable, PathTableBuilder, SnapshotProvider
+from .reports import PortCodec, TagReport, unpack_report
+from .verifier import VerificationResult, Verdict, Verifier
+
+__all__ = ["VeriDPServer", "Incident"]
+
+
+@dataclass
+class Incident:
+    """One detected inconsistency: the failed verification + localization."""
+
+    verification: VerificationResult
+    localization: Optional[LocalizationResult] = None
+
+    @property
+    def blamed_switches(self) -> List[str]:
+        """Switches Algorithm 4 holds responsible (may be empty)."""
+        if self.localization is None:
+            return []
+        return self.localization.blamed_switches()
+
+    def __str__(self) -> str:
+        blame = ", ".join(self.blamed_switches) or "unlocalized"
+        return f"INCONSISTENCY {self.verification} | blamed: {blame}"
+
+
+class VeriDPServer:
+    """The monitoring endpoint of the system."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        channel: Optional[Channel] = None,
+        hs: Optional[HeaderSpace] = None,
+        scheme: Optional[BloomTagScheme] = None,
+        codec: Optional[PortCodec] = None,
+        localize_failures: bool = True,
+        max_path_length: Optional[int] = None,
+    ) -> None:
+        self.topo = topo
+        self.hs = hs or HeaderSpace()
+        self.scheme = scheme or BloomTagScheme()
+        self.codec = codec or PortCodec(sorted(topo.switches))
+        self.localize_failures = localize_failures
+        self._provider = SnapshotProvider(topo, self.hs)
+        self.builder = PathTableBuilder(
+            topo,
+            self.hs,
+            scheme=self.scheme,
+            provider=self._provider,
+            max_path_length=max_path_length,
+        )
+        self.table: PathTable = self.builder.build()
+        self.verifier = Verifier(self.table, self.hs)
+        self.localizer = PathInferLocalizer(self.builder, self.scheme, topo)
+        self.incidents: List[Incident] = []
+        self._dirty = False
+        # A persistent fault produces one identical failing report per
+        # sampled packet; running Algorithm 4 once per *distinct* failure is
+        # enough.  Bounded FIFO cache, invalidated on configuration change.
+        self._localization_cache: "OrderedDict[tuple, LocalizationResult]" = (
+            OrderedDict()
+        )
+        self.localization_cache_hits = 0
+        self.localization_cache_max = 4096
+        if channel is not None:
+            channel.subscribe(self._on_message)
+
+    # -- control-plane synchronisation ---------------------------------
+
+    def _on_message(self, message: object) -> None:
+        if isinstance(message, FlowMod):
+            # The logical tables (inside self.topo) were already updated by
+            # the controller before the FlowMod was sent; we only note that
+            # our snapshot is stale.
+            self._dirty = True
+
+    def refresh_if_dirty(self) -> bool:
+        """Rebuild the path table if rule changes were observed."""
+        if not self._dirty:
+            return False
+        self._provider.refresh(self.topo, self.hs)
+        self.table = self.builder.build()
+        # Swap the table under the existing verifier: its counters are part
+        # of the server's long-lived statistics (and the repair engine
+        # reads them across rebuilds).
+        self.verifier.table = self.table
+        self._localization_cache.clear()
+        self._dirty = False
+        return True
+
+    def force_rebuild(self) -> None:
+        """Unconditionally rebuild (e.g. after out-of-band topology edits)."""
+        self._dirty = True
+        self.refresh_if_dirty()
+
+    # -- report ingestion ------------------------------------------------------
+
+    def receive_report_bytes(self, payload: bytes) -> Incident:
+        """Parse a UDP report payload, then verify/localize it."""
+        return self.receive_report(unpack_report(payload, self.codec))
+
+    def receive_report(self, report: TagReport) -> Incident:
+        """Verify one report; on failure, localize.  Always returns a record
+        (with a PASS verdict when nothing is wrong)."""
+        self.refresh_if_dirty()
+        verification = self.verifier.verify(report)
+        localization = None
+        if not verification.passed and self.localize_failures:
+            localization = self._localize_cached(report)
+        incident = Incident(verification=verification, localization=localization)
+        if not verification.passed:
+            self.incidents.append(incident)
+        return incident
+
+    def _localize_cached(self, report: TagReport) -> LocalizationResult:
+        key = (report.inport, report.outport, report.header, report.tag)
+        cached = self._localization_cache.get(key)
+        if cached is not None:
+            self.localization_cache_hits += 1
+            self._localization_cache.move_to_end(key)
+            return cached
+        result = self.localizer.localize(report)
+        self._localization_cache[key] = result
+        if len(self._localization_cache) > self.localization_cache_max:
+            self._localization_cache.popitem(last=False)
+        return result
+
+    # -- operator-facing state ----------------------------------------------
+
+    def drain_incidents(self) -> List[Incident]:
+        """Return and clear the inconsistency log."""
+        incidents = self.incidents
+        self.incidents = []
+        return incidents
+
+    def stats(self) -> Dict[str, object]:
+        """Verification counters plus path-table shape."""
+        table_stats = self.table.stats()
+        return {
+            "verified": self.verifier.verified_count,
+            "passed": self.verifier.counters[Verdict.PASS],
+            "failed": self.verifier.failure_count,
+            "incidents": len(self.incidents),
+            "path_table_pairs": table_stats.num_pairs,
+            "path_table_paths": table_stats.num_paths,
+            "avg_path_length": table_stats.avg_path_length,
+        }

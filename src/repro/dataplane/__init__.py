@@ -1,0 +1,43 @@
+"""Data-plane substrate: simulated switches, the VeriDP pipeline, faults.
+
+This package replaces the paper's Mininet/OVS testbed and ONetSwitch FPGA
+prototype (see DESIGN.md, substitutions table).  It executes real flow-table
+lookups per packet, runs Algorithm 1 verbatim beside them, serialises tag
+reports to their UDP byte format, and exposes the Section 2.2 fault taxonomy
+for injection experiments.
+"""
+
+from .faults import (
+    DeleteRule,
+    DropRuleInstall,
+    Fault,
+    IgnorePriorities,
+    InjectRule,
+    KillSwitch,
+    ModifyRuleOutput,
+    random_misforward_fault,
+)
+from .latency import HardwarePipelineModel, PAPER_NATIVE_POINTS, PAPER_PACKET_SIZES
+from .network import DataPlaneNetwork, DeliveryResult, DeliveryStatus
+from .pipeline import PipelineResult, VeriDPPipeline
+from .switch import DataPlaneSwitch
+
+__all__ = [
+    "DataPlaneNetwork",
+    "DeliveryResult",
+    "DeliveryStatus",
+    "DataPlaneSwitch",
+    "VeriDPPipeline",
+    "PipelineResult",
+    "Fault",
+    "DropRuleInstall",
+    "ModifyRuleOutput",
+    "DeleteRule",
+    "InjectRule",
+    "IgnorePriorities",
+    "KillSwitch",
+    "random_misforward_fault",
+    "HardwarePipelineModel",
+    "PAPER_NATIVE_POINTS",
+    "PAPER_PACKET_SIZES",
+]

@@ -1,0 +1,131 @@
+"""The per-switch VeriDP pipeline — Algorithm 1 of the paper.
+
+The pipeline sits in the switch fast path *after* the OpenFlow pipeline has
+chosen an output port, and is deliberately independent of the flow tables so
+table corruption cannot corrupt tagging.  Per packet it:
+
+1. at an edge *ingress* (entry switch): decides sampling, initialises
+   ``tag = 0`` and ``ttl = MAX_PATH_LENGTH``, and stamps the 14-bit entry
+   port id into the packet,
+2. at every switch: ``tag <- tag ⊔ BF(in_port || switch || out_port)`` and
+   ``ttl <- ttl - 1`` (marked packets only),
+3. at an edge *egress*, on a drop (``y = ⊥``), or when TTL hits zero:
+   emits a :class:`~repro.core.reports.TagReport` and pops the in-band state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..core.bloom import BloomTagScheme
+from ..core.reports import PortCodec, TagReport
+from ..core.sampling import AlwaysSampler
+from ..netmodel.hops import Hop
+from ..netmodel.packet import Packet
+from ..netmodel.rules import DROP_PORT
+from ..netmodel.topology import PortRef, Topology
+
+__all__ = ["VeriDPPipeline", "PipelineResult"]
+
+
+@dataclass
+class PipelineResult:
+    """What the pipeline did for one packet at one switch."""
+
+    report: Optional[TagReport] = None
+    sampled_here: bool = False
+    tagged: bool = False
+
+
+class VeriDPPipeline:
+    """Network-wide collection of per-switch VeriDP pipelines.
+
+    One instance serves every switch (the per-switch state is only the entry
+    samplers); the data-plane network calls :meth:`process` once per hop with
+    the OpenFlow pipeline's verdict.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        codec: PortCodec,
+        scheme: Optional[BloomTagScheme] = None,
+        sampler_factory: Optional[Callable[[str], object]] = None,
+        max_path_length: Optional[int] = None,
+    ) -> None:
+        self.topo = topo
+        self.codec = codec
+        self.scheme = scheme or BloomTagScheme()
+        self.max_path_length = max_path_length or topo.diameter_bound()
+        self._sampler_factory = sampler_factory or (lambda switch_id: AlwaysSampler())
+        self._samplers: Dict[str, object] = {}
+
+    def sampler_for(self, switch_id: str) -> object:
+        """The entry-switch sampler (created on first use)."""
+        sampler = self._samplers.get(switch_id)
+        if sampler is None:
+            sampler = self._sampler_factory(switch_id)
+            self._samplers[switch_id] = sampler
+        return sampler
+
+    def process(
+        self,
+        switch_id: str,
+        in_port: int,
+        out_port: int,
+        packet: Packet,
+        now: float = 0.0,
+        force_sample: bool = False,
+    ) -> PipelineResult:
+        """Run Algorithm 1 for one packet traversal of one switch.
+
+        ``force_sample`` marks the packet at its entry switch regardless of
+        (and without touching) the flow sampler — the behaviour of a probe
+        injected with the marker bit pre-set in its TOS field.
+        """
+        result = PipelineResult()
+        ingress = PortRef(switch_id, in_port)
+
+        # Lines 1-3: entry-switch initialisation and sampling decision.
+        if self.topo.is_edge_port(ingress):
+            sampled = force_sample or self.sampler_for(switch_id).should_sample(
+                packet.flow_key, now
+            )
+            if sampled:
+                packet.marker = True
+                packet.tag = self.scheme.empty_tag
+                packet.ttl = self.max_path_length
+                packet.inport_id = self.codec.encode(ingress)
+                result.sampled_here = True
+            else:
+                packet.marker = False
+
+        if not packet.marker:
+            return result
+
+        # Lines 4-5: tag update and TTL decrement.
+        hop = Hop(in_port, switch_id, out_port)
+        packet.tag = self.scheme.add(packet.tag, hop)
+        if packet.ttl is not None:
+            packet.ttl -= 1
+        result.tagged = True
+
+        # Lines 6-7: report on egress edge port, drop, or TTL expiry.
+        egress = PortRef(switch_id, out_port)
+        ttl_expired = packet.ttl is not None and packet.ttl <= 0
+        if out_port == DROP_PORT or self.topo.is_edge_port(egress) or ttl_expired:
+            result.report = TagReport(
+                inport=self.codec.decode(packet.inport_id),
+                outport=egress,
+                header=packet.header,
+                tag=packet.tag,
+                ttl_expired=ttl_expired
+                and out_port != DROP_PORT
+                and not self.topo.is_edge_port(egress),
+            )
+            # The reporting switch pops the in-band state: an exiting packet
+            # is delivered untagged, and a TTL-expired packet stops being
+            # tracked (its one report already witnesses the loop).
+            packet.marker = False
+        return result

@@ -1,0 +1,178 @@
+"""A simulated data-plane switch: the physical flow table (``R'``).
+
+Each :class:`DataPlaneSwitch` holds its own copy of the flow table, populated
+from FlowMods.  The whole point of VeriDP is that this copy can *diverge*
+from the controller's logical table, so the switch exposes exactly the
+misbehaviours catalogued in Section 2.2:
+
+* **silently ignored installs** (lack of data-plane acknowledgement /
+  software bugs) — via an install blacklist,
+* **priority-less lookup** (premature implementations such as the HP
+  ProCurve 5406zl) — via :attr:`ignore_priority`,
+* **external rule modification/insertion/deletion** (dpctl, compromised
+  switch OS) — via the ``external_*`` methods that bypass the FlowMod path,
+* **hardware death** — via :attr:`dead` (packets vanish, no tag reports;
+  the paper's acknowledged blind spot).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..netmodel.packet import Header
+from ..netmodel.rules import DROP_PORT, Drop, FlowRule, FlowTable, Forward, GotoTable, Rewrite
+
+__all__ = ["DataPlaneSwitch", "PortCounters"]
+
+
+@dataclass
+class PortCounters:
+    """Per-port traffic counters (the SNMP ifTable miniature)."""
+
+    rx_packets: int = 0
+    rx_bytes: int = 0
+    tx_packets: int = 0
+    tx_bytes: int = 0
+
+
+class DataPlaneSwitch:
+    """One switch's data-plane state: physical table plus fault flags."""
+
+    def __init__(self, switch_id: str, ports: Set[int]) -> None:
+        self.switch_id = switch_id
+        self.ports = set(ports)
+        self.table = FlowTable()
+        self.ignore_priority = False
+        self.dead = False
+        self._install_blacklist: Set[int] = set()
+        self.ignored_installs: List[int] = []
+        self.port_counters: Dict[int, PortCounters] = defaultdict(PortCounters)
+        self.dropped_packets = 0
+
+    # -- FlowMod path (the legitimate channel) ---------------------------
+
+    def blacklist_install(self, rule_id: int) -> None:
+        """Arrange for the next install/modify of ``rule_id`` to be ignored."""
+        self._install_blacklist.add(rule_id)
+
+    def install(self, rule: FlowRule) -> bool:
+        """Apply a FlowMod ADD/MODIFY; returns False if silently ignored."""
+        if rule.rule_id in self._install_blacklist:
+            self.ignored_installs.append(rule.rule_id)
+            return False
+        self.table.add(rule)
+        return True
+
+    def uninstall(self, rule_id: int) -> bool:
+        """Apply a FlowMod DELETE; missing rules are ignored (idempotent)."""
+        if rule_id in self._install_blacklist:
+            self.ignored_installs.append(rule_id)
+            return False
+        if rule_id in self.table:
+            self.table.remove(rule_id)
+            return True
+        return False
+
+    # -- external (out-of-band) mutations ----------------------------------
+
+    def external_modify_output(self, rule_id: int, new_port: int) -> FlowRule:
+        """Rewrite an installed rule's action behind the controller's back.
+
+        ``new_port == DROP_PORT`` turns the rule into a black hole.
+        """
+        rule = self.table.get(rule_id)
+        if rule is None:
+            raise KeyError(f"rule {rule_id} not installed on {self.switch_id}")
+        action = Drop() if new_port == DROP_PORT else Forward(new_port)
+        mutated = FlowRule(
+            rule.priority, rule.match, action,
+            rule_id=rule.rule_id, table_id=rule.table_id,
+        )
+        self.table.add(mutated)
+        return mutated
+
+    def external_delete(self, rule_id: int) -> FlowRule:
+        """Delete an installed rule behind the controller's back."""
+        return self.table.remove(rule_id)
+
+    def external_insert(self, rule: FlowRule) -> None:
+        """Insert a rule that the controller never sent."""
+        self.table.add(rule)
+
+    # -- forwarding -----------------------------------------------------------
+
+    def process(self, header: Header, in_port: int) -> "tuple[int, Header]":
+        """The OpenFlow pipeline: resolve output port *and* apply actions.
+
+        Returns ``(out_port, header_after_actions)``.  ``out_port`` is
+        ``DROP_PORT`` on an explicit drop, a table miss, or an action
+        pointing at a nonexistent port.  ``Rewrite``/``GotoTable`` set-field
+        actions modify the header; ``GotoTable`` continues matching in a
+        later table (the §3.3 "cascade of flow tables"; a non-forward jump
+        drops, per the OpenFlow constraint).  With :attr:`ignore_priority`
+        set, the *lowest*-priority matching rule wins in every table —
+        modelling the ProCurve bug (Section 2.2).
+        """
+        table_id = 0
+        while True:
+            rule = self._match_in_table(header, in_port, table_id)
+            if rule is None:
+                return DROP_PORT, header
+            if isinstance(rule.action, GotoTable):
+                header = self._apply_sets(header, rule.action.effective_sets())
+                if rule.action.table_id <= table_id:
+                    return DROP_PORT, header  # invalid backward jump
+                table_id = rule.action.table_id
+                continue
+            out = rule.output_port()
+            if out != DROP_PORT and out not in self.ports:
+                return DROP_PORT, header
+            if isinstance(rule.action, Rewrite):
+                header = self._apply_sets(header, rule.action.effective_sets())
+            return out, header
+
+    def _match_in_table(
+        self, header: Header, in_port: int, table_id: int
+    ) -> Optional[FlowRule]:
+        if not self.ignore_priority:
+            return self.table.lookup(header, in_port, table_id)
+        candidates = [
+            r
+            for r in self.table.sorted_rules(table_id)
+            if r.match.matches(header, in_port)
+        ]
+        return candidates[-1] if candidates else None
+
+    @staticmethod
+    def _apply_sets(header: Header, sets) -> Header:
+        if not sets:
+            return header
+        return header.with_(**dict(sets))
+
+    def forward(self, header: Header, in_port: int) -> int:
+        """Output port only (convenience over :meth:`process`)."""
+        out_port, _ = self.process(header, in_port)
+        return out_port
+
+    def account(self, in_port: int, out_port: int, size: int) -> None:
+        """Update the port counters for one forwarded/dropped packet."""
+        rx = self.port_counters[in_port]
+        rx.rx_packets += 1
+        rx.rx_bytes += size
+        if out_port == DROP_PORT:
+            self.dropped_packets += 1
+            return
+        tx = self.port_counters[out_port]
+        tx.tx_packets += 1
+        tx.tx_bytes += size
+
+    def __str__(self) -> str:
+        flags = []
+        if self.dead:
+            flags.append("dead")
+        if self.ignore_priority:
+            flags.append("no-priority")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return f"DataPlaneSwitch({self.switch_id}, {len(self.table)} rules){suffix}"

@@ -1,0 +1,45 @@
+"""Shared network model: packets, rules, topology and transfer predicates.
+
+Both planes are built on this substrate — the controller compiles
+:class:`~repro.netmodel.rules.FlowRule` objects, the data-plane simulator
+executes them, and :mod:`repro.netmodel.predicates` abstracts switch
+configurations into the transfer predicates VeriDP's path table is built
+from (Section 4.1 of the paper).
+"""
+
+from .packet import Header, Packet, PROTO_ICMP, PROTO_TCP, PROTO_UDP
+from .predicates import SwitchPredicates, build_all_predicates
+from .rules import (
+    Acl,
+    AclEntry,
+    Action,
+    DROP_PORT,
+    Drop,
+    FlowRule,
+    FlowTable,
+    Forward,
+    Match,
+)
+from .topology import PortRef, SwitchInfo, Topology
+
+__all__ = [
+    "Header",
+    "Packet",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Match",
+    "FlowRule",
+    "FlowTable",
+    "Forward",
+    "Drop",
+    "Action",
+    "Acl",
+    "AclEntry",
+    "DROP_PORT",
+    "PortRef",
+    "SwitchInfo",
+    "Topology",
+    "SwitchPredicates",
+    "build_all_predicates",
+]

@@ -1,0 +1,103 @@
+"""An Internet2-like network (9 routers, IPv4 prefix rules only).
+
+The paper uses the Internet2 observatory's 9 Juniper routers with 126,017
+IPv4 forwarding rules (no public ACLs).  We synthesise the same shape: the
+classic Internet2/Abilene 9-PoP continental topology and per-router customer
+prefix blocks routed by shortest path, with the prefix count per router as
+the scale knob.
+
+Because the real rule dump is pure destination-prefix forwarding, this is
+also the fixture for the incremental-update experiment (Figure 14):
+:func:`internet2_lpm_ruleset` emits the rules in the
+``(switch, prefix, out_port)`` form the incremental machinery consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..netmodel.topology import Topology
+from .base import Scenario, lpm_ruleset_for, wire_scenario
+
+__all__ = ["build_internet2", "internet2_lpm_ruleset", "INTERNET2_POPS"]
+
+INTERNET2_POPS = (
+    "SEAT",  # Seattle
+    "LOSA",  # Los Angeles
+    "SALT",  # Salt Lake City
+    "HOUS",  # Houston
+    "KANS",  # Kansas City
+    "CHIC",  # Chicago
+    "ATLA",  # Atlanta
+    "WASH",  # Washington DC
+    "NEWY",  # New York
+)
+
+#: The continental backbone links (each PoP pair appears once).
+_LINKS: Tuple[Tuple[str, str], ...] = (
+    ("SEAT", "SALT"),
+    ("SEAT", "LOSA"),
+    ("LOSA", "SALT"),
+    ("LOSA", "HOUS"),
+    ("SALT", "KANS"),
+    ("HOUS", "KANS"),
+    ("HOUS", "ATLA"),
+    ("KANS", "CHIC"),
+    ("CHIC", "ATLA"),
+    ("CHIC", "NEWY"),
+    ("ATLA", "WASH"),
+    ("WASH", "NEWY"),
+)
+
+
+def build_internet2(
+    prefixes_per_pop: int = 3, install_routes: bool = True
+) -> Scenario:
+    """Build the Internet2-like network.
+
+    Each PoP gets ``prefixes_per_pop`` customer /24 blocks, each represented
+    by one host; every block is routed from every router by shortest path.
+    Port plan: ports 1..degree are backbone links (in :data:`_LINKS` order),
+    higher ports are host-facing.
+    """
+    if prefixes_per_pop < 1:
+        raise ValueError(f"prefixes_per_pop must be >= 1, got {prefixes_per_pop}")
+    topo = Topology("internet2")
+    degree: Dict[str, int] = {pop: 0 for pop in INTERNET2_POPS}
+    for a, b in _LINKS:
+        degree[a] += 1
+        degree[b] += 1
+    for pop in INTERNET2_POPS:
+        topo.add_switch(pop, num_ports=degree[pop] + prefixes_per_pop)
+
+    next_port = {pop: 1 for pop in INTERNET2_POPS}
+    for a, b in _LINKS:
+        topo.add_link(a, next_port[a], b, next_port[b])
+        next_port[a] += 1
+        next_port[b] += 1
+
+    subnets: Dict[str, str] = {}
+    host_ips: Dict[str, str] = {}
+    for p, pop in enumerate(INTERNET2_POPS):
+        for s in range(prefixes_per_pop):
+            host = f"h_{pop}_{s}"
+            topo.add_host(host, pop, next_port[pop])
+            next_port[pop] += 1
+            high, low = divmod(p * prefixes_per_pop + s, 256)
+            subnets[host] = f"10.{high}.{low}.0/24"
+            host_ips[host] = f"10.{high}.{low}.1"
+
+    return wire_scenario(
+        topo,
+        subnets,
+        host_ips,
+        install_routes,
+        notes=f"Internet2-like: 9 PoPs, {prefixes_per_pop} prefixes/PoP",
+    )
+
+
+def internet2_lpm_ruleset(
+    scenario: Scenario,
+) -> Dict[str, List[Tuple[str, int]]]:
+    """Per-switch ``(prefix, out_port)`` rules for the incremental updater."""
+    return lpm_ruleset_for(scenario.topo, scenario.subnets)

@@ -1,0 +1,59 @@
+"""Tests for the detection-latency measurement harness."""
+
+import pytest
+
+from repro.analysis.sampling_experiments import (
+    LatencyTrialResult,
+    measure_detection_latency,
+    sweep_sampling_intervals,
+)
+from repro.topologies import build_fattree, build_linear
+
+
+class TestResultMath:
+    def test_mean_and_max(self):
+        result = LatencyTrialResult(1.0, 0.1, latencies=[0.2, 0.4, 0.6])
+        assert result.mean_latency == pytest.approx(0.4)
+        assert result.max_latency == pytest.approx(0.6)
+
+    def test_empty_latencies_infinite(self):
+        result = LatencyTrialResult(1.0, 0.1)
+        assert result.mean_latency == float("inf")
+        assert result.max_latency == float("inf")
+
+    def test_bound_is_ts_plus_ta(self):
+        result = LatencyTrialResult(1.5, 0.25)
+        assert result.theoretical_bound == pytest.approx(1.75)
+
+    def test_str(self):
+        text = str(LatencyTrialResult(1.0, 0.1, latencies=[0.5]))
+        assert "T_s=1.00s" in text
+
+
+class TestMeasurement:
+    def test_all_faults_detected_within_bound(self):
+        result = measure_detection_latency(
+            build_fattree(4), sampling_interval=0.5, trials=4, seed=7
+        )
+        assert result.undetected == 0
+        assert len(result.latencies) == 4
+        assert result.max_latency <= result.theoretical_bound + 1e-9
+
+    def test_sampling_rate_tracks_interval(self):
+        fast = measure_detection_latency(
+            build_linear(3), sampling_interval=0.2, trials=2, seed=1
+        )
+        slow = measure_detection_latency(
+            build_linear(3), sampling_interval=2.0, trials=2, seed=1
+        )
+        assert fast.sampling_rate > slow.sampling_rate
+
+    def test_rejects_bad_trials(self):
+        with pytest.raises(ValueError):
+            measure_detection_latency(build_linear(3), 1.0, trials=0)
+
+    def test_sweep_returns_one_result_per_interval(self):
+        results = sweep_sampling_intervals(
+            lambda: build_linear(3), [0.5, 1.0], trials=2, seed=2
+        )
+        assert [r.sampling_interval for r in results] == [0.5, 1.0]

@@ -1,0 +1,70 @@
+"""Tests for the diagnostic renderings (BDD DOT export, path table dump)."""
+
+import pytest
+
+from repro.bdd.engine import BDD, FALSE, TRUE
+from repro.bdd.headerspace import HeaderSpace
+from repro.core.pathtable import PathTableBuilder
+from repro.topologies import build_figure5, build_linear
+
+
+class TestToDot:
+    def test_terminal_true(self):
+        bdd = BDD(2)
+        dot = bdd.to_dot(TRUE)
+        assert dot.startswith("digraph")
+        assert '"1"' in dot
+
+    def test_terminal_false(self):
+        dot = BDD(2).to_dot(FALSE)
+        assert '"0"' in dot
+
+    def test_variable_node_edges(self):
+        bdd = BDD(2)
+        dot = bdd.to_dot(bdd.var(0))
+        assert "style=dashed" in dot  # low edge
+        assert 'label="x0"' in dot
+        assert dot.count("->") == 2
+
+    def test_var_names(self):
+        bdd = BDD(2)
+        dot = bdd.to_dot(bdd.var(1), var_names={1: "dst_ip[0]"})
+        assert 'label="dst_ip[0]"' in dot
+
+    def test_shared_subgraphs_rendered_once(self):
+        bdd = BDD(3)
+        f = bdd.or_(bdd.and_(bdd.var(0), bdd.var(2)), bdd.and_(bdd.var(1), bdd.var(2)))
+        dot = bdd.to_dot(f)
+        # x2 appears as a node exactly once despite two parents.
+        assert dot.count('label="x2"') == 1
+
+    def test_every_reachable_node_present(self):
+        bdd = BDD(4)
+        f = bdd.xor(bdd.var(0), bdd.xor(bdd.var(1), bdd.var(2)))
+        dot = bdd.to_dot(f)
+        assert dot.count("[label=") >= bdd.size(f) - 2 + 2  # inner + terminals
+
+
+class TestPathTableDump:
+    def test_dump_contains_entries(self):
+        scenario = build_figure5()
+        hs = HeaderSpace()
+        table = PathTableBuilder(scenario.topo, hs).build()
+        text = table.dump(hs)
+        assert "path table:" in text
+        assert "<S1, 1>" in text
+        assert "e.g." in text  # sample headers rendered
+
+    def test_dump_without_headerspace(self):
+        scenario = build_linear(3)
+        table = PathTableBuilder(scenario.topo, HeaderSpace()).build()
+        text = table.dump()
+        assert "e.g." not in text
+        assert "PathEntry" in text
+
+    def test_dump_limit(self):
+        scenario = build_linear(3)
+        table = PathTableBuilder(scenario.topo, HeaderSpace()).build()
+        text = table.dump(limit=2)
+        assert "more)" in text
+        assert text.count("PathEntry") == 2

@@ -1,0 +1,175 @@
+"""Tests for atomic predicates and the atomic path-table builder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.atomic import AtomicUniverse, compute_atoms
+from repro.bdd.engine import BDD, FALSE, TRUE
+from repro.bdd.headerspace import HeaderSpace
+from repro.core.atomic_builder import AtomicPathTableBuilder
+from repro.core.pathtable import PathTableBuilder
+from repro.topologies import build_fattree, build_figure5, build_internet2, build_linear
+
+
+class TestComputeAtoms:
+    def test_no_predicates_single_atom(self):
+        bdd = BDD(4)
+        assert compute_atoms(bdd, []) == [TRUE]
+
+    def test_one_predicate_two_atoms(self):
+        bdd = BDD(4)
+        x = bdd.var(0)
+        atoms = compute_atoms(bdd, [x])
+        assert set(atoms) == {x, bdd.not_(x)}
+
+    def test_trivial_predicates_skipped(self):
+        bdd = BDD(4)
+        assert compute_atoms(bdd, [TRUE, FALSE]) == [TRUE]
+
+    def test_nested_prefixes_linear_atoms(self):
+        hs = HeaderSpace()
+        preds = [
+            hs.prefix("dst_ip", 0x0A000000, 8),
+            hs.prefix("dst_ip", 0x0A010000, 16),
+            hs.prefix("dst_ip", 0x0A010100, 24),
+        ]
+        atoms = compute_atoms(hs.bdd, preds)
+        # nested chains refine linearly: n+1 atoms, not 2^n
+        assert len(atoms) == 4
+
+    def test_partition_property(self):
+        bdd = BDD(6)
+        preds = [bdd.var(0), bdd.and_(bdd.var(1), bdd.var(2)), bdd.xor(bdd.var(3), bdd.var(0))]
+        universe = AtomicUniverse(bdd, preds)
+        assert universe.is_partition()
+
+
+class TestAtomicUniverse:
+    @pytest.fixture
+    def universe(self):
+        bdd = BDD(6)
+        generators = [bdd.var(0), bdd.and_(bdd.var(1), bdd.var(2))]
+        return bdd, generators, AtomicUniverse(bdd, generators)
+
+    def test_generators_round_trip(self, universe):
+        bdd, generators, uni = universe
+        for g in generators:
+            assert uni.to_bdd(uni.from_bdd(g)) == g
+
+    def test_boolean_combinations_round_trip(self, universe):
+        bdd, generators, uni = universe
+        combos = [
+            bdd.and_(generators[0], generators[1]),
+            bdd.or_(generators[0], bdd.not_(generators[1])),
+            bdd.diff(generators[1], generators[0]),
+        ]
+        for combo in combos:
+            assert uni.to_bdd(uni.from_bdd(combo)) == combo
+
+    def test_set_ops_mirror_bdd_ops(self, universe):
+        bdd, generators, uni = universe
+        a, b = generators
+        assert uni.from_bdd(bdd.and_(a, b)) == uni.from_bdd(a) & uni.from_bdd(b)
+        assert uni.from_bdd(bdd.or_(a, b)) == uni.from_bdd(a) | uni.from_bdd(b)
+        assert uni.from_bdd(bdd.diff(a, b)) == uni.from_bdd(a) - uni.from_bdd(b)
+
+    def test_terminal_conversions(self, universe):
+        _, _, uni = universe
+        assert uni.from_bdd(FALSE) == frozenset()
+        assert uni.from_bdd(TRUE) == uni.all_atoms
+        assert uni.to_bdd(frozenset()) == FALSE
+        assert uni.to_bdd(uni.all_atoms) == TRUE
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_random_combinations(self, data):
+        bdd = BDD(5)
+        generators = [bdd.var(i) for i in range(3)]
+        uni = AtomicUniverse(bdd, generators)
+        # A random Boolean combination of the generators.
+        expr = generators[data.draw(st.integers(0, 2))]
+        for _ in range(data.draw(st.integers(0, 4))):
+            op = data.draw(st.sampled_from(["and", "or", "diff", "not"]))
+            other = generators[data.draw(st.integers(0, 2))]
+            if op == "and":
+                expr = bdd.and_(expr, other)
+            elif op == "or":
+                expr = bdd.or_(expr, other)
+            elif op == "diff":
+                expr = bdd.diff(expr, other)
+            else:
+                expr = bdd.not_(expr)
+        assert uni.to_bdd(uni.from_bdd(expr)) == expr
+
+
+def table_signature(table):
+    return {
+        (inport, outport, entry.hops): entry.headers
+        for inport, outport, entry in table.all_entries()
+    }
+
+
+class TestAtomicBuilderEquivalence:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: build_linear(3),
+            lambda: build_figure5(),
+            lambda: build_internet2(prefixes_per_pop=1),
+            lambda: build_fattree(4),
+        ],
+        ids=["linear", "figure5", "internet2", "fattree4"],
+    )
+    def test_identical_to_direct_builder(self, factory):
+        scenario = factory()
+        hs = HeaderSpace()
+        direct = PathTableBuilder(scenario.topo, hs).build()
+        atomic = AtomicPathTableBuilder(scenario.topo, hs).build()
+        assert table_signature(atomic) == table_signature(direct)
+
+    def test_tags_preserved(self):
+        scenario = build_linear(3)
+        hs = HeaderSpace()
+        atomic = AtomicPathTableBuilder(scenario.topo, hs).build()
+        direct = PathTableBuilder(scenario.topo, hs).build()
+        atomic_tags = {
+            (i, o, e.hops): e.tag for i, o, e in atomic.all_entries()
+        }
+        direct_tags = {
+            (i, o, e.hops): e.tag for i, o, e in direct.all_entries()
+        }
+        assert atomic_tags == direct_tags
+
+    def test_atomization_time_reported(self):
+        scenario = build_linear(3)
+        builder = AtomicPathTableBuilder(scenario.topo, HeaderSpace())
+        builder.build()
+        assert builder.atomization_time_s > 0
+        assert builder.universe is not None
+        assert len(builder.universe) > 1
+
+    def test_rejects_rewrites(self):
+        from repro.bdd.headerspace import parse_ipv4
+        from repro.netmodel.rules import FlowRule, Match, Rewrite
+
+        scenario = build_linear(3)
+        scenario.controller.install(
+            "S2",
+            FlowRule(300, Match.build(dst="9.9.9.9/32"),
+                     Rewrite((("dst_ip", parse_ipv4("10.0.2.1")),), 2)),
+        )
+        builder = AtomicPathTableBuilder(scenario.topo, HeaderSpace())
+        with pytest.raises(ValueError):
+            builder.build()
+
+    def test_verifier_works_on_atomic_table(self):
+        from repro.core.verifier import Verifier
+        from repro.analysis.timing import reports_from_table
+
+        scenario = build_fattree(4)
+        hs = HeaderSpace()
+        base = PathTableBuilder(scenario.topo, hs)
+        atomic = AtomicPathTableBuilder(scenario.topo, hs).build()
+        verifier = Verifier(atomic, hs)
+        for report in reports_from_table(base, atomic, limit=50):
+            assert verifier.verify(report).passed

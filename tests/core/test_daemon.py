@@ -1,0 +1,191 @@
+"""Tests for the concurrent daemon and UDP listener."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.daemon import UdpReportListener, VeriDPDaemon
+from repro.core.reports import pack_report
+from repro.core.server import VeriDPServer
+from repro.dataplane import DataPlaneNetwork, ModifyRuleOutput
+from repro.topologies import build_linear
+
+
+@pytest.fixture
+def rig():
+    scenario = build_linear(3)
+    server = VeriDPServer(scenario.topo, scenario.channel)
+    net = DataPlaneNetwork(scenario.topo, scenario.channel)
+    return scenario, server, net
+
+
+def collect_payloads(scenario, net, count=50):
+    """Wire-format reports from healthy all-pairs traffic."""
+    payloads = []
+    pairs = scenario.host_pairs()
+    for i in range(count):
+        src, dst = pairs[i % len(pairs)]
+        result = net.inject_from_host(src, scenario.header_between(src, dst))
+        for report in result.reports:
+            payloads.append(pack_report(report, net.codec))
+    return payloads
+
+
+class TestDaemon:
+    def test_processes_all_submitted(self, rig):
+        scenario, server, net = rig
+        payloads = collect_payloads(scenario, net, 60)
+        with VeriDPDaemon(server, workers=3) as daemon:
+            for payload in payloads:
+                assert daemon.submit(payload)
+            daemon.join()
+            stats = daemon.stats()
+        assert stats["processed"] == len(payloads)
+        assert stats["verified"] == len(payloads)
+        assert stats["failed"] == 0
+        assert server.incidents == []
+
+    def test_detects_failures_concurrently(self, rig):
+        scenario, server, net = rig
+        header = scenario.header_between("H1", "H3")
+        rule = net.switch("S2").table.lookup(header, 3)
+        ModifyRuleOutput("S2", rule.rule_id, 1).apply(net)
+        bad_payloads = []
+        for _ in range(10):
+            result = net.inject_from_host("H1", header)
+            bad_payloads += [pack_report(r, net.codec) for r in result.reports]
+        with VeriDPDaemon(server, workers=4) as daemon:
+            for payload in bad_payloads:
+                daemon.submit(payload)
+            daemon.join()
+        assert len(server.incidents) == len(bad_payloads)
+        assert all("S2" in i.blamed_switches for i in server.incidents)
+
+    def test_malformed_payload_counted_not_fatal(self, rig):
+        scenario, server, net = rig
+        good = collect_payloads(scenario, net, 5)
+        with VeriDPDaemon(server, workers=2) as daemon:
+            daemon.submit(b"\x00garbage")
+            for payload in good:
+                daemon.submit(payload)
+            daemon.join()
+            stats = daemon.stats()
+        assert stats["malformed"] == 1
+        assert stats["processed"] == len(good)
+
+    def test_queue_full_drops_counted(self, rig):
+        scenario, server, net = rig
+        payloads = collect_payloads(scenario, net, 5)
+        daemon = VeriDPDaemon(server, workers=1, queue_size=2)
+        # Not started: the queue fills and overflow is reported.
+        accepted = sum(daemon.submit(p) for p in payloads)
+        assert accepted == 2
+        assert daemon.stats()["dropped"] == len(payloads) - 2
+        daemon.start()
+        daemon.join()
+        daemon.stop()
+
+    def test_concurrent_producers(self, rig):
+        scenario, server, net = rig
+        payloads = collect_payloads(scenario, net, 40)
+        with VeriDPDaemon(server, workers=4, queue_size=10_000) as daemon:
+            def produce(chunk):
+                for payload in chunk:
+                    daemon.submit(payload)
+
+            threads = [
+                threading.Thread(target=produce, args=(payloads[i::4],))
+                for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            daemon.join()
+            assert daemon.stats()["processed"] == len(payloads)
+
+    def test_pause_and_refresh(self, rig):
+        scenario, server, net = rig
+        with VeriDPDaemon(server, workers=2) as daemon:
+            # A rule change makes the server dirty; refresh under quiesce.
+            from repro.netmodel.rules import FlowRule, Forward, Match
+
+            scenario.controller.install(
+                "S1", FlowRule(50, Match.build(dst="99.0.0.0/8"), Forward(2))
+            )
+            assert daemon.pause_and_refresh() is True
+            # Still processes correctly afterwards.
+            for payload in collect_payloads(scenario, net, 5):
+                daemon.submit(payload)
+            daemon.join()
+            assert daemon.stats()["failed"] == 0
+
+    def test_requires_workers(self, rig):
+        _, server, _ = rig
+        with pytest.raises(ValueError):
+            VeriDPDaemon(server, workers=0)
+
+    def test_start_stop_idempotent(self, rig):
+        _, server, _ = rig
+        daemon = VeriDPDaemon(server)
+        daemon.start()
+        daemon.start()
+        daemon.stop()
+        daemon.stop()
+
+
+class TestUdpListener:
+    def test_reports_arrive_over_the_wire(self, rig):
+        scenario, server, net = rig
+        payloads = collect_payloads(scenario, net, 20)
+        with VeriDPDaemon(server, workers=2) as daemon:
+            with UdpReportListener(daemon) as listener:
+                sender = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+                for payload in payloads:
+                    sender.sendto(payload, listener.address)
+                sender.close()
+                deadline = time.time() + 5
+                while listener.received < len(payloads) and time.time() < deadline:
+                    time.sleep(0.01)
+                daemon.join()
+                assert listener.received == len(payloads)
+        assert daemon.stats()["processed"] == len(payloads)
+        assert server.incidents == []
+
+    def test_failure_detected_over_the_wire(self, rig):
+        scenario, server, net = rig
+        header = scenario.header_between("H1", "H3")
+        rule = net.switch("S2").table.lookup(header, 3)
+        ModifyRuleOutput("S2", rule.rule_id, 1).apply(net)
+        result = net.inject_from_host("H1", header)
+        payload = pack_report(result.reports[0], net.codec)
+        with VeriDPDaemon(server, workers=1) as daemon:
+            with UdpReportListener(daemon) as listener:
+                sender = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+                sender.sendto(payload, listener.address)
+                sender.close()
+                deadline = time.time() + 5
+                while not server.incidents and time.time() < deadline:
+                    time.sleep(0.01)
+        assert server.incidents
+        assert "S2" in server.incidents[0].blamed_switches
+
+    def test_listener_survives_garbage_datagrams(self, rig):
+        scenario, server, net = rig
+        good = collect_payloads(scenario, net, 3)
+        with VeriDPDaemon(server, workers=1) as daemon:
+            with UdpReportListener(daemon) as listener:
+                sender = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+                sender.sendto(b"not a report", listener.address)
+                for payload in good:
+                    sender.sendto(payload, listener.address)
+                sender.close()
+                deadline = time.time() + 5
+                while listener.received < 4 and time.time() < deadline:
+                    time.sleep(0.01)
+                daemon.join()
+        stats = daemon.stats()
+        assert stats["processed"] == len(good)
+        assert stats["malformed"] == 1

@@ -1,0 +1,96 @@
+"""Unit tests for the in-band VLAN/TOS encoding (Section 5 packet format)."""
+
+import pytest
+
+from repro.core.inband import (
+    InbandState,
+    TPID_INNER,
+    TPID_OUTER,
+    VLAN_STACK_BYTES,
+    decode_vlan_stack,
+    encode_vlan_stack,
+    get_marker,
+    set_marker,
+)
+
+
+class TestVlanStack:
+    def test_round_trip(self):
+        data = encode_vlan_stack(tag=0xBEEF, inport_id=0x1234)
+        assert decode_vlan_stack(data) == (0xBEEF, 0x1234)
+
+    def test_stack_is_eight_bytes(self):
+        assert len(encode_vlan_stack(0, 0)) == VLAN_STACK_BYTES == 8
+
+    def test_tpids_on_wire(self):
+        data = encode_vlan_stack(0xAAAA, 0x0155)
+        assert int.from_bytes(data[0:2], "big") == TPID_OUTER
+        assert int.from_bytes(data[4:6], "big") == TPID_INNER
+
+    def test_tag_occupies_outer_tci(self):
+        data = encode_vlan_stack(0xCAFE, 0)
+        assert int.from_bytes(data[2:4], "big") == 0xCAFE
+
+    def test_tag_over_16_bits_rejected(self):
+        with pytest.raises(ValueError):
+            encode_vlan_stack(0x10000, 0)
+
+    def test_inport_over_14_bits_rejected(self):
+        with pytest.raises(ValueError):
+            encode_vlan_stack(0, 1 << 14)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            decode_vlan_stack(b"\x00" * 7)
+
+    def test_wrong_tpid_rejected(self):
+        data = bytearray(encode_vlan_stack(1, 2))
+        data[0] = 0x12
+        with pytest.raises(ValueError):
+            decode_vlan_stack(bytes(data))
+
+    def test_max_values_round_trip(self):
+        data = encode_vlan_stack(0xFFFF, (1 << 14) - 1)
+        assert decode_vlan_stack(data) == (0xFFFF, (1 << 14) - 1)
+
+    def test_round_trip_with_port_codec(self):
+        """End-to-end: PortRef -> 14-bit id -> VLAN stack -> back."""
+        from repro.core.reports import PortCodec
+        from repro.netmodel.topology import PortRef
+
+        codec = PortCodec(["S1", "S2"])
+        ref = PortRef("S2", 7)
+        data = encode_vlan_stack(0x00FF, codec.encode(ref))
+        _, wire_id = decode_vlan_stack(data)
+        assert codec.decode(wire_id) == ref
+
+
+class TestMarker:
+    def test_set_and_get(self):
+        tos = set_marker(0x00, True)
+        assert get_marker(tos)
+        assert not get_marker(set_marker(tos, False))
+
+    def test_preserves_other_tos_bits(self):
+        dscp = 0b1011_1000  # EF
+        assert set_marker(dscp, True) & 0b1111_1000 == dscp
+        assert set_marker(dscp | 1, False) & 0b1111_1000 == dscp
+
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            set_marker(256, True)
+        with pytest.raises(ValueError):
+            get_marker(-1)
+
+
+class TestInbandState:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InbandState(True, 1 << 16, 0)
+        with pytest.raises(ValueError):
+            InbandState(True, 0, 1 << 14)
+
+    def test_frozen(self):
+        state = InbandState(True, 1, 2)
+        with pytest.raises(AttributeError):
+            state.tag = 5

@@ -1,0 +1,107 @@
+"""Unit tests for tag reports and their wire encoding."""
+
+import pytest
+
+from repro.core.reports import (
+    MAX_PORT_ID,
+    PortCodec,
+    TagReport,
+    pack_report,
+    unpack_report,
+)
+from repro.netmodel.packet import Header
+from repro.netmodel.rules import DROP_PORT
+from repro.netmodel.topology import PortRef
+
+
+@pytest.fixture
+def codec():
+    return PortCodec(["S1", "S2", "S3"])
+
+
+class TestPortCodec:
+    def test_round_trip(self, codec):
+        ref = PortRef("S2", 5)
+        assert codec.decode(codec.encode(ref)) == ref
+
+    def test_drop_port_round_trip(self, codec):
+        ref = PortRef("S1", DROP_PORT)
+        assert codec.decode(codec.encode(ref)) == ref
+
+    def test_14_bit_range(self, codec):
+        assert 0 <= codec.encode(PortRef("S3", MAX_PORT_ID)) < (1 << 14)
+
+    def test_register_is_idempotent(self, codec):
+        first = codec.register("S1")
+        assert codec.register("S1") == first
+        assert len(codec) == 3
+
+    def test_unknown_switch_raises(self, codec):
+        with pytest.raises(KeyError):
+            codec.encode(PortRef("S9", 1))
+
+    def test_port_too_wide_raises(self, codec):
+        with pytest.raises(ValueError):
+            codec.encode(PortRef("S1", MAX_PORT_ID + 1))
+
+    def test_decode_unknown_index_raises(self, codec):
+        with pytest.raises(ValueError):
+            codec.decode((200 << 6) | 1)
+
+    def test_decode_out_of_range_raises(self, codec):
+        with pytest.raises(ValueError):
+            codec.decode(1 << 14)
+
+
+class TestWireFormat:
+    def make_report(self, **overrides):
+        fields = dict(
+            inport=PortRef("S1", 1),
+            outport=PortRef("S3", 2),
+            header=Header(src_ip=0x0A000001, dst_ip=0x0A000002, proto=6,
+                          src_port=1234, dst_port=80),
+            tag=0xBEEF,
+            ttl_expired=False,
+        )
+        fields.update(overrides)
+        return TagReport(**fields)
+
+    def test_round_trip(self, codec):
+        report = self.make_report()
+        assert unpack_report(pack_report(report, codec), codec) == report
+
+    def test_round_trip_drop_outport(self, codec):
+        report = self.make_report(outport=PortRef("S2", DROP_PORT))
+        assert unpack_report(pack_report(report, codec), codec) == report
+
+    def test_round_trip_ttl_flag(self, codec):
+        report = self.make_report(ttl_expired=True)
+        assert unpack_report(pack_report(report, codec), codec).ttl_expired
+
+    def test_payload_is_fixed_size(self, codec):
+        a = pack_report(self.make_report(), codec)
+        b = pack_report(self.make_report(tag=0), codec)
+        assert len(a) == len(b) == 27
+
+    def test_tag_width_up_to_64_bits(self, codec):
+        report = self.make_report(tag=(1 << 64) - 1)
+        assert unpack_report(pack_report(report, codec), codec).tag == (1 << 64) - 1
+
+    def test_oversized_tag_rejected(self, codec):
+        with pytest.raises(ValueError):
+            pack_report(self.make_report(tag=1 << 64), codec)
+
+    def test_truncated_payload_rejected(self, codec):
+        payload = pack_report(self.make_report(), codec)
+        with pytest.raises(ValueError):
+            unpack_report(payload[:-1], codec)
+
+    def test_bad_version_rejected(self, codec):
+        payload = bytearray(pack_report(self.make_report(), codec))
+        payload[0] = 99
+        with pytest.raises(ValueError):
+            unpack_report(bytes(payload), codec)
+
+    def test_str_mentions_ports(self, codec):
+        text = str(self.make_report())
+        assert "S1" in text and "S3" in text

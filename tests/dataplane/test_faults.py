@@ -1,0 +1,132 @@
+"""Unit tests for the fault-injection models (Section 2.2 taxonomy)."""
+
+import random
+
+import pytest
+
+from repro.dataplane import (
+    DataPlaneNetwork,
+    DeleteRule,
+    DropRuleInstall,
+    IgnorePriorities,
+    InjectRule,
+    KillSwitch,
+    ModifyRuleOutput,
+    random_misforward_fault,
+)
+from repro.netmodel.rules import DROP_PORT, FlowRule, Forward, Match
+from repro.topologies import build_linear
+
+
+@pytest.fixture
+def env():
+    scenario = build_linear(3)
+    net = DataPlaneNetwork(scenario.topo, scenario.channel)
+    return scenario, net
+
+
+class TestFaultApplication:
+    def test_drop_rule_install(self, env):
+        scenario, net = env
+        rule = FlowRule(50, Match.build(dst="99.0.0.0/8"), Forward(2))
+        DropRuleInstall("S1", rule.rule_id).apply(net)
+        scenario.controller.install("S1", rule)
+        # logical table has it; physical does not
+        assert rule.rule_id in scenario.topo.switch("S1").flow_table
+        assert rule.rule_id not in net.switch("S1").table
+
+    def test_modify_rule_output(self, env):
+        scenario, net = env
+        header = scenario.header_between("H1", "H3")
+        rule = net.switch("S1").table.lookup(header, 1)
+        ModifyRuleOutput("S1", rule.rule_id, 1).apply(net)
+        assert net.switch("S1").forward(header, 1) == 1
+        # controller's copy is untouched (the gap VeriDP detects)
+        assert scenario.topo.switch("S1").flow_table.get(rule.rule_id).action != Forward(1)
+
+    def test_delete_rule(self, env):
+        scenario, net = env
+        header = scenario.header_between("H1", "H3")
+        rule = net.switch("S1").table.lookup(header, 1)
+        DeleteRule("S1", rule.rule_id).apply(net)
+        assert rule.rule_id not in net.switch("S1").table
+        assert rule.rule_id in scenario.topo.switch("S1").flow_table
+
+    def test_inject_rule(self, env):
+        scenario, net = env
+        foreign = FlowRule(999, Match.build(dst="10.0.2.0/24"), Forward(1))
+        InjectRule("S1", foreign).apply(net)
+        assert foreign.rule_id in net.switch("S1").table
+        assert foreign.rule_id not in scenario.topo.switch("S1").flow_table
+
+    def test_ignore_priorities(self, env):
+        _, net = env
+        IgnorePriorities("S2").apply(net)
+        assert net.switch("S2").ignore_priority
+
+    def test_kill_switch(self, env):
+        _, net = env
+        KillSwitch("S3").apply(net)
+        assert net.switch("S3").dead
+
+    def test_describe_all(self, env):
+        faults = [
+            DropRuleInstall("S1", 1),
+            ModifyRuleOutput("S1", 1, 2),
+            ModifyRuleOutput("S1", 1, DROP_PORT),
+            DeleteRule("S1", 1),
+            InjectRule("S1", FlowRule(1, Match(), Forward(1))),
+            IgnorePriorities("S1"),
+            KillSwitch("S1"),
+        ]
+        for fault in faults:
+            assert "S1" in fault.describe()
+        assert "⊥" in faults[2].describe()
+
+
+class TestRandomMisforward:
+    def test_picks_installed_forwarding_rule(self, env):
+        _, net = env
+        fault = random_misforward_fault(net, random.Random(0))
+        assert fault is not None
+        switch = net.switch(fault.switch_id)
+        mutated = switch.table.get(fault.rule_id)
+        assert mutated is not None
+        assert mutated.output_port() == fault.new_port
+
+    def test_new_port_differs_from_original(self, env):
+        scenario, net = env
+        # Snapshot original ports first.
+        originals = {
+            (sid, r.rule_id): r.output_port()
+            for sid in net.switches
+            for r in net.switch(sid).table
+        }
+        fault = random_misforward_fault(net, random.Random(1))
+        assert fault.new_port != originals[(fault.switch_id, fault.rule_id)]
+
+    def test_restricted_switch_pool(self, env):
+        _, net = env
+        fault = random_misforward_fault(net, random.Random(0), switch_ids=["S2"])
+        assert fault.switch_id == "S2"
+
+    def test_returns_none_when_no_rules(self):
+        scenario = build_linear(3, install_routes=False)
+        net = DataPlaneNetwork(scenario.topo, scenario.channel)
+        assert random_misforward_fault(net, random.Random(0)) is None
+
+
+class TestEndToEndFaultVisibility:
+    def test_ignored_priorities_change_forwarding(self, env):
+        """Overlapping rules + priority bug => wrong egress, caught by tags."""
+        scenario, net = env
+        # A broad low-priority rule that would hijack H3-bound traffic at S2.
+        scenario.controller.install(
+            "S2", FlowRule(1, Match.build(dst="10.0.0.0/8"), Forward(3))
+        )
+        header = scenario.header_between("H1", "H3")
+        good = net.inject_from_host("H1", header)
+        assert good.status == "delivered"
+        IgnorePriorities("S2").apply(net)
+        bad = net.inject_from_host("H1", header)
+        assert [h.switch for h in bad.hops] != [h.switch for h in good.hops]

@@ -1,0 +1,109 @@
+"""Unit tests for the simulated data-plane switch."""
+
+import pytest
+
+from repro.dataplane.switch import DataPlaneSwitch
+from repro.netmodel.packet import Header
+from repro.netmodel.rules import DROP_PORT, Drop, FlowRule, Forward, Match
+
+
+@pytest.fixture
+def switch():
+    return DataPlaneSwitch("S", ports={1, 2, 3, 4})
+
+
+def header(dst="10.0.2.1", dst_port=80):
+    return Header.from_strings("10.0.1.1", dst, 6, 1000, dst_port)
+
+
+class TestInstallPath:
+    def test_install_and_forward(self, switch):
+        switch.install(FlowRule(10, Match.build(dst="10.0.2.0/24"), Forward(2)))
+        assert switch.forward(header(), 1) == 2
+
+    def test_table_miss_drops(self, switch):
+        assert switch.forward(header(), 1) == DROP_PORT
+
+    def test_uninstall(self, switch):
+        rule = FlowRule(10, Match(), Forward(2))
+        switch.install(rule)
+        assert switch.uninstall(rule.rule_id)
+        assert switch.forward(header(), 1) == DROP_PORT
+
+    def test_uninstall_missing_is_noop(self, switch):
+        assert switch.uninstall(424242) is False
+
+    def test_blacklisted_install_ignored(self, switch):
+        rule = FlowRule(10, Match(), Forward(2))
+        switch.blacklist_install(rule.rule_id)
+        assert switch.install(rule) is False
+        assert len(switch.table) == 0
+        assert switch.ignored_installs == [rule.rule_id]
+
+    def test_blacklisted_uninstall_ignored(self, switch):
+        rule = FlowRule(10, Match(), Forward(2))
+        switch.install(rule)
+        switch.blacklist_install(rule.rule_id)
+        assert switch.uninstall(rule.rule_id) is False
+        assert rule.rule_id in switch.table
+
+
+class TestExternalMutations:
+    def test_external_modify_output(self, switch):
+        rule = FlowRule(10, Match(), Forward(2))
+        switch.install(rule)
+        switch.external_modify_output(rule.rule_id, 4)
+        assert switch.forward(header(), 1) == 4
+
+    def test_external_modify_to_drop(self, switch):
+        rule = FlowRule(10, Match(), Forward(2))
+        switch.install(rule)
+        mutated = switch.external_modify_output(rule.rule_id, DROP_PORT)
+        assert isinstance(mutated.action, Drop)
+        assert switch.forward(header(), 1) == DROP_PORT
+
+    def test_external_modify_missing_raises(self, switch):
+        with pytest.raises(KeyError):
+            switch.external_modify_output(999, 1)
+
+    def test_external_delete(self, switch):
+        rule = FlowRule(10, Match(), Forward(2))
+        switch.install(rule)
+        switch.external_delete(rule.rule_id)
+        assert switch.forward(header(), 1) == DROP_PORT
+
+    def test_external_insert(self, switch):
+        switch.external_insert(FlowRule(10, Match(), Forward(3)))
+        assert switch.forward(header(), 1) == 3
+
+
+class TestForwardingSemantics:
+    def test_priority_respected(self, switch):
+        switch.install(FlowRule(20, Match.build(dst_port=80), Forward(2)))
+        switch.install(FlowRule(10, Match(), Forward(3)))
+        assert switch.forward(header(dst_port=80), 1) == 2
+        assert switch.forward(header(dst_port=22), 1) == 3
+
+    def test_ignore_priority_flag_inverts(self, switch):
+        switch.install(FlowRule(20, Match.build(dst_port=80), Forward(2)))
+        switch.install(FlowRule(10, Match(), Forward(3)))
+        switch.ignore_priority = True
+        # lowest-priority match wins (the ProCurve bug)
+        assert switch.forward(header(dst_port=80), 1) == 3
+
+    def test_forward_to_unknown_port_drops(self, switch):
+        switch.install(FlowRule(10, Match(), Forward(9)))
+        assert switch.forward(header(), 1) == DROP_PORT
+
+    def test_in_port_sensitive_rules(self, switch):
+        switch.install(FlowRule(10, Match.build(in_port=1), Forward(2)))
+        switch.install(FlowRule(10, Match.build(in_port=2), Forward(3)))
+        assert switch.forward(header(), 1) == 2
+        assert switch.forward(header(), 2) == 3
+        assert switch.forward(header(), 3) == DROP_PORT
+
+    def test_str_shows_flags(self, switch):
+        switch.dead = True
+        switch.ignore_priority = True
+        text = str(switch)
+        assert "dead" in text and "no-priority" in text

@@ -1,0 +1,57 @@
+"""Every example script must run clean — examples are part of the API.
+
+Each is executed as a real subprocess (fresh interpreter, no shared state)
+and must exit 0; a few key output lines are asserted so a silently broken
+example cannot pass.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+#: script -> substrings its stdout must contain
+EXPECTATIONS = {
+    "quickstart.py": ["healthy network", "DETECTED", "BLAMED"],
+    "function_tests.py": ["black hole", "VeriDP:", "loop"],
+    "waypoint_firewall.py": ["FIREWALL BYPASSED", "blamed ['S2']"],
+    "traffic_engineering.py": ["healthy split", "blame tally"],
+    "datacenter_monitoring.py": ["FAULT INJECTED", "DETECTED", "within budget"],
+    "nat_gateway.py": ["verification: PASS", "hijacked!"],
+    "self_healing.py": ["fixed-by-reissue", "fixed-by-resync", "blind spot"],
+    "policy_audit.py": ["HOLDS", "violation!", "blamed ['sozb']"],
+    "production_deployment.py": ["UDP", "repair: repair fixed", "coverage:"],
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, (
+        f"{name} exited {result.returncode}\n"
+        f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTATIONS))
+def test_example_runs_clean(name):
+    stdout = run_example(name)
+    for needle in EXPECTATIONS[name]:
+        assert needle in stdout, f"{name}: missing {needle!r} in output"
+
+
+def test_every_example_is_covered():
+    """New example scripts must be added to the expectations table."""
+    scripts = {
+        f for f in os.listdir(EXAMPLES_DIR)
+        if f.endswith(".py") and not f.startswith("_")
+    }
+    assert scripts == set(EXPECTATIONS)

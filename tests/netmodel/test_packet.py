@@ -1,0 +1,80 @@
+"""Unit tests for packet and header models."""
+
+import pytest
+
+from repro.netmodel.packet import Header, Packet, PROTO_TCP, PROTO_UDP
+
+
+class TestHeader:
+    def test_from_strings(self):
+        h = Header.from_strings("10.0.0.1", "10.0.0.2", PROTO_UDP, 53, 5353)
+        assert h.src_ip == 0x0A000001
+        assert h.dst_ip == 0x0A000002
+        assert h.proto == PROTO_UDP
+        assert (h.src_port, h.dst_port) == (53, 5353)
+
+    def test_as_dict_round_trip(self):
+        h = Header(src_ip=1, dst_ip=2, proto=6, src_port=3, dst_port=4)
+        assert h.as_dict() == {
+            "src_ip": 1,
+            "dst_ip": 2,
+            "proto": 6,
+            "src_port": 3,
+            "dst_port": 4,
+        }
+
+    def test_five_tuple(self):
+        h = Header(src_ip=1, dst_ip=2, proto=6, src_port=3, dst_port=4)
+        assert h.five_tuple() == (1, 2, 6, 3, 4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Header(proto=300)
+        with pytest.raises(ValueError):
+            Header(src_port=1 << 16)
+        with pytest.raises(ValueError):
+            Header(src_ip=-1)
+
+    def test_with_override(self):
+        h = Header(dst_port=80)
+        h2 = h.with_(dst_port=443)
+        assert h2.dst_port == 443
+        assert h.dst_port == 80
+
+    def test_is_hashable_and_frozen(self):
+        h = Header(dst_port=80)
+        assert hash(h) == hash(Header(dst_port=80))
+        with pytest.raises(AttributeError):
+            h.dst_port = 99
+
+    def test_str_readable(self):
+        h = Header.from_strings("10.0.0.1", "10.0.0.2", PROTO_TCP, 1234, 80)
+        text = str(h)
+        assert "10.0.0.1:1234" in text
+        assert "10.0.0.2:80" in text
+
+
+class TestPacket:
+    def test_defaults(self):
+        p = Packet(Header(dst_port=80))
+        assert p.marker is False
+        assert p.tag == 0
+        assert p.ttl is None
+        assert p.hops_taken == []
+
+    def test_flow_key_matches_header(self):
+        h = Header(src_ip=9, dst_port=80)
+        assert Packet(h).flow_key == h.five_tuple()
+
+    def test_copy_is_independent(self):
+        p = Packet(Header(), marker=True, tag=5, ttl=7)
+        q = p.copy()
+        q.tag = 99
+        q.hops_taken.append("x")
+        assert p.tag == 5
+        assert p.hops_taken == []
+        assert q.marker is True and q.ttl == 7
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Packet(Header(), size=0)

@@ -1,0 +1,183 @@
+"""Unit tests for transfer predicates (Section 4.1 formulas)."""
+
+import pytest
+
+from repro.bdd.headerspace import HeaderSpace
+from repro.netmodel.packet import Header
+from repro.netmodel.predicates import SwitchPredicates, build_all_predicates
+from repro.netmodel.rules import (
+    Acl,
+    AclEntry,
+    DROP_PORT,
+    Drop,
+    FlowRule,
+    Forward,
+    Match,
+)
+from repro.netmodel.topology import Topology
+
+
+@pytest.fixture(scope="module")
+def hs():
+    return HeaderSpace()
+
+
+def make_switch(rules, in_acl=None, out_acl=None, ports=4):
+    topo = Topology()
+    info = topo.add_switch("S", num_ports=ports)
+    for rule in rules:
+        info.flow_table.add(rule)
+    if in_acl:
+        info.in_acl.update(in_acl)
+    if out_acl:
+        info.out_acl.update(out_acl)
+    return info
+
+
+def h(dst="10.0.2.1", dst_port=80):
+    return Header.from_strings("10.0.1.1", dst, 6, 1000, dst_port)
+
+
+class TestForwardingPredicates:
+    def test_partition_covers_universe(self, hs):
+        info = make_switch(
+            [
+                FlowRule(20, Match.build(dst="10.0.2.0/24", dst_port=22), Forward(2)),
+                FlowRule(10, Match.build(dst="10.0.2.0/24"), Forward(3)),
+            ]
+        )
+        preds = SwitchPredicates(info, hs).forwarding_predicates(1)
+        union = hs.bdd.or_many(preds.values())
+        assert union == hs.all_match
+        # pairwise disjoint
+        items = list(preds.items())
+        for i, (_, a) in enumerate(items):
+            for _, b in items[i + 1 :]:
+                assert hs.bdd.and_(a, b) == hs.empty
+
+    def test_priority_resolution(self, hs):
+        info = make_switch(
+            [
+                FlowRule(20, Match.build(dst="10.0.2.0/24", dst_port=22), Forward(2)),
+                FlowRule(10, Match.build(dst="10.0.2.0/24"), Forward(3)),
+            ]
+        )
+        preds = SwitchPredicates(info, hs).forwarding_predicates(1)
+        assert hs.contains(preds[2], h(dst_port=22).as_dict())
+        assert not hs.contains(preds[3], h(dst_port=22).as_dict())
+        assert hs.contains(preds[3], h(dst_port=80).as_dict())
+
+    def test_table_miss_goes_to_drop(self, hs):
+        info = make_switch([FlowRule(10, Match.build(dst="10.0.2.0/24"), Forward(2))])
+        preds = SwitchPredicates(info, hs).forwarding_predicates(1)
+        assert hs.contains(preds[DROP_PORT], h(dst="11.0.0.1").as_dict())
+
+    def test_explicit_drop_rule(self, hs):
+        info = make_switch(
+            [
+                FlowRule(20, Match.build(dst="10.0.9.0/24"), Drop()),
+                FlowRule(10, Match.build(dst="10.0.0.0/8"), Forward(1)),
+            ]
+        )
+        preds = SwitchPredicates(info, hs).forwarding_predicates(1)
+        assert hs.contains(preds[DROP_PORT], h(dst="10.0.9.1").as_dict())
+        assert hs.contains(preds[1], h(dst="10.0.8.1").as_dict())
+
+    def test_forward_to_undeclared_port_drops(self, hs):
+        info = make_switch([FlowRule(10, Match(), Forward(99))], ports=2)
+        preds = SwitchPredicates(info, hs).forwarding_predicates(1)
+        assert preds[DROP_PORT] == hs.all_match
+
+    def test_in_port_rule_only_applies_to_that_ingress(self, hs):
+        info = make_switch(
+            [
+                FlowRule(20, Match.build(dst="10.0.2.0/24", in_port=1), Forward(2)),
+                FlowRule(10, Match.build(dst="10.0.2.0/24"), Forward(3)),
+            ]
+        )
+        preds = SwitchPredicates(info, hs)
+        assert hs.contains(preds.forwarding_predicates(1)[2], h().as_dict())
+        assert hs.contains(preds.forwarding_predicates(4)[3], h().as_dict())
+
+
+class TestTransferPredicates:
+    def test_plain_transfer(self, hs):
+        info = make_switch([FlowRule(10, Match.build(dst="10.0.2.0/24"), Forward(2))])
+        sp = SwitchPredicates(info, hs)
+        assert hs.contains(sp.transfer(1, 2), h().as_dict())
+        assert not hs.contains(sp.transfer(1, 3), h().as_dict())
+
+    def test_inbound_acl_blocks(self, hs):
+        acl = Acl([AclEntry(Match.build(src="10.0.1.0/24"), permit=False)])
+        info = make_switch(
+            [FlowRule(10, Match.build(dst="10.0.2.0/24"), Forward(2))],
+            in_acl={1: acl},
+        )
+        sp = SwitchPredicates(info, hs)
+        assert not hs.contains(sp.transfer(1, 2), h().as_dict())
+        assert hs.contains(sp.transfer(1, DROP_PORT), h().as_dict())
+        # A different ingress without the ACL forwards fine.
+        assert hs.contains(sp.transfer(3, 2), h().as_dict())
+
+    def test_outbound_acl_blocks(self, hs):
+        acl = Acl([AclEntry(Match.build(dst_port=22), permit=False)])
+        info = make_switch(
+            [FlowRule(10, Match.build(dst="10.0.2.0/24"), Forward(2))],
+            out_acl={2: acl},
+        )
+        sp = SwitchPredicates(info, hs)
+        assert not hs.contains(sp.transfer(1, 2), h(dst_port=22).as_dict())
+        assert hs.contains(sp.transfer(1, DROP_PORT), h(dst_port=22).as_dict())
+        assert hs.contains(sp.transfer(1, 2), h(dst_port=80).as_dict())
+
+    def test_transfer_map_partitions_universe(self, hs):
+        acl_in = Acl([AclEntry(Match.build(src="9.0.0.0/8"), permit=False)])
+        acl_out = Acl([AclEntry(Match.build(dst_port=23), permit=False)])
+        info = make_switch(
+            [
+                FlowRule(30, Match.build(dst="10.0.2.0/24", dst_port=22), Forward(2)),
+                FlowRule(20, Match.build(dst="10.0.0.0/8"), Forward(3)),
+                FlowRule(10, Match.build(dst="11.0.0.0/8"), Drop()),
+            ],
+            in_acl={1: acl_in},
+            out_acl={3: acl_out},
+        )
+        sp = SwitchPredicates(info, hs)
+        tmap = sp.transfer_map(1)
+        union = hs.bdd.or_many(tmap.values())
+        assert union == hs.all_match
+        values = list(tmap.values())
+        for i, a in enumerate(values):
+            for b in values[i + 1 :]:
+                assert hs.bdd.and_(a, b) == hs.empty
+
+    def test_drop_reasons_disjoint_union(self, hs):
+        """The three P_{x,⊥} disjuncts match the paper's formula exactly."""
+        acl_in = Acl([AclEntry(Match.build(src="9.0.0.0/8"), permit=False)])
+        acl_out = Acl([AclEntry(Match.build(dst_port=23), permit=False)])
+        info = make_switch(
+            [FlowRule(20, Match.build(dst="10.0.0.0/8"), Forward(3))],
+            in_acl={1: acl_in},
+            out_acl={3: acl_out},
+        )
+        sp = SwitchPredicates(info, hs)
+        drop = sp.transfer(1, DROP_PORT)
+        # blocked by inbound ACL
+        assert hs.contains(drop, h().with_(src_ip=0x09000001).as_dict())
+        # no forwarding match
+        assert hs.contains(drop, h(dst="12.0.0.1").as_dict())
+        # blocked by outbound ACL
+        assert hs.contains(drop, h(dst_port=23).as_dict())
+        # forwarded traffic is not in the drop predicate
+        assert not hs.contains(drop, h(dst_port=80).as_dict())
+
+
+class TestBuildAll:
+    def test_build_all_predicates(self, hs):
+        topo = Topology()
+        for sid in ("A", "B"):
+            info = topo.add_switch(sid, num_ports=2)
+            info.flow_table.add(FlowRule(1, Match(), Forward(1)))
+        preds = build_all_predicates(topo, hs)
+        assert set(preds) == {"A", "B"}
+        assert all(isinstance(p, SwitchPredicates) for p in preds.values())

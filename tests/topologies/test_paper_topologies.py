@@ -1,0 +1,163 @@
+"""Unit tests for the Stanford-like, Internet2-like and fat-tree builders."""
+
+import pytest
+
+from repro.dataplane import DataPlaneNetwork
+from repro.topologies import (
+    INTERNET2_POPS,
+    STANFORD_BACKBONES,
+    STANFORD_ZONES,
+    build_fattree,
+    build_internet2,
+    build_stanford,
+    fattree_dimensions,
+    internet2_lpm_ruleset,
+)
+
+
+class TestFatTree:
+    def test_dimensions_k4(self):
+        dims = fattree_dimensions(4)
+        assert dims == {
+            "pods": 4,
+            "core": 4,
+            "aggregation": 8,
+            "edge": 8,
+            "switches": 20,
+            "hosts": 16,
+        }
+
+    def test_dimensions_k6(self):
+        dims = fattree_dimensions(6)
+        assert dims["switches"] == 45
+        assert dims["hosts"] == 54
+
+    def test_build_matches_dimensions(self):
+        for k in (4, 6):
+            scenario = build_fattree(k, install_routes=False)
+            dims = fattree_dimensions(k)
+            stats = scenario.topo.stats()
+            assert stats["switches"] == dims["switches"]
+            assert stats["hosts"] == dims["hosts"]
+            # links: edge-agg (k * (k/2)^2) + agg-core (k * (k/2)^2)
+            assert stats["links"] == 2 * k * (k // 2) ** 2
+            scenario.topo.validate()
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            build_fattree(3)
+        with pytest.raises(ValueError):
+            fattree_dimensions(0)
+
+    def test_full_connectivity_k4(self):
+        scenario = build_fattree(4)
+        net = DataPlaneNetwork(scenario.topo, scenario.channel)
+        for src, dst in scenario.host_pairs():
+            result = net.inject_from_host(src, scenario.header_between(src, dst))
+            assert result.status == "delivered", f"{src}->{dst}"
+            assert result.delivered_to == dst
+
+    def test_inter_pod_paths_have_four_hops(self):
+        scenario = build_fattree(4)
+        net = DataPlaneNetwork(scenario.topo, scenario.channel)
+        result = net.inject_from_host(
+            "h0_0_0", scenario.header_between("h0_0_0", "h3_1_1")
+        )
+        # edge -> agg -> core -> agg -> edge
+        assert len(result.hops) == 5
+
+    def test_intra_edge_paths_have_one_hop(self):
+        scenario = build_fattree(4)
+        net = DataPlaneNetwork(scenario.topo, scenario.channel)
+        result = net.inject_from_host(
+            "h0_0_0", scenario.header_between("h0_0_0", "h0_0_1")
+        )
+        assert len(result.hops) == 1
+
+
+class TestStanford:
+    def test_roster(self):
+        scenario = build_stanford(install_routes=False)
+        assert set(scenario.topo.switches) == set(STANFORD_ZONES) | set(
+            STANFORD_BACKBONES
+        )
+        assert len(scenario.topo.switches) == 16  # as in the paper
+        scenario.topo.validate()
+
+    def test_dual_homing(self):
+        scenario = build_stanford(install_routes=False)
+        for zone in STANFORD_ZONES:
+            assert sorted(scenario.topo.neighbors(zone)) == ["bbra", "bbrb"]
+
+    def test_function_test_addresses_present(self):
+        scenario = build_stanford()
+        assert scenario.subnets["h_boza_0"] == "172.20.10.32/27"
+        assert scenario.host_ips["h_boza_0"] == "172.20.10.33"
+        assert scenario.subnets["h_cozb_0"] == "10.63.16.0/20"
+
+    def test_acl_blocks_private_space_through_sozb(self):
+        scenario = build_stanford()
+        net = DataPlaneNetwork(scenario.topo, scenario.channel)
+        result = net.inject_from_host(
+            "h_sozb_0", scenario.header_between("h_sozb_0", "h_cozb_0")
+        )
+        assert result.status == "dropped"
+        assert result.hops[-1].switch == "sozb"
+
+    def test_acls_can_be_disabled(self):
+        scenario = build_stanford(with_acls=False)
+        net = DataPlaneNetwork(scenario.topo, scenario.channel)
+        result = net.inject_from_host(
+            "h_sozb_0", scenario.header_between("h_sozb_0", "h_cozb_0")
+        )
+        assert result.status == "delivered"
+
+    def test_scaling_knob(self):
+        small = build_stanford(subnets_per_zone=1, install_routes=False)
+        large = build_stanford(subnets_per_zone=3, install_routes=False)
+        assert len(large.topo.hosts()) == 3 * len(small.topo.hosts())
+        with pytest.raises(ValueError):
+            build_stanford(subnets_per_zone=0)
+
+    def test_general_connectivity(self):
+        scenario = build_stanford(subnets_per_zone=1)
+        net = DataPlaneNetwork(scenario.topo, scenario.channel)
+        result = net.inject_from_host(
+            "h_boza_0", scenario.header_between("h_boza_0", "h_yozb_0")
+        )
+        assert result.status == "delivered"
+
+
+class TestInternet2:
+    def test_roster(self):
+        scenario = build_internet2(install_routes=False)
+        assert set(scenario.topo.switches) == set(INTERNET2_POPS)
+        assert len(INTERNET2_POPS) == 9  # as in the paper
+        scenario.topo.validate()
+
+    def test_connectivity(self):
+        scenario = build_internet2(prefixes_per_pop=1)
+        net = DataPlaneNetwork(scenario.topo, scenario.channel)
+        for src, dst in scenario.host_pairs():
+            result = net.inject_from_host(src, scenario.header_between(src, dst))
+            assert result.status == "delivered", f"{src}->{dst}"
+
+    def test_prefix_scaling(self):
+        scenario = build_internet2(prefixes_per_pop=4, install_routes=False)
+        assert len(scenario.topo.hosts()) == 36
+        with pytest.raises(ValueError):
+            build_internet2(prefixes_per_pop=0)
+
+    def test_lpm_ruleset_shape(self):
+        scenario = build_internet2(prefixes_per_pop=2, install_routes=False)
+        ruleset = internet2_lpm_ruleset(scenario)
+        assert set(ruleset) == set(INTERNET2_POPS)
+        # every switch has a rule for every one of the 18 prefixes
+        assert all(len(rules) == 18 for rules in ruleset.values())
+
+    def test_lpm_ruleset_ports_exist(self):
+        scenario = build_internet2(prefixes_per_pop=1, install_routes=False)
+        ruleset = internet2_lpm_ruleset(scenario)
+        for switch_id, rules in ruleset.items():
+            ports = set(scenario.topo.ports_of(switch_id))
+            assert all(port in ports for _, port in rules)
