@@ -10,6 +10,7 @@ run the quick defaults while a workstation reproduces at larger scale:
 * ``REPRO_LOC_TRIALS``        (default 15) — fault-injection trials.
 """
 
+import json
 import os
 
 import pytest
@@ -81,3 +82,17 @@ def print_table(title: str, headers, rows, slug: str = "") -> None:
         os.makedirs(RESULTS_DIR, exist_ok=True)
         with open(os.path.join(RESULTS_DIR, f"{slug}.txt"), "w") as handle:
             handle.write(text + "\n")
+
+
+def write_json(slug: str, payload) -> str:
+    """Persist machine-readable bench output to benchmarks/results/<slug>.json.
+
+    The text tables are for humans; these files are for CI trend tracking
+    and regression gates.  Returns the path written.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{slug}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

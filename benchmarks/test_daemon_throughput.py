@@ -2,26 +2,43 @@
 
 Section 6.4: "Since the verification is still single-threaded without
 optimization, we expect a higher throughput with multi-threading in the
-future."  We measure a 1/2/4-worker daemon on the same report stream.
+future."  We measure a 1/2/4-worker daemon on the same report stream in two
+execution modes:
 
-Honest finding: in *CPython* the verification fast path is CPU-bound and
-GIL-serialised, so threads add queueing overhead without parallel speedup —
-the paper's expectation holds for their C implementation, not for this one.
-The bench reports the numbers rather than hiding them; the single-threaded
-figure is the meaningful Python datum (compare Figure 13).
+* **thread** — :class:`VeriDPDaemon`, shared-memory worker threads.  In
+  CPython the verification fast path is CPU-bound and GIL-serialised, so
+  threads add queueing overhead without parallel speedup — the paper's
+  expectation holds for their C implementation, not for this mode.
+* **process** — :class:`ShardedVeriDPDaemon`, one OS process per shard with
+  its own compiled path-table replica, sidestepping the GIL.  Scaling here
+  is bounded by available CPU cores: the monotonic 1->4 worker gate only
+  arms when the machine actually exposes 4+ cores, otherwise the honest
+  (flat or IPC-dominated) curve is recorded without pretending otherwise.
+
+Machine-readable output lands in ``benchmarks/results/BENCH_daemon.json``.
 """
+
+import os
 
 import pytest
 
-from repro.core.daemon import VeriDPDaemon
+from repro.core.daemon import ShardedVeriDPDaemon, VeriDPDaemon
 from repro.core.reports import pack_report
 from repro.core.server import VeriDPServer
 from repro.dataplane import DataPlaneNetwork
 from repro.topologies import build_fattree
 
-from conftest import print_table
+from conftest import print_table, write_json
 
-_rows = []
+#: (mode, workers) -> reports/s, filled by the parametrized benches.
+_rates = {}
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 @pytest.fixture(scope="module")
@@ -34,11 +51,13 @@ def report_stream():
         result = net.inject_from_host(src, scenario.header_between(src, dst))
         payloads += [pack_report(r, net.codec) for r in result.reports]
     payloads = payloads * 8  # ~2k reports
+    server.refresh_if_dirty()
+    server.table.compile_matchers(server.hs)
     return server, payloads
 
 
 @pytest.mark.parametrize("workers", [1, 2, 4])
-def test_daemon_throughput(benchmark, report_stream, workers):
+def test_daemon_thread_throughput(benchmark, report_stream, workers):
     server, payloads = report_stream
 
     def run():
@@ -54,17 +73,68 @@ def test_daemon_throughput(benchmark, report_stream, workers):
     assert stats["processed"] == len(payloads)
     assert stats["failed"] == 0
     reports_per_s = len(payloads) / benchmark.stats["mean"]
-    _rows.append((workers, len(payloads), f"{reports_per_s:,.0f}"))
-    benchmark.extra_info.update(reports_per_s=int(reports_per_s))
+    _rates[("thread", workers)] = (len(payloads), reports_per_s)
+    benchmark.extra_info.update(mode="thread", reports_per_s=int(reports_per_s))
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_daemon_process_throughput(benchmark, report_stream, workers):
+    server, payloads = report_stream
+
+    def run():
+        daemon = ShardedVeriDPDaemon(server, workers=workers)
+        daemon.start()
+        for payload in payloads:
+            daemon.submit(payload)
+        daemon.join()
+        daemon.stop()
+        return daemon.stats()
+
+    stats = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+    assert stats["processed"] == len(payloads)
+    assert stats["failed"] == 0
+    reports_per_s = len(payloads) / benchmark.stats["mean"]
+    _rates[("process", workers)] = (len(payloads), reports_per_s)
+    benchmark.extra_info.update(mode="process", reports_per_s=int(reports_per_s))
 
 
 def test_daemon_throughput_report(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    if _rows:
-        print_table(
-            "Daemon throughput vs workers (GIL-bound: flat is the expected "
-            "CPython result; the paper's C server would scale)",
-            ["workers", "reports", "reports/s"],
-            sorted(_rows),
-            slug="daemon_throughput",
+    if not _rates:
+        pytest.skip("no throughput samples collected")
+    cores = _available_cores()
+    rows = [
+        (mode, workers, reports, f"{rate:,.0f}")
+        for (mode, workers), (reports, rate) in sorted(_rates.items())
+    ]
+    print_table(
+        f"Daemon throughput vs workers ({cores} CPU core(s) available; "
+        "thread mode is GIL-bound by design, process mode scales with cores)",
+        ["mode", "workers", "reports", "reports/s"],
+        rows,
+        slug="daemon_throughput",
+    )
+    write_json(
+        "BENCH_daemon",
+        {
+            "cpu_cores": cores,
+            "modes": {
+                mode: {
+                    str(workers): round(rate)
+                    for (m, workers), (_, rate) in sorted(_rates.items())
+                    if m == mode
+                }
+                for mode in {m for m, _ in _rates}
+            },
+        },
+    )
+    process_curve = [
+        rate for (m, _), (_, rate) in sorted(_rates.items()) if m == "process"
+    ]
+    if cores >= 4 and len(process_curve) == 3:
+        # Only meaningful when the hardware can actually run 4 workers in
+        # parallel; on smaller boxes the curve is recorded but not gated.
+        assert process_curve == sorted(process_curve), (
+            f"process mode should scale monotonically 1->4 workers on a "
+            f"{cores}-core machine, got {process_curve}"
         )

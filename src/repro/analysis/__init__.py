@@ -34,6 +34,7 @@ from .timing import (
     UpdateTimingResult,
     VerificationTimingResult,
     measure_update_times,
+    check_fastpath_parity,
     measure_verification_time,
     reports_from_table,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "path_count_distribution",
     "distribution_cdf",
     "VerificationTimingResult",
+    "check_fastpath_parity",
     "measure_verification_time",
     "UpdateTimingResult",
     "measure_update_times",

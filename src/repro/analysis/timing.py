@@ -12,7 +12,6 @@
 from __future__ import annotations
 
 import statistics
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,6 +26,7 @@ from ..topologies.base import Scenario
 __all__ = [
     "VerificationTimingResult",
     "measure_verification_time",
+    "check_fastpath_parity",
     "UpdateTimingResult",
     "measure_update_times",
 ]
@@ -86,21 +86,35 @@ def measure_verification_time(
     label: str,
     repeats: int = 100,
     report_limit: Optional[int] = None,
+    fast_path: bool = True,
+    flow_cache: bool = True,
 ) -> VerificationTimingResult:
-    """Average per-report verification latency over the whole table."""
+    """Average per-report verification latency over the whole table.
+
+    ``fast_path=False`` times the paper-literal recursive-BDD scan (the
+    reference the fast path is checked against); ``flow_cache=False`` times
+    the fast path with caching disabled, isolating the compiled-matcher
+    contribution.  Statistics are routed through
+    :meth:`Verifier.verify_batch`, so the per-verification cost excludes
+    per-report clock reads and result allocation.
+    """
     if repeats <= 0:
         raise ValueError(f"repeats must be positive, got {repeats}")
     reports = reports_from_table(builder, table, limit=report_limit)
     if not reports:
         raise ValueError("path table produced no reports to verify")
-    verifier = Verifier(table, builder.hs)
+    if fast_path:
+        table.compile_matchers(builder.hs)
+    verifier = Verifier(
+        table,
+        builder.hs,
+        fast_path=fast_path,
+        flow_cache_size=8192 if flow_cache else 0,
+    )
     per_report_us: List[float] = []
     for report in reports:
-        started = time.perf_counter()
-        for _ in range(repeats):
-            verifier.verify(report)
-        elapsed = time.perf_counter() - started
-        per_report_us.append(elapsed / repeats * 1e6)
+        batch = verifier.verify_batch([report] * repeats)
+        per_report_us.append(batch.elapsed_s / repeats * 1e6)
     mean_us = statistics.fmean(per_report_us)
     ranked = sorted(per_report_us)
     return VerificationTimingResult(
@@ -112,6 +126,33 @@ def measure_verification_time(
         p99_us=ranked[min(len(ranked) - 1, int(0.99 * len(ranked)))],
         throughput_per_s=1e6 / mean_us if mean_us else 0.0,
     )
+
+
+def check_fastpath_parity(
+    builder: PathTableBuilder,
+    table: PathTable,
+    reports: Sequence[TagReport],
+) -> List[Tuple[TagReport, str, str]]:
+    """Compare fast-path and slow-path verdicts report by report.
+
+    Returns the mismatches as ``(report, fast_verdict, slow_verdict)``
+    tuples — an empty list certifies that the compiled-matcher fast path is
+    verdict-identical to the recursive-BDD reference on this report set.
+    """
+    fast = Verifier(table, builder.hs, fast_path=True)
+    slow = Verifier(table, builder.hs, fast_path=False)
+    mismatches: List[Tuple[TagReport, str, str]] = []
+    for report in reports:
+        fast_result = fast.verify(report)
+        slow_result = slow.verify(report)
+        if (
+            fast_result.verdict is not slow_result.verdict
+            or fast_result.matched_entry is not slow_result.matched_entry
+        ):
+            mismatches.append(
+                (report, fast_result.verdict.value, slow_result.verdict.value)
+            )
+    return mismatches
 
 
 @dataclass

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["BDD", "FALSE", "TRUE"]
+__all__ = ["BDD", "FlatBDD", "FALSE", "TRUE"]
 
 #: Terminal node id for the constant-false function (empty header set).
 FALSE = 0
@@ -40,6 +40,65 @@ TRUE = 1
 
 #: Pseudo-level assigned to terminals; larger than any real variable level.
 _TERMINAL_LEVEL = 1 << 30
+
+#: Child sentinels inside :class:`FlatBDD` arrays (real children are >= 0).
+_FLAT_FALSE = -1
+_FLAT_TRUE = -2
+
+
+class FlatBDD:
+    """One BDD function frozen into flat parallel arrays for fast evaluation.
+
+    Recursive evaluation through the manager pays a dict lookup per level;
+    the verification hot path instead chases three plain lists.  A node ``i``
+    stores ``shifts[i]`` (the right-shift that extracts its variable's bit
+    from a packed header integer, MSB = level 0), ``low[i]`` and ``high[i]``
+    (either another node index or one of the terminal sentinels).
+
+    ``source`` is the manager node id the function was compiled from; by
+    ROBDD canonicity a matcher is stale iff its source id no longer equals
+    the BDD it should represent, which makes cache invalidation a single
+    integer compare.
+
+    Instances are self-contained (no reference to the owning manager), so
+    they pickle cheaply — the sharded daemon ships them to worker processes
+    as each shard's path-table replica.
+    """
+
+    __slots__ = ("source", "root", "shifts", "low", "high")
+
+    def __init__(
+        self,
+        source: int,
+        root: int,
+        shifts: Sequence[int],
+        low: Sequence[int],
+        high: Sequence[int],
+    ) -> None:
+        self.source = source
+        self.root = root
+        self.shifts = list(shifts)
+        self.low = list(low)
+        self.high = list(high)
+
+    def evaluate_value(self, value: int) -> bool:
+        """Evaluate against a header packed into one integer (level 0 = MSB)."""
+        u = self.root
+        shifts = self.shifts
+        low = self.low
+        high = self.high
+        while u >= 0:
+            u = high[u] if (value >> shifts[u]) & 1 else low[u]
+        return u == _FLAT_TRUE
+
+    def __len__(self) -> int:
+        return len(self.shifts)
+
+    def __getstate__(self):
+        return (self.source, self.root, self.shifts, self.low, self.high)
+
+    def __setstate__(self, state) -> None:
+        self.source, self.root, self.shifts, self.low, self.high = state
 
 
 class BDD:
@@ -398,6 +457,47 @@ class BDD:
             except KeyError as exc:
                 raise ValueError(f"assignment missing variable level {level}") from exc
         return u == TRUE
+
+    # ------------------------------------------------------------------
+    # flat compilation (the verification fast path)
+    # ------------------------------------------------------------------
+
+    def compile_flat(self, f: int) -> FlatBDD:
+        """Compile ``f`` into a :class:`FlatBDD` for fast repeated evaluation.
+
+        The returned matcher evaluates headers packed into a single integer
+        with variable level 0 as the most significant bit: the bit for level
+        ``L`` is ``(value >> (num_vars - 1 - L)) & 1`` (see
+        :meth:`repro.bdd.headerspace.HeaderSpace.header_value`).
+        """
+        if f == FALSE:
+            return FlatBDD(f, _FLAT_FALSE, (), (), ())
+        if f == TRUE:
+            return FlatBDD(f, _FLAT_TRUE, (), (), ())
+        index: Dict[int, int] = {}
+        order: List[int] = []
+        stack = [f]
+        while stack:
+            u = stack.pop()
+            if u <= TRUE or u in index:
+                continue
+            index[u] = len(order)
+            order.append(u)
+            stack.append(self._low[u])
+            stack.append(self._high[u])
+        top = self.num_vars - 1
+
+        def child(c: int) -> int:
+            if c == FALSE:
+                return _FLAT_FALSE
+            if c == TRUE:
+                return _FLAT_TRUE
+            return index[c]
+
+        shifts = [top - self._level[u] for u in order]
+        low = [child(self._low[u]) for u in order]
+        high = [child(self._high[u]) for u in order]
+        return FlatBDD(f, 0, shifts, low, high)
 
     # ------------------------------------------------------------------
     # maintenance

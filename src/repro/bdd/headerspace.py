@@ -312,6 +312,25 @@ class HeaderSpace:
                 bits[base + i] = bool((value >> (field.width - 1 - i)) & 1)
         return self.bdd.evaluate(header_set, bits)
 
+    def header_value(self, header: Mapping[str, int]) -> int:
+        """Pack a concrete header into one integer (level 0 = MSB).
+
+        This is the input format of :meth:`repro.bdd.engine.FlatBDD
+        .evaluate_value`: compiled matchers extract each variable's bit with
+        one shift instead of a per-bit dict lookup, which is what makes the
+        verification fast path cheap.
+        """
+        value = 0
+        for field in self.layout.fields:
+            v = header[field.name]
+            if v >> field.width:
+                raise ValueError(
+                    f"value {v} out of range for field {field.name} "
+                    f"(width {field.width})"
+                )
+            value = (value << field.width) | v
+        return value
+
     def sample_header(self, header_set: int) -> Optional[Dict[str, int]]:
         """One concrete header in ``header_set``, or ``None`` if empty.
 

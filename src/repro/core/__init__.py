@@ -15,7 +15,7 @@ This package is the paper's primary contribution:
 """
 
 from .atomic_builder import AtomicPathTableBuilder
-from .daemon import UdpReportListener, VeriDPDaemon
+from .daemon import ShardedVeriDPDaemon, UdpReportListener, VeriDPDaemon
 from .bloom import BloomTagScheme, XorTagScheme, murmur3_32
 from .incremental import IncrementalPathTable, LpmProvider, PrefixRuleTree, RuleDelta
 from .localization import (
@@ -43,9 +43,11 @@ from .sampling import (
     worst_case_detection_latency,
 )
 from .server import Incident, VeriDPServer
-from .verifier import VerificationResult, Verdict, Verifier
+from .verifier import BatchVerificationResult, VerificationResult, Verdict, Verifier
 
 __all__ = [
+    "BatchVerificationResult",
+    "ShardedVeriDPDaemon",
     "BloomTagScheme",
     "XorTagScheme",
     "murmur3_32",

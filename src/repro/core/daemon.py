@@ -1,36 +1,50 @@
-"""A concurrent VeriDP server daemon.
+"""Concurrent VeriDP server daemons.
 
 The paper's prototype verifies ~5x10^5 reports/second single-threaded and
 notes "we expect a higher throughput with multi-threading in the future"
-(Section 6.4).  This module supplies that deployment shell:
+(Section 6.4).  This module supplies that deployment shell in two shapes:
 
-* :class:`VeriDPDaemon` — a worker pool draining a bounded queue of report
-  payloads; verification counters and the incident log are consolidated
-  thread-safely, and localization runs on the worker that caught the
-  failure,
+* :class:`VeriDPDaemon` — a thread pool draining a bounded queue of report
+  payloads in batches (batching amortises lock traffic and clock reads via
+  :meth:`~repro.core.verifier.Verifier.verify_batch`); verification
+  counters and the incident log are consolidated thread-safely, and
+  localization runs on the worker that caught the failure.  CPU-bound
+  verification is still GIL-serialised in CPython, so threads buy
+  concurrency (socket + verify overlap), not parallelism,
+* :class:`ShardedVeriDPDaemon` — a ``multiprocessing`` worker pool that
+  shards reports by ``(inport, outport)`` hash across processes.  Each
+  worker holds a self-contained *compiled replica* of its shard of the path
+  table (flat-array matchers, no BDD manager, no topology), verifies wire
+  payloads locally, and ships counter deltas and failed payloads back over
+  a result queue; the parent consolidates counters and runs
+  localization/incident logging for the (rare) failures.  This is the mode
+  that turns the GIL-flat throughput curve into a scaling one when cores
+  are available,
 * :class:`UdpReportListener` — an optional real UDP socket (the paper's
   transport: "tag reports ... are encapsulated with plain UDP packets")
-  that feeds received datagrams into the daemon.
+  that feeds received datagrams into a daemon.
 
 The verifying fast path shares one path table read-only; rule updates go
-through :meth:`VeriDPDaemon.pause_and_refresh`, which quiesces the workers,
-rebuilds, and resumes — the classic read-mostly monitor structure.
+through ``pause_and_refresh``, which quiesces the workers, rebuilds (and
+for the sharded daemon re-replicates), and resumes — the classic
+read-mostly monitor structure.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import queue
 import socket
+import struct
 import threading
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from ..netmodel.topology import Topology
-from .reports import unpack_report
+from .pathtable import PathTable
+from .reports import _REPORT_STRUCT, REPORT_VERSION, unpack_report
 from .server import Incident, VeriDPServer
-from .verifier import Verifier
+from .verifier import Verdict, Verifier
 
-__all__ = ["VeriDPDaemon", "UdpReportListener"]
+__all__ = ["VeriDPDaemon", "ShardedVeriDPDaemon", "UdpReportListener"]
 
 _STOP = object()
 
@@ -39,8 +53,9 @@ class VeriDPDaemon:
     """Multi-worker report verification on top of a :class:`VeriDPServer`.
 
     The underlying server's verify/localize machinery is pure computation
-    over a shared read-only path table; workers serialise only the
-    counter/incident updates under a lock.
+    over a shared read-only path table; workers drain the queue in batches
+    (up to ``batch_size`` reports at a time) and serialise only one
+    counter/incident update per batch under a lock.
     """
 
     def __init__(
@@ -48,9 +63,12 @@ class VeriDPDaemon:
         server: VeriDPServer,
         workers: int = 2,
         queue_size: int = 10_000,
+        batch_size: int = 64,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"need at least one worker, got {workers}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.server = server
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_size)
         self._lock = threading.Lock()
@@ -58,6 +76,7 @@ class VeriDPDaemon:
         self._worker_verifiers: List[Verifier] = []
         self._running = False
         self.workers = workers
+        self.batch_size = batch_size
         self.processed = 0
         self.dropped = 0  # queue-full drops (backpressure signal)
         self.malformed = 0  # undecodable payloads (must not kill a worker)
@@ -74,7 +93,11 @@ class VeriDPDaemon:
         for index in range(self.workers):
             # Worker-local verifiers: counters are per-thread (merged in
             # stats()), the path table is shared read-only.
-            verifier = Verifier(self.server.table, self.server.hs)
+            verifier = Verifier(
+                self.server.table,
+                self.server.hs,
+                fast_path=self.server.fast_path,
+            )
             self._worker_verifiers.append(verifier)
             thread = threading.Thread(
                 target=self._worker,
@@ -126,33 +149,61 @@ class VeriDPDaemon:
     # -- worker loop -----------------------------------------------------------
 
     def _worker(self, verifier: "Verifier") -> None:
+        q = self._queue
+        batch_size = self.batch_size
         while True:
-            item = self._queue.get()
+            item = q.get()
+            stop = item is _STOP
+            batch: List[bytes] = [] if stop else [item]
+            if not stop:
+                # Opportunistically drain up to a batch; a _STOP seen while
+                # draining ends this worker after the batch is processed
+                # (stop() enqueues one _STOP per worker, and they are
+                # interchangeable).
+                while len(batch) < batch_size:
+                    try:
+                        extra = q.get_nowait()
+                    except queue.Empty:
+                        break
+                    if extra is _STOP:
+                        stop = True
+                        break
+                    batch.append(extra)
+            if batch:
+                self._process_batch(verifier, batch)
+            for _ in range(len(batch) + (1 if stop else 0)):
+                q.task_done()
+            if stop:
+                return
+
+    def _process_batch(self, verifier: "Verifier", payloads: List[bytes]) -> None:
+        reports = []
+        malformed = 0
+        codec = self.server.codec
+        for payload in payloads:
             try:
-                if item is _STOP:
-                    return
-                try:
-                    report = unpack_report(item, self.server.codec)
-                except ValueError:
-                    with self._lock:
-                        self.malformed += 1
-                    continue
-                # Pure computation outside the lock.
-                verification = verifier.verify(report)
-                localization = None
-                if not verification.passed and self.server.localize_failures:
-                    localization = self.server.localizer.localize(report)
-                with self._lock:
-                    self.processed += 1
-                    if not verification.passed:
-                        self.server.incidents.append(
-                            Incident(
-                                verification=verification,
-                                localization=localization,
-                            )
-                        )
-            finally:
-                self._queue.task_done()
+                reports.append(unpack_report(payload, codec))
+            except ValueError:
+                malformed += 1
+        incidents: List[Incident] = []
+        if reports:
+            # Pure computation outside the lock.
+            result = verifier.verify_batch(reports)
+            localize = self.server.localize_failures
+            for failure in result.failures:
+                localization = (
+                    self.server.localizer.localize(failure.report)
+                    if localize
+                    else None
+                )
+                incidents.append(
+                    Incident(verification=failure, localization=localization)
+                )
+        with self._lock:
+            self.processed += len(reports)
+            self.malformed += malformed
+            if incidents:
+                self.server.incidents.extend(incidents)
 
     # -- maintenance -----------------------------------------------------------
 
@@ -184,6 +235,357 @@ class VeriDPDaemon:
             v.failure_count for v in self._worker_verifiers
         )
         return merged
+
+
+# ---------------------------------------------------------------------------
+# sharded multiprocess daemon
+# ---------------------------------------------------------------------------
+
+#: Struct field positions of the header 5-tuple inside a report payload
+#: (after version, flags, inport, outport, tag).
+_WIRE_FIELD_POS = {
+    "src_ip": 0,
+    "dst_ip": 1,
+    "proto": 2,
+    "src_port": 3,
+    "dst_port": 4,
+}
+
+_PASS = Verdict.PASS.value
+_FAIL_MISMATCH = Verdict.FAIL_TAG_MISMATCH.value
+_FAIL_NO_PATH = Verdict.FAIL_NO_PATH.value
+_FAIL_UNKNOWN = Verdict.FAIL_UNKNOWN_PAIR.value
+
+#: Knuth multiplicative hash constant for spreading (inport, outport) keys.
+_HASH_MULT = 2654435761
+
+
+def _shard_of(pair_key: int, workers: int) -> int:
+    """Shard index for a 32-bit packed ``(inport << 16) | outport`` key."""
+    return ((pair_key * _HASH_MULT) >> 16) % workers
+
+
+def build_shard_specs(
+    table: PathTable, hs, codec, workers: int
+) -> List[Dict[Tuple[int, int], tuple]]:
+    """Compile the path table into per-worker picklable shard replicas.
+
+    Each pair becomes ``(tags, flat_matchers, by_tag, disjoint)`` keyed by
+    the pair's *wire* port ids, so workers never need the codec, topology
+    or BDD manager — only flat integer arrays.
+    """
+    specs: List[Dict[Tuple[int, int], tuple]] = [{} for _ in range(workers)]
+    for inport, outport in table.pairs():
+        index = table.fast_index(inport, outport, hs)
+        if index is None:  # pragma: no cover - pairs() only lists known keys
+            continue
+        in_wire = codec.encode(inport)
+        out_wire = codec.encode(outport)
+        spec = (
+            tuple(entry.tag for entry in index.entries),
+            tuple(entry.compiled_matcher(hs) for entry in index.entries),
+            dict(index.by_tag),
+            index.disjoint,
+        )
+        shard = _shard_of((in_wire << 16) | out_wire, workers)
+        specs[shard][(in_wire, out_wire)] = spec
+    return specs
+
+
+def _verify_wire(
+    pairs: Dict[Tuple[int, int], tuple],
+    packing: Tuple[Tuple[int, int], ...],
+    payload: bytes,
+) -> Optional[str]:
+    """Verify one wire payload against a shard replica.
+
+    Returns a verdict value string, or ``None`` for malformed payloads.
+    Mirrors :meth:`Verifier._match_fast` (minus the flow cache, which would
+    buy little once the per-report cost is a few flat-array chases).
+    """
+    try:
+        fields = _REPORT_STRUCT.unpack(payload)
+    except struct.error:
+        return None
+    if fields[0] != REPORT_VERSION:
+        return None
+    pair = pairs.get((fields[2], fields[3]))
+    if pair is None:
+        return _FAIL_UNKNOWN
+    tags, flats, by_tag, disjoint = pair
+    value = 0
+    for pos, width in packing:
+        value = (value << width) | fields[5 + pos]
+    tag = fields[4]
+    matched = -1
+    if disjoint:
+        positions = by_tag.get(tag)
+        if positions is not None:
+            for pos in positions:
+                if flats[pos].evaluate_value(value):
+                    matched = pos
+                    break
+        if matched < 0:
+            for pos, flat in enumerate(flats):
+                if tags[pos] != tag and flat.evaluate_value(value):
+                    matched = pos
+                    break
+    else:
+        for pos, flat in enumerate(flats):
+            if flat.evaluate_value(value):
+                matched = pos
+                break
+    if matched < 0:
+        return _FAIL_NO_PATH
+    return _PASS if tags[matched] == tag else _FAIL_MISMATCH
+
+
+def _shard_worker_main(
+    worker_id: int,
+    in_queue,
+    out_queue,
+    pairs: Dict[Tuple[int, int], tuple],
+    packing: Tuple[Tuple[int, int], ...],
+) -> None:
+    """One shard worker process: verify batches, report deltas on flush."""
+    counters = {
+        _PASS: 0,
+        _FAIL_MISMATCH: 0,
+        _FAIL_NO_PATH: 0,
+        _FAIL_UNKNOWN: 0,
+    }
+    processed = 0
+    malformed = 0
+    failures: List[Tuple[bytes, str]] = []
+    while True:
+        message = in_queue.get()
+        kind = message[0]
+        if kind == "batch":
+            for payload in message[1]:
+                verdict = _verify_wire(pairs, packing, payload)
+                if verdict is None:
+                    malformed += 1
+                    continue
+                processed += 1
+                counters[verdict] += 1
+                if verdict != _PASS:
+                    failures.append((payload, verdict))
+        elif kind == "flush":
+            out_queue.put(
+                (
+                    "flush",
+                    worker_id,
+                    message[1],
+                    processed,
+                    malformed,
+                    dict(counters),
+                    failures,
+                )
+            )
+            processed = 0
+            malformed = 0
+            for key in counters:
+                counters[key] = 0
+            failures = []
+        elif kind == "stop":
+            return
+
+
+class ShardedVeriDPDaemon:
+    """Multiprocess report verification, sharded by ``(inport, outport)``.
+
+    The parent peeks the two wire port ids out of each payload (bytes 2-6),
+    hashes them to a shard, and ships payloads to that shard's worker in
+    batches; each worker verifies against its own compiled path-table
+    replica with no shared state, sidestepping the GIL entirely.  Failed
+    payloads come back over the result queue and are re-ingested through
+    :meth:`VeriDPServer.receive_report_bytes` on the parent, so
+    localization, the localization cache and the incident log behave
+    exactly as in the single-process server.
+
+    ``join()`` is the consolidation point: it flushes the shard buffers,
+    asks every worker for its counter deltas, and folds them in.  Call it
+    before reading :meth:`stats`.
+    """
+
+    def __init__(
+        self,
+        server: VeriDPServer,
+        workers: int = 2,
+        batch_size: int = 256,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.server = server
+        self.workers = workers
+        self.batch_size = batch_size
+        self.processed = 0
+        self.malformed = 0
+        self.counters: Dict[Verdict, int] = {v: 0 for v in Verdict}
+        self._packing = self._packing_for(server)
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        self._processes: List = []
+        self._in_queues: List = []
+        self._out_queue = None
+        self._buffers: List[List[bytes]] = []
+        self._flush_token = 0
+        self._running = False
+
+    @staticmethod
+    def _packing_for(server: VeriDPServer) -> Tuple[Tuple[int, int], ...]:
+        packing = []
+        for field in server.hs.layout.fields:
+            pos = _WIRE_FIELD_POS.get(field.name)
+            if pos is None:
+                raise ValueError(
+                    f"sharded daemon needs the wire 5-tuple layout; "
+                    f"field {field.name!r} is not on the wire"
+                )
+            packing.append((pos, field.width))
+        return tuple(packing)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Replicate the (compiled) path table and fork the workers."""
+        if self._running:
+            return
+        self.server.refresh_if_dirty()
+        specs = build_shard_specs(
+            self.server.table, self.server.hs, self.server.codec, self.workers
+        )
+        self._out_queue = self._ctx.Queue()
+        self._in_queues = []
+        self._processes = []
+        self._buffers = [[] for _ in range(self.workers)]
+        for worker_id in range(self.workers):
+            in_queue = self._ctx.Queue()
+            process = self._ctx.Process(
+                target=_shard_worker_main,
+                args=(
+                    worker_id,
+                    in_queue,
+                    self._out_queue,
+                    specs[worker_id],
+                    self._packing,
+                ),
+                name=f"veridp-shard-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            self._in_queues.append(in_queue)
+            self._processes.append(process)
+        self._running = True
+
+    def stop(self) -> None:
+        """Consolidate outstanding work and terminate the workers."""
+        if not self._running:
+            return
+        self.join()
+        for in_queue in self._in_queues:
+            in_queue.put(("stop",))
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+        self._processes.clear()
+        self._in_queues.clear()
+        self._out_queue = None
+        self._running = False
+
+    def __enter__(self) -> "ShardedVeriDPDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- ingestion -------------------------------------------------------------
+
+    def submit(self, payload: bytes) -> bool:
+        """Route one wire-format report to its shard (buffered)."""
+        if not self._running:
+            raise RuntimeError("daemon is not running; call start() first")
+        pair_key = int.from_bytes(payload[2:6], "big")
+        shard = _shard_of(pair_key, self.workers)
+        buffer = self._buffers[shard]
+        buffer.append(payload)
+        if len(buffer) >= self.batch_size:
+            self._flush_shard(shard)
+        return True
+
+    def _flush_shard(self, shard: int) -> None:
+        buffer = self._buffers[shard]
+        if buffer:
+            self._in_queues[shard].put(("batch", buffer))
+            self._buffers[shard] = []
+
+    def join(self, timeout: float = 60.0) -> None:
+        """Flush buffers, collect every worker's deltas, fold them in."""
+        if not self._running:
+            return
+        for shard in range(self.workers):
+            self._flush_shard(shard)
+        self._flush_token += 1
+        token = self._flush_token
+        for in_queue in self._in_queues:
+            in_queue.put(("flush", token))
+        pending = set(range(self.workers))
+        while pending:
+            try:
+                message = self._out_queue.get(timeout=timeout)
+            except queue.Empty:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"shard workers {sorted(pending)} did not flush in time"
+                ) from None
+            if message[0] != "flush":  # pragma: no cover - defensive
+                continue
+            _, worker_id, got_token, processed, malformed, counters, failures = (
+                message
+            )
+            # Deltas are merged regardless of token age (they are real work);
+            # only the matching token clears the worker's pending slot.
+            self.processed += processed
+            self.malformed += malformed
+            for name, count in counters.items():
+                self.counters[Verdict(name)] += count
+            for payload, _verdict in failures:
+                # Re-ingest through the server: localization (with its
+                # cache) runs here, and the incident log gets the full
+                # VerificationResult.
+                self.server.receive_report_bytes(payload)
+            if got_token == token:
+                pending.discard(worker_id)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def pause_and_refresh(self) -> bool:
+        """Quiesce workers, rebuild the path table if stale, re-replicate."""
+        was_running = self._running
+        if was_running:
+            self.stop()
+        refreshed = self.server.refresh_if_dirty()
+        if was_running:
+            self.start()
+        return refreshed
+
+    def stats(self) -> Dict[str, int]:
+        """Consolidated counters (call :meth:`join` first for exact figures)."""
+        verified = sum(self.counters.values())
+        return {
+            "processed": self.processed,
+            "malformed": self.malformed,
+            "workers": self.workers,
+            "mode": "process",
+            "verified": verified,
+            "failed": verified - self.counters[Verdict.PASS],
+            "incidents": len(self.server.incidents),
+        }
 
 
 class UdpReportListener:

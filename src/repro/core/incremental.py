@@ -420,6 +420,11 @@ class IncrementalPathTable:
             return
         self._subtract_phase(delta)
         self._extend_phase(delta)
+        # Both phases mutate entry header sets in place (invisible to the
+        # table's own mutators), so bump the version for flow caches and
+        # pair fast-indexes; per-entry compiled matchers self-heal via
+        # their source-id check.
+        self.table.touch()
 
     def _subtract_phase(self, delta: RuleDelta) -> None:
         """Remove ``Δ`` from paths (and reach records) through ``<S, from>``."""

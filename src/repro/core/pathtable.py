@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Protocol, Tuple
 
+from ..bdd.engine import FALSE, FlatBDD
 from ..bdd.headerspace import HeaderSpace
 from ..netmodel.hops import Hop
 from ..netmodel.predicates import (
@@ -41,11 +42,16 @@ __all__ = [
     "PathEntry",
     "PathTable",
     "PathTableStats",
+    "PairFastIndex",
     "ReachRecord",
     "PredicateProvider",
     "SnapshotProvider",
     "PathTableBuilder",
 ]
+
+#: Pairs with more entries than this skip the pairwise-disjointness probe
+#: (it is quadratic in the entry count); they use the exact list-order scan.
+_DISJOINT_PROBE_LIMIT = 32
 
 
 @dataclass
@@ -63,10 +69,27 @@ class PathEntry:
     tag: int
     exit_headers: Optional[int] = None
     rewrites: Tuple[Tuple[str, int], ...] = ()
+    compiled: Optional[FlatBDD] = field(default=None, repr=False, compare=False)
 
     def exit_header_set(self) -> int:
         """The header set an exit-switch report is matched against."""
         return self.headers if self.exit_headers is None else self.exit_headers
+
+    def compiled_matcher(self, hs: HeaderSpace) -> FlatBDD:
+        """The flat-compiled exit-header matcher, rebuilt if stale.
+
+        Staleness is detected by comparing the matcher's source node id with
+        the entry's current exit-header BDD — canonical ids make this a
+        single integer compare, so in-place header mutations (the
+        incremental updater's subtract/extend phases) self-heal on the next
+        verification instead of needing explicit invalidation hooks.
+        """
+        target = self.exit_header_set()
+        matcher = self.compiled
+        if matcher is None or matcher.source != target:
+            matcher = hs.bdd.compile_flat(target)
+            self.compiled = matcher
+        return matcher
 
     def path_length(self) -> int:
         """Number of hops (switch traversals) on the path."""
@@ -152,20 +175,126 @@ class SnapshotProvider:
         self._action_cache = {}
 
 
+class PairFastIndex:
+    """Verification acceleration state for one (inport, outport) pair.
+
+    ``entries`` is a snapshot tuple of the pair's path entries (table
+    order); ``by_tag`` maps each tag to the entry positions carrying it, so
+    the common PASS case starts from the (usually single) candidate whose
+    tag already matches the report; ``disjoint`` records whether the
+    entries' exit-header sets are pairwise disjoint — only then is
+    tag-first ordering provably verdict-identical to the list-order scan
+    (at most one entry can contain any given header), otherwise the
+    verifier falls back to scanning ``entries`` in order.
+    """
+
+    __slots__ = ("entries", "by_tag", "disjoint")
+
+    def __init__(
+        self,
+        entries: Tuple[PathEntry, ...],
+        by_tag: Dict[int, Tuple[int, ...]],
+        disjoint: bool,
+    ) -> None:
+        self.entries = entries
+        self.by_tag = by_tag
+        self.disjoint = disjoint
+
+
+def _build_pair_index(
+    entries: Tuple[PathEntry, ...], hs: HeaderSpace
+) -> PairFastIndex:
+    buckets: Dict[int, List[int]] = {}
+    for pos, entry in enumerate(entries):
+        buckets.setdefault(entry.tag, []).append(pos)
+        entry.compiled_matcher(hs)  # precompile while we are off the hot path
+    disjoint = False
+    if len(entries) <= _DISJOINT_PROBE_LIMIT:
+        disjoint = True
+        bdd = hs.bdd
+        sets = [entry.exit_header_set() for entry in entries]
+        for i in range(len(sets)):
+            for j in range(i + 1, len(sets)):
+                if bdd.and_(sets[i], sets[j]) != FALSE:
+                    disjoint = False
+                    break
+            if not disjoint:
+                break
+    by_tag = {tag: tuple(positions) for tag, positions in buckets.items()}
+    return PairFastIndex(entries, by_tag, disjoint)
+
+
 class PathTable:
-    """The verification index: ``(inport, outport) -> [PathEntry]``."""
+    """The verification index: ``(inport, outport) -> [PathEntry]``.
+
+    ``version`` counts structural mutations; consumers holding derived state
+    (the per-pair fast indexes kept here, the verifier's flow cache) compare
+    it to decide whether their snapshots are still valid.  Code that mutates
+    entries *in place* (the incremental updater) must call :meth:`touch`.
+    """
 
     def __init__(self) -> None:
         self._entries: Dict[Tuple[PortRef, PortRef], List[PathEntry]] = {}
         self.build_time_s: float = 0.0
+        self.version: int = 0
+        self._fast_cache: Dict[Tuple[PortRef, PortRef], PairFastIndex] = {}
+        self._fast_version: int = -1
 
     def add(self, inport: PortRef, outport: PortRef, entry: PathEntry) -> None:
         """Append a path for an (inport, outport) pair."""
         self._entries.setdefault((inport, outport), []).append(entry)
+        self.version += 1
 
-    def lookup(self, inport: PortRef, outport: PortRef) -> List[PathEntry]:
-        """All paths for the pair (empty list if the pair is unknown)."""
-        return self._entries.get((inport, outport), [])
+    def touch(self) -> None:
+        """Record an out-of-band mutation (in-place entry edits)."""
+        self.version += 1
+
+    def lookup(self, inport: PortRef, outport: PortRef) -> Tuple[PathEntry, ...]:
+        """All paths for the pair (empty tuple if the pair is unknown).
+
+        Returns an immutable snapshot: the table's internal lists must only
+        change through :meth:`add`/:meth:`remove_empty` so the version
+        counter stays truthful.
+        """
+        entries = self._entries.get((inport, outport))
+        if entries is None:
+            return ()
+        return tuple(entries)
+
+    def fast_index(
+        self, inport: PortRef, outport: PortRef, hs: HeaderSpace
+    ) -> Optional[PairFastIndex]:
+        """The pair's :class:`PairFastIndex`, or ``None`` for unknown pairs.
+
+        Indexes are built lazily per pair and dropped wholesale whenever the
+        table version moves, so they can never serve stale membership.
+        """
+        if self._fast_version != self.version:
+            self._fast_cache.clear()
+            self._fast_version = self.version
+        key = (inport, outport)
+        index = self._fast_cache.get(key)
+        if index is None:
+            entries = self._entries.get(key)
+            if entries is None:
+                return None
+            index = _build_pair_index(tuple(entries), hs)
+            self._fast_cache[key] = index
+        return index
+
+    def compile_matchers(self, hs: HeaderSpace) -> int:
+        """Eagerly build every pair's fast index (and compiled matchers).
+
+        Called at path-table build/refresh time so the first report after a
+        rebuild does not pay the compilation cost; returns the number of
+        path entries compiled.
+        """
+        compiled = 0
+        for inport, outport in list(self._entries):
+            index = self.fast_index(inport, outport, hs)
+            if index is not None:
+                compiled += len(index.entries)
+        return compiled
 
     def pairs(self) -> List[Tuple[PortRef, PortRef]]:
         """Every indexed (inport, outport) pair."""
@@ -187,6 +316,8 @@ class PathTable:
                 self._entries[key] = entries
             else:
                 del self._entries[key]
+        if removed:
+            self.version += 1
         return removed
 
     def num_paths(self) -> int:

@@ -61,12 +61,14 @@ class VeriDPServer:
         codec: Optional[PortCodec] = None,
         localize_failures: bool = True,
         max_path_length: Optional[int] = None,
+        fast_path: bool = True,
     ) -> None:
         self.topo = topo
         self.hs = hs or HeaderSpace()
         self.scheme = scheme or BloomTagScheme()
         self.codec = codec or PortCodec(sorted(topo.switches))
         self.localize_failures = localize_failures
+        self.fast_path = fast_path
         self._provider = SnapshotProvider(topo, self.hs)
         self.builder = PathTableBuilder(
             topo,
@@ -76,7 +78,9 @@ class VeriDPServer:
             max_path_length=max_path_length,
         )
         self.table: PathTable = self.builder.build()
-        self.verifier = Verifier(self.table, self.hs)
+        if fast_path:
+            self.table.compile_matchers(self.hs)
+        self.verifier = Verifier(self.table, self.hs, fast_path=fast_path)
         self.localizer = PathInferLocalizer(self.builder, self.scheme, topo)
         self.incidents: List[Incident] = []
         self._dirty = False
@@ -106,10 +110,15 @@ class VeriDPServer:
             return False
         self._provider.refresh(self.topo, self.hs)
         self.table = self.builder.build()
+        if self.fast_path:
+            self.table.compile_matchers(self.hs)
         # Swap the table under the existing verifier: its counters are part
         # of the server's long-lived statistics (and the repair engine
         # reads them across rebuilds).
         self.verifier.table = self.table
+        # The flow cache keyed headers against the *old* table's paths;
+        # invalidate it exactly like the localization cache below.
+        self.verifier.invalidate_fast_path()
         self._localization_cache.clear()
         self._dirty = False
         return True
@@ -170,4 +179,7 @@ class VeriDPServer:
             "path_table_pairs": table_stats.num_pairs,
             "path_table_paths": table_stats.num_paths,
             "avg_path_length": table_stats.avg_path_length,
+            "fast_path": self.fast_path,
+            "flow_cache_hits": self.verifier.flow_cache_hits,
+            "flow_cache_flows": self.verifier.flow_cache_len,
         }

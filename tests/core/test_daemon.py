@@ -6,7 +6,13 @@ import time
 
 import pytest
 
-from repro.core.daemon import UdpReportListener, VeriDPDaemon
+from repro.core.daemon import (
+    ShardedVeriDPDaemon,
+    UdpReportListener,
+    VeriDPDaemon,
+    _shard_of,
+    build_shard_specs,
+)
 from repro.core.reports import pack_report
 from repro.core.server import VeriDPServer
 from repro.dataplane import DataPlaneNetwork, ModifyRuleOutput
@@ -134,6 +140,107 @@ class TestDaemon:
         daemon.start()
         daemon.stop()
         daemon.stop()
+
+
+class TestShardedDaemon:
+    def test_processes_all_submitted(self, rig):
+        scenario, server, net = rig
+        payloads = collect_payloads(scenario, net, 60)
+        with ShardedVeriDPDaemon(server, workers=2, batch_size=16) as daemon:
+            for payload in payloads:
+                assert daemon.submit(payload)
+            daemon.join()
+            stats = daemon.stats()
+        assert stats["processed"] == len(payloads)
+        assert stats["verified"] == len(payloads)
+        assert stats["failed"] == 0
+        assert stats["mode"] == "process"
+        assert server.incidents == []
+
+    def test_detects_failures_and_localizes_on_parent(self, rig):
+        scenario, server, net = rig
+        header = scenario.header_between("H1", "H3")
+        rule = net.switch("S2").table.lookup(header, 3)
+        ModifyRuleOutput("S2", rule.rule_id, 1).apply(net)
+        bad_payloads = []
+        for _ in range(6):
+            result = net.inject_from_host("H1", header)
+            bad_payloads += [pack_report(r, net.codec) for r in result.reports]
+        with ShardedVeriDPDaemon(server, workers=2) as daemon:
+            for payload in bad_payloads:
+                daemon.submit(payload)
+            daemon.join()
+            stats = daemon.stats()
+        assert stats["failed"] == len(bad_payloads)
+        assert len(server.incidents) == len(bad_payloads)
+        assert all("S2" in i.blamed_switches for i in server.incidents)
+
+    def test_malformed_payload_counted_not_fatal(self, rig):
+        scenario, server, net = rig
+        good = collect_payloads(scenario, net, 5)
+        with ShardedVeriDPDaemon(server, workers=2) as daemon:
+            daemon.submit(b"\x00garbage")
+            for payload in good:
+                daemon.submit(payload)
+            daemon.join()
+            stats = daemon.stats()
+        assert stats["malformed"] == 1
+        assert stats["processed"] == len(good)
+
+    def test_stats_match_thread_daemon(self, rig):
+        """Same payloads, same verdict counters in both execution modes."""
+        scenario, server, net = rig
+        payloads = collect_payloads(scenario, net, 30)
+        with ShardedVeriDPDaemon(server, workers=3) as sharded:
+            for payload in payloads:
+                sharded.submit(payload)
+            sharded.join()
+        scenario2 = build_linear(3)
+        server2 = VeriDPServer(scenario2.topo, scenario2.channel)
+        with VeriDPDaemon(server2, workers=3) as threaded:
+            for payload in payloads:
+                threaded.submit(payload)
+            threaded.join()
+        s, t = sharded.stats(), threaded.stats()
+        for key in ("processed", "verified", "failed", "malformed"):
+            assert s[key] == t[key], key
+
+    def test_pause_and_refresh(self, rig):
+        scenario, server, net = rig
+        with ShardedVeriDPDaemon(server, workers=2) as daemon:
+            from repro.netmodel.rules import FlowRule, Forward, Match
+
+            scenario.controller.install(
+                "S1", FlowRule(50, Match.build(dst="99.0.0.0/8"), Forward(2))
+            )
+            assert daemon.pause_and_refresh() is True
+            for payload in collect_payloads(scenario, net, 5):
+                daemon.submit(payload)
+            daemon.join()
+            assert daemon.stats()["failed"] == 0
+
+    def test_requires_workers(self, rig):
+        _, server, _ = rig
+        with pytest.raises(ValueError):
+            ShardedVeriDPDaemon(server, workers=0)
+
+    def test_submit_requires_running(self, rig):
+        _, server, _ = rig
+        daemon = ShardedVeriDPDaemon(server, workers=1)
+        with pytest.raises(RuntimeError):
+            daemon.submit(b"x" * 26)
+
+    def test_shard_specs_cover_every_pair_once(self, rig):
+        scenario, server, net = rig
+        server.refresh_if_dirty()
+        for workers in (1, 2, 4):
+            specs = build_shard_specs(server.table, server.hs, server.codec, workers)
+            keys = [key for spec in specs for key in spec]
+            assert len(keys) == len(set(keys)) == len(server.table.pairs())
+            for key in keys:
+                wire_key = (key[0] << 16) | key[1]
+                owner = _shard_of(wire_key, workers)
+                assert key in specs[owner]
 
 
 class TestUdpListener:

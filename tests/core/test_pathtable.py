@@ -23,15 +23,30 @@ def figure5():
 class TestPathTableStructure:
     def test_lookup_unknown_pair_is_empty(self):
         table = PathTable()
-        assert table.lookup(PortRef("S1", 1), PortRef("S2", 1)) == []
+        assert table.lookup(PortRef("S1", 1), PortRef("S2", 1)) == ()
 
     def test_add_and_lookup(self):
         table = PathTable()
         entry = PathEntry(headers=1, hops=(Hop(1, "S", 2),), tag=3)
         table.add(PortRef("S", 1), PortRef("S", 2), entry)
-        assert table.lookup(PortRef("S", 1), PortRef("S", 2)) == [entry]
+        assert table.lookup(PortRef("S", 1), PortRef("S", 2)) == (entry,)
         assert table.num_paths() == 1
         assert len(table) == 1
+
+    def test_lookup_result_is_immutable_snapshot(self):
+        """Regression: lookup used to hand out the table's internal list —
+        callers could corrupt the index by mutating it."""
+        table = PathTable()
+        entry = PathEntry(headers=1, hops=(Hop(1, "S", 2),), tag=3)
+        table.add(PortRef("S", 1), PortRef("S", 2), entry)
+        snapshot = table.lookup(PortRef("S", 1), PortRef("S", 2))
+        with pytest.raises(AttributeError):
+            snapshot.append(entry)  # tuples have no append
+        assert table.num_paths() == 1
+        # A later add is not visible through the earlier snapshot either.
+        table.add(PortRef("S", 1), PortRef("S", 2), entry)
+        assert len(snapshot) == 1
+        assert len(table.lookup(PortRef("S", 1), PortRef("S", 2))) == 2
 
     def test_stats_empty_table(self):
         stats = PathTable().stats()
