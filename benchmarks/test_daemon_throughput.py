@@ -138,3 +138,74 @@ def test_daemon_throughput_report(benchmark):
             f"process mode should scale monotonically 1->4 workers on a "
             f"{cores}-core machine, got {process_curve}"
         )
+
+
+@pytest.mark.parametrize("policy", ["block", "drop-new", "drop-oldest"])
+def test_daemon_overflow_policy_throughput(benchmark, report_stream, policy):
+    """Backpressure bookkeeping must not tax the happy path.
+
+    The queue is sized to the stream, so no policy actually drops here —
+    this row isolates the per-submit cost of the policy machinery itself.
+    """
+    server, payloads = report_stream
+
+    def run():
+        daemon = VeriDPDaemon(
+            server, workers=2, queue_size=len(payloads) + 1, overflow=policy
+        )
+        daemon.start()
+        for payload in payloads:
+            daemon.submit(payload)
+        daemon.join()
+        daemon.stop()
+        return daemon.stats()
+
+    stats = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+    assert stats["processed"] == len(payloads)
+    assert stats["dropped"] == 0
+    reports_per_s = len(payloads) / benchmark.stats["mean"]
+    _rates[(f"thread/{policy}", 2)] = (len(payloads), reports_per_s)
+    benchmark.extra_info.update(mode=f"thread/{policy}", reports_per_s=int(reports_per_s))
+
+
+def test_daemon_supervised_restart_cost(benchmark, report_stream):
+    """Throughput of a supervised run that loses (and restarts) one worker.
+
+    The delta against the plain 2-worker process row is the price of one
+    SIGKILL: backoff, respawn, replica rebuild, and batch salvage.
+    """
+    from repro.core.resilience import RestartBackoff
+
+    server, payloads = report_stream
+
+    def run():
+        daemon = ShardedVeriDPDaemon(
+            server,
+            workers=2,
+            restart_budget=3,
+            poll_interval=0.02,
+            backoff=RestartBackoff(base=0.01, cap=0.05),
+        )
+        daemon.start()
+        for i, payload in enumerate(payloads):
+            daemon.submit(payload)
+            if i == len(payloads) // 2:
+                daemon.kill_worker(0)
+        daemon.join()
+        daemon.stop()
+        return daemon.stats()
+
+    stats = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+    assert stats["restarts"] >= 1
+    assert not stats["degraded"]
+    assert (
+        stats["processed"]
+        + stats["malformed"]
+        + stats["verify_errors"]
+        + stats["dropped_full_queue"]
+        + stats["lost_in_restart"]
+        == len(payloads)
+    )
+    reports_per_s = len(payloads) / benchmark.stats["mean"]
+    _rates[("process/1-kill", 2)] = (len(payloads), reports_per_s)
+    benchmark.extra_info.update(mode="process/1-kill", reports_per_s=int(reports_per_s))

@@ -10,6 +10,8 @@ This package is the paper's primary contribution:
 * :mod:`repro.core.sampling`     — Section 4.5 flow sampling,
 * :mod:`repro.core.reports`      — tag-report wire formats (Section 5),
 * :mod:`repro.core.server`       — the VeriDP server tying it together,
+* :mod:`repro.core.resilience`   — backpressure, dead-lettering and worker
+  supervision for the monitoring plane itself,
 * :mod:`repro.core.repair`       — automatic flow-table repair (the paper's
   future work #2).
 """
@@ -34,7 +36,21 @@ from .pathtable import (
 )
 from .repair import RepairAction, RepairEngine, RepairOutcome, RepairResult
 from .queries import PolicyChecker, QueryResult
-from .reports import PortCodec, TagReport, pack_report, unpack_report
+from .reports import (
+    PortCodec,
+    ReportDecodeError,
+    TagReport,
+    pack_report,
+    unpack_report,
+)
+from .resilience import (
+    DeadLetter,
+    DeadLetterQueue,
+    OverflowPolicy,
+    PolicyQueue,
+    RestartBackoff,
+    WorkerSupervisor,
+)
 from .sampling import (
     AlwaysSampler,
     FlowSampler,
@@ -76,8 +92,15 @@ __all__ = [
     "worst_case_detection_latency",
     "TagReport",
     "PortCodec",
+    "ReportDecodeError",
     "pack_report",
     "unpack_report",
+    "OverflowPolicy",
+    "PolicyQueue",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "RestartBackoff",
+    "WorkerSupervisor",
     "VeriDPServer",
     "Incident",
     "VeriDPDaemon",

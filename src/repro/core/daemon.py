@@ -24,6 +24,25 @@ notes "we expect a higher throughput with multi-threading in the future"
   transport: "tag reports ... are encapsulated with plain UDP packets")
   that feeds received datagrams into a daemon.
 
+Resilience (the monitoring plane's own failure model — see DESIGN.md,
+"Failure model of the monitoring plane"):
+
+* ingestion queues are bounded with an explicit
+  :class:`~repro.core.resilience.OverflowPolicy` and per-policy drop
+  counters — overload is accounted, never silent,
+* payloads that fail decoding or crash verification land in a
+  :class:`~repro.core.resilience.DeadLetterQueue` with retry-then-
+  quarantine semantics instead of killing a worker,
+* the sharded daemon is supervised: dead or wedged worker processes are
+  detected (exitcode polling + heartbeat pings) and restarted with bounded
+  exponential backoff, their compiled path-table replica resynchronised
+  against the current :attr:`PathTable.version`; when restarts exceed the
+  budget the daemon degrades to a single-process :class:`VeriDPDaemon`
+  fallback rather than wedging,
+* each worker generation gets its *own* multiprocessing queues, so a
+  worker killed mid-``get``/``put`` cannot poison a shared queue lock for
+  its successor.
+
 The verifying fast path shares one path table read-only; rule updates go
 through ``pause_and_refresh``, which quiesces the workers, rebuilds (and
 for the sharded daemon re-replicates), and resumes — the classic
@@ -33,20 +52,35 @@ read-mostly monitor structure.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue
 import socket
 import struct
 import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 from .pathtable import PathTable
-from .reports import _REPORT_STRUCT, REPORT_VERSION, unpack_report
+from .reports import _REPORT_STRUCT, REPORT_VERSION, ReportDecodeError, unpack_report
+from .resilience import (
+    DeadLetterQueue,
+    OverflowPolicy,
+    PolicyQueue,
+    RestartBackoff,
+    WorkerProbe,
+    WorkerSupervisor,
+)
 from .server import Incident, VeriDPServer
 from .verifier import Verdict, Verifier
 
 __all__ = ["VeriDPDaemon", "ShardedVeriDPDaemon", "UdpReportListener"]
 
 _STOP = object()
+
+#: How many undecodable payloads a shard worker keeps per flush window for
+#: parent-side dead-lettering (the *count* is always exact; the payload
+#: sample is bounded to cap IPC volume under a corruption storm).
+_MALFORMED_SAMPLE = 64
 
 
 class VeriDPDaemon:
@@ -56,6 +90,12 @@ class VeriDPDaemon:
     over a shared read-only path table; workers drain the queue in batches
     (up to ``batch_size`` reports at a time) and serialise only one
     counter/incident update per batch under a lock.
+
+    The ingestion queue is a :class:`PolicyQueue`: ``overflow`` selects what
+    a full queue does (``"block"``, ``"drop-oldest"``, ``"drop-new"``), and
+    every dropped payload increments a policy-specific counter surfaced in
+    :meth:`stats`.  Payloads that fail :func:`unpack_report` or crash the
+    verifier are dead-lettered, not fatal.
     """
 
     def __init__(
@@ -64,22 +104,40 @@ class VeriDPDaemon:
         workers: int = 2,
         queue_size: int = 10_000,
         batch_size: int = 64,
+        overflow: "OverflowPolicy | str" = OverflowPolicy.DROP_NEW,
+        submit_timeout: Optional[float] = None,
+        dead_letter_capacity: int = 1024,
+        dead_letter_attempts: int = 3,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"need at least one worker, got {workers}")
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.server = server
-        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_size)
+        self.overflow = OverflowPolicy.coerce(overflow)
+        self._queue = PolicyQueue(queue_size, self.overflow)
         self._lock = threading.Lock()
         self._threads: List[threading.Thread] = []
         self._worker_verifiers: List[Verifier] = []
         self._running = False
         self.workers = workers
         self.batch_size = batch_size
+        self.submit_timeout = submit_timeout
         self.processed = 0
-        self.dropped = 0  # queue-full drops (backpressure signal)
         self.malformed = 0  # undecodable payloads (must not kill a worker)
+        self.verify_errors = 0  # payloads that crashed the verifier
+        self.dead_letters = DeadLetterQueue(
+            capacity=dead_letter_capacity, max_attempts=dead_letter_attempts
+        )
+
+    @property
+    def dropped(self) -> int:
+        """Total payloads lost to backpressure, across all policies."""
+        return (
+            self._queue.dropped_new
+            + self._queue.dropped_oldest
+            + self._queue.block_timeouts
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -113,7 +171,7 @@ class VeriDPDaemon:
         if not self._running:
             return
         for _ in self._threads:
-            self._queue.put(_STOP)
+            self._queue.put(_STOP, force=True)
         for thread in self._threads:
             thread.join(timeout=5)
         self._threads.clear()
@@ -129,22 +187,28 @@ class VeriDPDaemon:
     # -- ingestion ---------------------------------------------------------
 
     def submit(self, payload: bytes) -> bool:
-        """Enqueue one wire-format report; False if the queue is full.
+        """Enqueue one wire-format report; False if backpressure refused it.
 
-        Dropping under overload mirrors real UDP ingestion — the counter
-        makes the loss visible instead of silent.
+        What "refused" means depends on the overflow policy: ``drop-new``
+        rejects the new payload (UDP tail drop), ``drop-oldest`` admits it
+        by evicting the oldest queued payload (the eviction is counted, the
+        call still returns True), ``block`` waits up to ``submit_timeout``
+        (forever when None).  Every variety of loss is visible in
+        :meth:`stats` instead of silent.
         """
-        try:
-            self._queue.put_nowait(payload)
-            return True
-        except queue.Full:
-            with self._lock:
-                self.dropped += 1
-            return False
+        return self._queue.put(payload, timeout=self.submit_timeout)
 
-    def join(self) -> None:
+    def join(self, timeout: Optional[float] = None) -> bool:
         """Block until every queued report has been processed."""
-        self._queue.join()
+        return self._queue.join(timeout=timeout)
+
+    def retry_dead_letters(self) -> Tuple[int, int]:
+        """Re-run pending dead letters through the server's full pipeline.
+
+        Useful after a codec/table update fixed the original cause.  Returns
+        ``(recovered, quarantined_now)``.
+        """
+        return self.dead_letters.retry(self.server.receive_report_bytes)
 
     # -- worker loop -----------------------------------------------------------
 
@@ -163,14 +227,22 @@ class VeriDPDaemon:
                 while len(batch) < batch_size:
                     try:
                         extra = q.get_nowait()
-                    except queue.Empty:
+                    except IndexError:
                         break
                     if extra is _STOP:
                         stop = True
                         break
                     batch.append(extra)
             if batch:
-                self._process_batch(verifier, batch)
+                try:
+                    self._process_batch(verifier, batch)
+                except Exception as exc:  # pragma: no cover - last resort
+                    # A batch must never kill a worker: dead-letter it
+                    # wholesale and carry on.
+                    for payload in batch:
+                        self.dead_letters.add(payload, "verify", exc)
+                    with self._lock:
+                        self.verify_errors += len(batch)
             for _ in range(len(batch) + (1 if stop else 0)):
                 q.task_done()
             if stop:
@@ -178,30 +250,50 @@ class VeriDPDaemon:
 
     def _process_batch(self, verifier: "Verifier", payloads: List[bytes]) -> None:
         reports = []
+        sources: List[bytes] = []
         malformed = 0
         codec = self.server.codec
         for payload in payloads:
             try:
                 reports.append(unpack_report(payload, codec))
-            except ValueError:
+                sources.append(payload)
+            except ReportDecodeError as exc:
                 malformed += 1
+                self.dead_letters.add(payload, "decode", exc)
         incidents: List[Incident] = []
+        verify_errors = 0
+        failures = []
         if reports:
             # Pure computation outside the lock.
-            result = verifier.verify_batch(reports)
-            localize = self.server.localize_failures
-            for failure in result.failures:
-                localization = (
-                    self.server.localizer.localize(failure.report)
-                    if localize
-                    else None
-                )
-                incidents.append(
-                    Incident(verification=failure, localization=localization)
-                )
+            try:
+                failures = verifier.verify_batch(reports).failures
+            except Exception:
+                # One poisoned report must not take down its batch-mates:
+                # retry one by one and dead-letter only the culprit(s).
+                failures = []
+                for report, payload in zip(reports, sources):
+                    try:
+                        result = verifier.verify(report)
+                    except Exception as exc:
+                        verify_errors += 1
+                        self.dead_letters.add(payload, "verify", exc)
+                        continue
+                    if not result.passed:
+                        failures.append(result)
+        for failure in failures:
+            localization = None
+            if self.server.localize_failures:
+                try:
+                    localization = self.server.localizer.localize(failure.report)
+                except Exception:  # pragma: no cover - defensive
+                    localization = None
+            incidents.append(
+                Incident(verification=failure, localization=localization)
+            )
         with self._lock:
-            self.processed += len(reports)
+            self.processed += len(reports) - verify_errors
             self.malformed += malformed
+            self.verify_errors += verify_errors
             if incidents:
                 self.server.incidents.extend(incidents)
 
@@ -219,21 +311,31 @@ class VeriDPDaemon:
 
     def stats(self) -> Dict[str, int]:
         """Daemon-level counters plus merged per-worker verification counts."""
+        queue_stats = self._queue.stats()
         with self._lock:
             merged = {
                 "processed": self.processed,
-                "dropped": self.dropped,
                 "malformed": self.malformed,
-                "queued": self._queue.qsize(),
+                "verify_errors": self.verify_errors,
+                "queued": queue_stats["queued"],
                 "workers": self.workers,
                 "incidents": len(self.server.incidents),
+                "overflow_policy": self.overflow.value,
+                "dropped_full_queue": queue_stats["dropped_new"]
+                + queue_stats["block_timeouts"],
+                "dropped_oldest": queue_stats["dropped_oldest"],
+                "block_timeouts": queue_stats["block_timeouts"],
             }
+        merged["dropped"] = (
+            merged["dropped_full_queue"] + merged["dropped_oldest"]
+        )
         merged["verified"] = sum(
             v.verified_count for v in self._worker_verifiers
         )
         merged["failed"] = sum(
             v.failure_count for v in self._worker_verifiers
         )
+        merged.update(self.dead_letters.stats())
         return merged
 
 
@@ -344,10 +446,25 @@ def _shard_worker_main(
     worker_id: int,
     in_queue,
     out_queue,
+    hb_queue,
     pairs: Dict[Tuple[int, int], tuple],
     packing: Tuple[Tuple[int, int], ...],
 ) -> None:
-    """One shard worker process: verify batches, report deltas on flush."""
+    """One shard worker process: verify batches, report deltas on flush.
+
+    Message protocol (parent -> worker on ``in_queue``)::
+
+        ("batch", [payload, ...])   verify each payload
+        ("flush", token)            reply deltas on out_queue, reset them
+        ("ping", seq)               reply ("pong", worker_id, seq) on hb_queue
+        ("reload", pairs)           swap the compiled replica in place
+        ("crash", how)              test hook: "exit" dies, "wedge" hangs
+        ("stop",)                   exit cleanly
+
+    A payload can never kill the worker: undecodable ones are counted (and
+    sampled for dead-lettering), and a verification crash is shipped back
+    as a structured error record instead of an unhandled exception.
+    """
     counters = {
         _PASS: 0,
         _FAIL_MISMATCH: 0,
@@ -357,14 +474,24 @@ def _shard_worker_main(
     processed = 0
     malformed = 0
     failures: List[Tuple[bytes, str]] = []
+    crashed: List[Tuple[bytes, str]] = []
+    malformed_sample: List[bytes] = []
     while True:
         message = in_queue.get()
         kind = message[0]
         if kind == "batch":
             for payload in message[1]:
-                verdict = _verify_wire(pairs, packing, payload)
+                try:
+                    verdict = _verify_wire(pairs, packing, payload)
+                except Exception as exc:
+                    crashed.append(
+                        (payload, f"{type(exc).__name__}: {exc}")
+                    )
+                    continue
                 if verdict is None:
                     malformed += 1
+                    if len(malformed_sample) < _MALFORMED_SAMPLE:
+                        malformed_sample.append(payload)
                     continue
                 processed += 1
                 counters[verdict] += 1
@@ -380,6 +507,8 @@ def _shard_worker_main(
                     malformed,
                     dict(counters),
                     failures,
+                    crashed,
+                    malformed_sample,
                 )
             )
             processed = 0
@@ -387,6 +516,17 @@ def _shard_worker_main(
             for key in counters:
                 counters[key] = 0
             failures = []
+            crashed = []
+            malformed_sample = []
+        elif kind == "ping":
+            hb_queue.put(("pong", worker_id, message[1]))
+        elif kind == "reload":
+            pairs = message[1]
+        elif kind == "crash":  # pragma: no cover - exercised via subprocess
+            if message[1] == "exit":
+                os._exit(13)
+            while True:  # "wedge": alive but unresponsive
+                time.sleep(0.5)
         elif kind == "stop":
             return
 
@@ -406,6 +546,18 @@ class ShardedVeriDPDaemon:
     ``join()`` is the consolidation point: it flushes the shard buffers,
     asks every worker for its counter deltas, and folds them in.  Call it
     before reading :meth:`stats`.
+
+    Resilience: a :class:`WorkerSupervisor` polls worker liveness
+    (``exitcode`` + heartbeat pings) and restarts dead or wedged workers
+    with bounded exponential backoff, rebuilding the restarted shard's
+    replica from the *current* path table (and reloading the other workers
+    when :attr:`PathTable.version` moved meanwhile).  Worker restarts
+    beyond ``restart_budget`` degrade the daemon to a single-process
+    :class:`VeriDPDaemon` so ingestion survives a crash loop.  Per-shard
+    ingress queues are bounded (``max_pending_batches``) under an explicit
+    overflow policy — ``block`` (default, loss-free) or ``drop-new``
+    (accounted tail drop); ``drop-oldest`` is not offered here because a
+    batch handed to a worker process cannot be recalled.
     """
 
     def __init__(
@@ -413,17 +565,45 @@ class ShardedVeriDPDaemon:
         server: VeriDPServer,
         workers: int = 2,
         batch_size: int = 256,
+        overflow: "OverflowPolicy | str" = OverflowPolicy.BLOCK,
+        max_pending_batches: int = 64,
+        supervise: bool = True,
+        restart_budget: int = 3,
+        poll_interval: float = 0.05,
+        heartbeat_timeout: float = 10.0,
+        backoff: Optional[RestartBackoff] = None,
+        fallback_workers: int = 2,
+        dead_letter_capacity: int = 1024,
+        dead_letter_attempts: int = 3,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"need at least one worker, got {workers}")
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if max_pending_batches <= 0:
+            raise ValueError(
+                f"max_pending_batches must be positive, got {max_pending_batches}"
+            )
+        self.overflow = OverflowPolicy.coerce(overflow)
+        if self.overflow is OverflowPolicy.DROP_OLDEST:
+            raise ValueError(
+                "drop-oldest is not supported by the sharded daemon: batches "
+                "already handed to a worker process cannot be recalled; use "
+                "the threaded VeriDPDaemon for newest-wins ingestion"
+            )
         self.server = server
         self.workers = workers
         self.batch_size = batch_size
+        self.max_pending_batches = max_pending_batches
+        self.fallback_workers = fallback_workers
         self.processed = 0
         self.malformed = 0
+        self.verify_errors = 0
+        self.dropped_full_queue = 0
         self.counters: Dict[Verdict, int] = {v: 0 for v in Verdict}
+        self.dead_letters = DeadLetterQueue(
+            capacity=dead_letter_capacity, max_attempts=dead_letter_attempts
+        )
         self._packing = self._packing_for(server)
         methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context(
@@ -431,10 +611,34 @@ class ShardedVeriDPDaemon:
         )
         self._processes: List = []
         self._in_queues: List = []
-        self._out_queue = None
+        self._out_queues: List = []
+        self._hb_queues: List = []
         self._buffers: List[List[bytes]] = []
+        self._dispatched: List[int] = []
+        self._accounted: List[int] = []
+        self._generations: List[int] = []
+        self._last_pong: List[float] = []
+        self._ping_seq = 0
         self._flush_token = 0
+        self._replica_version = -1
         self._running = False
+        self._stopping = False
+        self.degraded = False
+        self._fallback: Optional[VeriDPDaemon] = None
+        self._dispatch_lock = threading.Lock()
+        self._merge_lock = threading.Lock()
+        self._server_mutex = threading.Lock()
+        self._supervisor: Optional[WorkerSupervisor] = None
+        if supervise:
+            self._supervisor = WorkerSupervisor(
+                probe=self._probe,
+                restart=self._restart_worker,
+                restart_budget=restart_budget,
+                poll_interval=poll_interval,
+                heartbeat_timeout=heartbeat_timeout,
+                backoff=backoff,
+                on_budget_exhausted=self._degrade,
+            )
 
     @staticmethod
     def _packing_for(server: VeriDPServer) -> Tuple[Tuple[int, int], ...]:
@@ -453,50 +657,96 @@ class ShardedVeriDPDaemon:
 
     def start(self) -> None:
         """Replicate the (compiled) path table and fork the workers."""
+        if self._fallback is not None:
+            self._fallback.start()
+            return
         if self._running:
             return
-        self.server.refresh_if_dirty()
-        specs = build_shard_specs(
-            self.server.table, self.server.hs, self.server.codec, self.workers
-        )
-        self._out_queue = self._ctx.Queue()
-        self._in_queues = []
-        self._processes = []
-        self._buffers = [[] for _ in range(self.workers)]
-        for worker_id in range(self.workers):
-            in_queue = self._ctx.Queue()
-            process = self._ctx.Process(
-                target=_shard_worker_main,
-                args=(
-                    worker_id,
-                    in_queue,
-                    self._out_queue,
-                    specs[worker_id],
-                    self._packing,
-                ),
-                name=f"veridp-shard-{worker_id}",
-                daemon=True,
+        with self._server_mutex:
+            self.server.refresh_if_dirty()
+            specs = build_shard_specs(
+                self.server.table, self.server.hs, self.server.codec, self.workers
             )
-            process.start()
-            self._in_queues.append(in_queue)
-            self._processes.append(process)
+            self._replica_version = self.server.table.version
+        self._processes = [None] * self.workers
+        self._in_queues = [None] * self.workers
+        self._out_queues = [None] * self.workers
+        self._hb_queues = [None] * self.workers
+        self._buffers = [[] for _ in range(self.workers)]
+        self._dispatched = [0] * self.workers
+        self._accounted = [0] * self.workers
+        self._generations = [0] * self.workers
+        self._last_pong = [time.monotonic()] * self.workers
+        for worker_id in range(self.workers):
+            self._spawn_worker(worker_id, specs[worker_id])
         self._running = True
+        if self._supervisor is not None:
+            self._supervisor.start()
+
+    def _spawn_worker(self, worker_id: int, spec: Dict) -> None:
+        """Fork one shard worker on a fresh generation of queues.
+
+        Fresh queues per generation matter: a worker killed while holding a
+        queue's internal lock would poison that queue for any successor.
+        """
+        in_queue = self._ctx.Queue(maxsize=self.max_pending_batches)
+        out_queue = self._ctx.Queue()
+        hb_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                worker_id,
+                in_queue,
+                out_queue,
+                hb_queue,
+                spec,
+                self._packing,
+            ),
+            name=f"veridp-shard-{worker_id}-gen{self._generations[worker_id]}",
+            daemon=True,
+        )
+        process.start()
+        self._in_queues[worker_id] = in_queue
+        self._out_queues[worker_id] = out_queue
+        self._hb_queues[worker_id] = hb_queue
+        self._processes[worker_id] = process
+        self._last_pong[worker_id] = time.monotonic()
 
     def stop(self) -> None:
         """Consolidate outstanding work and terminate the workers."""
+        if self._fallback is not None:
+            self._fallback.stop()
+            return
         if not self._running:
             return
-        self.join()
+        self._stopping = True
+        if self._supervisor is not None:
+            self._supervisor.stop()
+        try:
+            self.join(timeout=10.0)
+        except RuntimeError:  # wedged/dead workers: terminated below
+            pass
         for in_queue in self._in_queues:
-            in_queue.put(("stop",))
+            try:
+                in_queue.put(("stop",), timeout=0.5)
+            except queue.Full:  # pragma: no cover - defensive
+                pass
         for process in self._processes:
+            if process is None:
+                continue
             process.join(timeout=5)
             if process.is_alive():  # pragma: no cover - defensive
                 process.terminate()
-        self._processes.clear()
-        self._in_queues.clear()
-        self._out_queue = None
+                process.join(timeout=1)
+        for q in self._in_queues:
+            q.close()
+            q.cancel_join_thread()
+        self._processes = []
+        self._in_queues = []
+        self._out_queues = []
+        self._hb_queues = []
         self._running = False
+        self._stopping = False
 
     def __enter__(self) -> "ShardedVeriDPDaemon":
         self.start()
@@ -509,63 +759,327 @@ class ShardedVeriDPDaemon:
 
     def submit(self, payload: bytes) -> bool:
         """Route one wire-format report to its shard (buffered)."""
+        fallback = self._fallback
+        if fallback is not None:
+            return fallback.submit(payload)
         if not self._running:
             raise RuntimeError("daemon is not running; call start() first")
         pair_key = int.from_bytes(payload[2:6], "big")
         shard = _shard_of(pair_key, self.workers)
-        buffer = self._buffers[shard]
-        buffer.append(payload)
-        if len(buffer) >= self.batch_size:
-            self._flush_shard(shard)
+        batch: Optional[List[bytes]] = None
+        with self._dispatch_lock:
+            buffer = self._buffers[shard]
+            buffer.append(payload)
+            if len(buffer) >= self.batch_size:
+                batch = buffer
+                self._buffers[shard] = []
+        if batch is not None:
+            return self._dispatch(shard, batch)
         return True
 
-    def _flush_shard(self, shard: int) -> None:
-        buffer = self._buffers[shard]
-        if buffer:
-            self._in_queues[shard].put(("batch", buffer))
-            self._buffers[shard] = []
+    def _dispatch(self, shard: int, batch: List[bytes]) -> bool:
+        """Hand one batch to a shard worker under the overflow policy.
+
+        Runs outside the dispatch lock: a ``block`` wait here must not
+        stall other producers, and the supervisor's restart path (which
+        the wait leans on for liveness) must never deadlock against us.
+        """
+        while True:
+            fallback = self._fallback
+            if fallback is not None:  # degraded mid-dispatch
+                ok = True
+                for payload in batch:
+                    ok = fallback.submit(payload) and ok
+                return ok
+            in_queue = self._in_queues[shard]
+            try:
+                if self.overflow is OverflowPolicy.BLOCK:
+                    in_queue.put(("batch", batch), timeout=0.2)
+                else:
+                    in_queue.put_nowait(("batch", batch))
+            except queue.Full:
+                if self.overflow is not OverflowPolicy.BLOCK:
+                    with self._merge_lock:
+                        self.dropped_full_queue += len(batch)
+                    return False
+                # BLOCK: make sure a live consumer exists, then retry
+                # (a restart swaps in a fresh queue; re-read it above).
+                self._revive()
+                continue
+            with self._merge_lock:
+                self._dispatched[shard] += len(batch)
+            return True
+
+    def _revive(self) -> None:
+        """Run one synchronous supervision pass (restart dead workers)."""
+        if self._supervisor is not None and not self._stopping:
+            self._supervisor.check_once()
 
     def join(self, timeout: float = 60.0) -> None:
         """Flush buffers, collect every worker's deltas, fold them in."""
+        fallback = self._fallback
+        if fallback is not None:
+            fallback.join()
+            return
         if not self._running:
             return
-        for shard in range(self.workers):
-            self._flush_shard(shard)
+        with self._dispatch_lock:
+            batches = [
+                (shard, self._buffers[shard])
+                for shard in range(self.workers)
+                if self._buffers[shard]
+            ]
+            for shard, _ in batches:
+                self._buffers[shard] = []
+        for shard, batch in batches:
+            self._dispatch(shard, batch)
+        if self._fallback is not None:  # degraded while flushing
+            self._fallback.join()
+            return
         self._flush_token += 1
         token = self._flush_token
-        for in_queue in self._in_queues:
-            in_queue.put(("flush", token))
+        sent_generation = {}
+        for shard in range(self.workers):
+            self._send_flush(shard, token)
+            sent_generation[shard] = self._generations[shard]
         pending = set(range(self.workers))
+        deadline = time.monotonic() + timeout
         while pending:
-            try:
-                message = self._out_queue.get(timeout=timeout)
-            except queue.Empty:  # pragma: no cover - defensive
+            if self._fallback is not None:
+                self._fallback.join()
+                return
+            progress = False
+            for shard in sorted(pending):
+                try:
+                    message = self._out_queues[shard].get(timeout=0.05)
+                except queue.Empty:
+                    continue
+                if message[0] != "flush":  # pragma: no cover - defensive
+                    continue
+                self._merge_flush(message)
+                # Deltas are merged regardless of token age (they are real
+                # work); only the matching token clears the pending slot.
+                if message[1] == shard and message[2] == token:
+                    pending.discard(shard)
+                    progress = True
+            if progress:
+                continue
+            # No worker answered: revive the dead, and re-send the flush
+            # token to any shard whose worker generation moved (a restarted
+            # worker never saw the original token).
+            self._revive()
+            for shard in sorted(pending):
+                if self._generations[shard] != sent_generation[shard]:
+                    self._send_flush(shard, token)
+                    sent_generation[shard] = self._generations[shard]
+            if time.monotonic() > deadline:
                 raise RuntimeError(
                     f"shard workers {sorted(pending)} did not flush in time"
-                ) from None
-            if message[0] != "flush":  # pragma: no cover - defensive
-                continue
-            _, worker_id, got_token, processed, malformed, counters, failures = (
-                message
-            )
-            # Deltas are merged regardless of token age (they are real work);
-            # only the matching token clears the worker's pending slot.
+                )
+
+    def _send_flush(self, shard: int, token: int) -> None:
+        try:
+            self._in_queues[shard].put(("flush", token), timeout=1.0)
+        except queue.Full:  # pragma: no cover - resent via generation check
+            pass
+
+    def _merge_flush(self, message) -> None:
+        """Fold one worker flush reply into the consolidated counters."""
+        (
+            _,
+            worker_id,
+            _token,
+            processed,
+            malformed,
+            counters,
+            failures,
+            crashed,
+            malformed_sample,
+        ) = message
+        with self._merge_lock:
             self.processed += processed
             self.malformed += malformed
+            self.verify_errors += len(crashed)
+            self._accounted[worker_id] += processed + malformed + len(crashed)
             for name, count in counters.items():
                 self.counters[Verdict(name)] += count
-            for payload, _verdict in failures:
-                # Re-ingest through the server: localization (with its
-                # cache) runs here, and the incident log gets the full
-                # VerificationResult.
+        for payload, error in crashed:
+            self.dead_letters.add(payload, "verify", RuntimeError(error))
+        for payload in malformed_sample:
+            self.dead_letters.add(
+                payload,
+                "decode",
+                ReportDecodeError("shard worker could not decode payload"),
+            )
+        for payload, _verdict in failures:
+            # Re-ingest through the server: localization (with its cache)
+            # runs here, and the incident log gets the full
+            # VerificationResult.  A payload the parent cannot decode
+            # (e.g. corrupted port id beyond the codec) is dead-lettered.
+            try:
+                with self._server_mutex:
+                    self.server.receive_report_bytes(payload)
+            except ReportDecodeError as exc:
+                self.dead_letters.add(payload, "decode", exc)
+
+    def retry_dead_letters(self) -> Tuple[int, int]:
+        """Re-run pending dead letters through the parent-side pipeline."""
+        def handler(payload: bytes) -> None:
+            with self._server_mutex:
                 self.server.receive_report_bytes(payload)
-            if got_token == token:
-                pending.discard(worker_id)
+
+        return self.dead_letters.retry(handler)
+
+    # -- supervision -----------------------------------------------------------
+
+    def _probe(self) -> List[WorkerProbe]:
+        """Supervisor callback: ping workers, report liveness + heartbeat age."""
+        now = time.monotonic()
+        self._ping_seq += 1
+        probes = []
+        for shard in range(self.workers):
+            process = self._processes[shard]
+            alive = process is not None and process.is_alive()
+            if alive:
+                try:
+                    self._in_queues[shard].put_nowait(("ping", self._ping_seq))
+                except queue.Full:
+                    pass  # busy worker; its batches double as liveness
+            hb_queue = self._hb_queues[shard]
+            while True:
+                try:
+                    reply = hb_queue.get_nowait()
+                except queue.Empty:
+                    break
+                if reply[0] == "pong":
+                    self._last_pong[shard] = time.monotonic()
+            probes.append(
+                WorkerProbe(shard, alive, now - self._last_pong[shard])
+            )
+        return probes
+
+    def _restart_worker(self, shard: int) -> None:
+        """Supervisor callback: replace one dead/wedged worker.
+
+        Recovers what it can from the abandoned generation's queues
+        (undelivered batches are re-dispatched, already-flushed deltas are
+        merged), then forks a successor whose replica is compiled from the
+        *current* path table.  If the table version moved since the last
+        replication, every other live worker gets a ``reload`` so verdicts
+        stay coherent across the fleet.
+        """
+        old_process = self._processes[shard]
+        old_in = self._in_queues[shard]
+        old_out = self._out_queues[shard]
+        if old_process is not None:
+            if old_process.is_alive():  # wedged: take it down for real
+                old_process.terminate()
+                old_process.join(timeout=2)
+                if old_process.is_alive():  # pragma: no cover - defensive
+                    old_process.kill()
+                    old_process.join(timeout=1)
+            else:
+                old_process.join(timeout=1)
+        recovered = self._drain_abandoned(old_in, old_out)
+        with self._server_mutex:
+            self.server.refresh_if_dirty()
+            specs = build_shard_specs(
+                self.server.table, self.server.hs, self.server.codec, self.workers
+            )
+            version = self.server.table.version
+        self._generations[shard] += 1
+        self._spawn_worker(shard, specs[shard])
+        if version != self._replica_version:
+            # The table moved while the fleet was replicated at an older
+            # version: resynchronise the survivors in place.
+            for other in range(self.workers):
+                if other == shard:
+                    continue
+                try:
+                    self._in_queues[other].put(("reload", specs[other]), timeout=1.0)
+                except queue.Full:  # pragma: no cover - defensive
+                    pass
+            self._replica_version = version
+        if recovered:
+            self._in_queues[shard].put(("batch", recovered))
+
+    def _drain_abandoned(self, old_in, old_out) -> List[bytes]:
+        """Salvage an abandoned queue generation.
+
+        Undelivered ``batch`` payloads come back for re-dispatch; flush
+        replies the parent never consumed are merged so their work is not
+        double-lost.  Anything a killed worker had dequeued but not flushed
+        is unrecoverable and shows up as ``lost_in_restart``.
+        """
+        recovered: List[bytes] = []
+        while True:
+            try:
+                message = old_in.get(timeout=0.05)
+            except (queue.Empty, OSError):
+                break
+            if message[0] == "batch":
+                recovered.extend(message[1])
+        while True:
+            try:
+                message = old_out.get(timeout=0.05)
+            except (queue.Empty, OSError):
+                break
+            if message[0] == "flush":
+                self._merge_flush(message)
+        old_in.close()
+        old_in.cancel_join_thread()
+        return recovered
+
+    def _degrade(self) -> None:
+        """Restart budget exhausted: fall back to the threaded daemon.
+
+        Ingestion must survive a worker crash loop; a single-process
+        :class:`VeriDPDaemon` over the same server is slower but cannot
+        lose a process.  Everything salvageable — parent-side buffers and
+        undelivered batches — is re-submitted to the fallback.
+        """
+        fallback = VeriDPDaemon(
+            self.server,
+            workers=self.fallback_workers,
+            queue_size=max(10_000, self.batch_size * self.workers * 4),
+            overflow=self.overflow,
+            dead_letter_capacity=self.dead_letters.capacity,
+            dead_letter_attempts=self.dead_letters.max_attempts,
+        )
+        fallback.start()
+        for shard in range(self.workers):
+            process = self._processes[shard]
+            if process is not None and process.is_alive():
+                process.terminate()
+                process.join(timeout=2)
+            recovered = self._drain_abandoned(
+                self._in_queues[shard], self._out_queues[shard]
+            )
+            for payload in recovered:
+                fallback.submit(payload)
+        with self._dispatch_lock:
+            for shard in range(self.workers):
+                for payload in self._buffers[shard]:
+                    fallback.submit(payload)
+                self._buffers[shard] = []
+            self.degraded = True
+            self._fallback = fallback
+
+    def kill_worker(self, shard: int) -> None:
+        """Forcibly kill one shard worker (chaos/testing hook)."""
+        if self._fallback is not None or not self._running:
+            return
+        process = self._processes[shard]
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(timeout=2)
 
     # -- maintenance -----------------------------------------------------------
 
     def pause_and_refresh(self) -> bool:
         """Quiesce workers, rebuild the path table if stale, re-replicate."""
+        if self._fallback is not None:
+            return self._fallback.pause_and_refresh()
         was_running = self._running
         if was_running:
             self.stop()
@@ -575,17 +1089,51 @@ class ShardedVeriDPDaemon:
         return refreshed
 
     def stats(self) -> Dict[str, int]:
-        """Consolidated counters (call :meth:`join` first for exact figures)."""
-        verified = sum(self.counters.values())
-        return {
-            "processed": self.processed,
-            "malformed": self.malformed,
+        """Consolidated counters (call :meth:`join` first for exact figures).
+
+        ``lost_in_restart`` counts payloads dispatched to a worker whose
+        verdicts never came back — exact after :meth:`join` returns (it
+        includes in-flight work mid-run).  The accounting identity after a
+        completed ``join`` is::
+
+            submitted == processed + malformed + verify_errors
+                         + dropped_full_queue + lost_in_restart
+        """
+        with self._merge_lock:
+            processed = self.processed
+            malformed = self.malformed
+            verify_errors = self.verify_errors
+            dropped = self.dropped_full_queue
+            counters = dict(self.counters)
+            lost = max(0, sum(self._dispatched) - sum(self._accounted))
+        verified = sum(counters.values())
+        stats = {
+            "processed": processed,
+            "malformed": malformed,
+            "verify_errors": verify_errors,
             "workers": self.workers,
-            "mode": "process",
+            "mode": "thread-fallback" if self.degraded else "process",
             "verified": verified,
-            "failed": verified - self.counters[Verdict.PASS],
+            "failed": verified - counters[Verdict.PASS],
             "incidents": len(self.server.incidents),
+            "overflow_policy": self.overflow.value,
+            "dropped_full_queue": dropped,
+            "lost_in_restart": lost,
+            "degraded": int(self.degraded),
         }
+        if self._supervisor is not None:
+            stats.update(self._supervisor.stats())
+        stats.update(self.dead_letters.stats())
+        fallback = self._fallback
+        if fallback is not None:
+            fb = fallback.stats()
+            for key in ("processed", "malformed", "verify_errors", "verified", "failed"):
+                stats[key] += fb[key]
+            stats["dropped_full_queue"] += fb["dropped_full_queue"]
+            stats["dead_lettered"] += fb["dead_lettered"]
+            stats["dead_letter_quarantined"] += fb["dead_letter_quarantined"]
+            stats["incidents"] = fb["incidents"]
+        return stats
 
 
 class UdpReportListener:
@@ -594,7 +1142,11 @@ class UdpReportListener:
     Binds ``host:port`` (port 0 picks a free one; read :attr:`address`),
     runs a receive loop on a background thread.  Oversized or truncated
     datagrams are counted, not fatal — exactly how a production collector
-    must treat a lossy transport.
+    must treat a lossy transport.  Transient socket errors are retried
+    with capped exponential backoff (rebinding the same address), and
+    ``start``/``stop`` are idempotent and restart-safe: the receive loop
+    wakes from ``recvfrom`` on a socket timeout, so ``stop`` can never
+    hang behind a blocked read.
     """
 
     def __init__(
@@ -602,21 +1154,40 @@ class UdpReportListener:
         daemon: VeriDPDaemon,
         host: str = "127.0.0.1",
         port: int = 0,
+        max_socket_errors: int = 8,
+        error_backoff: float = 0.05,
     ) -> None:
         self.daemon = daemon
-        self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
-        self._socket.bind((host, port))
-        self._socket.settimeout(0.2)
-        self.address = self._socket.getsockname()
+        self._host = host
+        self._port = port
+        self.max_socket_errors = max_socket_errors
+        self.error_backoff = error_backoff
+        self._socket: Optional[socket.socket] = None
+        self._open_socket()
         self._thread: Optional[threading.Thread] = None
         self._running = False
         self.received = 0
         self.malformed = 0
+        self.dropped = 0
+        self.socket_errors = 0
+
+    def _open_socket(self) -> None:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.bind((self._host, self._port))
+        # The timeout doubles as the stop() wakeup: _loop re-checks the
+        # running flag at least this often, so join can never hang behind
+        # a blocked recvfrom.
+        sock.settimeout(0.2)
+        self._socket = sock
+        self.address = sock.getsockname()
+        self._port = self.address[1]  # keep the same port across rebinds
 
     def start(self) -> None:
-        """Begin receiving datagrams."""
+        """Begin receiving datagrams (idempotent; restart-safe)."""
         if self._running:
             return
+        if self._socket is None:
+            self._open_socket()
         self._running = True
         self._thread = threading.Thread(
             target=self._loop, name="veridp-udp-listener", daemon=True
@@ -624,12 +1195,19 @@ class UdpReportListener:
         self._thread.start()
 
     def stop(self) -> None:
-        """Stop the receive loop and close the socket."""
+        """Stop the receive loop and close the socket (idempotent)."""
         self._running = False
-        if self._thread is not None:
-            self._thread.join(timeout=5)
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5)
             self._thread = None
-        self._socket.close()
+        sock = self._socket
+        if sock is not None:
+            self._socket = None
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
 
     def __enter__(self) -> "UdpReportListener":
         self.start()
@@ -638,16 +1216,48 @@ class UdpReportListener:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
+    def stats(self) -> Dict[str, int]:
+        return {
+            "received": self.received,
+            "malformed": self.malformed,
+            "dropped": self.dropped,
+            "socket_errors": self.socket_errors,
+        }
+
     def _loop(self) -> None:
+        consecutive_errors = 0
         while self._running:
+            sock = self._socket
+            if sock is None:
+                return
             try:
-                payload, _ = self._socket.recvfrom(2048)
+                payload, _ = sock.recvfrom(2048)
             except socket.timeout:
                 continue
             except OSError:
-                return  # socket closed under us during stop()
+                if not self._running:
+                    return  # socket closed under us during stop()
+                self.socket_errors += 1
+                consecutive_errors += 1
+                if consecutive_errors > self.max_socket_errors:
+                    self._running = False
+                    return
+                time.sleep(
+                    min(1.0, self.error_backoff * (2 ** consecutive_errors))
+                )
+                try:
+                    if self._socket is not None:
+                        self._socket.close()
+                    self._open_socket()
+                except OSError:
+                    continue  # backoff again on the next pass
+                continue
+            consecutive_errors = 0
             self.received += 1
             try:
-                self.daemon.submit(payload)
+                accepted = self.daemon.submit(payload)
             except Exception:
                 self.malformed += 1
+                continue
+            if accepted is False:
+                self.dropped += 1

@@ -22,9 +22,27 @@ from ..netmodel.packet import Header
 from ..netmodel.rules import DROP_PORT
 from ..netmodel.topology import PortRef
 
-__all__ = ["TagReport", "PortCodec", "pack_report", "unpack_report", "REPORT_VERSION"]
+__all__ = [
+    "TagReport",
+    "PortCodec",
+    "ReportDecodeError",
+    "pack_report",
+    "unpack_report",
+    "REPORT_VERSION",
+]
 
 REPORT_VERSION = 1
+
+
+class ReportDecodeError(ValueError):
+    """A wire payload could not be decoded into a :class:`TagReport`.
+
+    Every decode failure — truncated payload, unknown version, unknown
+    switch index, out-of-range port — surfaces as this one typed error, so
+    ingestion paths can catch it without also swallowing programming bugs
+    (it still subclasses :class:`ValueError` for older call sites).
+    """
+
 
 #: Local port id meaning ``⊥`` inside the 6-bit port field (all ones).
 _WIRE_DROP_PORT = 0x3F
@@ -142,28 +160,42 @@ def pack_report(report: TagReport, codec: PortCodec) -> bytes:
 
 
 def unpack_report(payload: bytes, codec: PortCodec) -> TagReport:
-    """Parse UDP payload bytes back into a :class:`TagReport`."""
+    """Parse UDP payload bytes back into a :class:`TagReport`.
+
+    Raises :class:`ReportDecodeError` for *any* malformed payload —
+    truncation, oversize, unknown version, or port ids the codec cannot
+    resolve — never a bare ``struct.error``/``KeyError``, so a daemon
+    worker thread can treat decode failure as data, not as a crash.
+    """
     if len(payload) != _REPORT_STRUCT.size:
-        raise ValueError(
+        raise ReportDecodeError(
             f"report payload is {len(payload)} bytes, expected {_REPORT_STRUCT.size}"
         )
-    (
-        version,
-        flags,
-        inport_id,
-        outport_id,
-        tag,
-        src_ip,
-        dst_ip,
-        proto,
-        src_port,
-        dst_port,
-    ) = _REPORT_STRUCT.unpack(payload)
+    try:
+        (
+            version,
+            flags,
+            inport_id,
+            outport_id,
+            tag,
+            src_ip,
+            dst_ip,
+            proto,
+            src_port,
+            dst_port,
+        ) = _REPORT_STRUCT.unpack(payload)
+    except struct.error as exc:  # pragma: no cover - length already checked
+        raise ReportDecodeError(f"undecodable report payload: {exc}") from None
     if version != REPORT_VERSION:
-        raise ValueError(f"unsupported report version {version}")
+        raise ReportDecodeError(f"unsupported report version {version}")
+    try:
+        inport = codec.decode(inport_id)
+        outport = codec.decode(outport_id)
+    except (ValueError, KeyError, IndexError) as exc:
+        raise ReportDecodeError(f"undecodable report port: {exc}") from None
     return TagReport(
-        inport=codec.decode(inport_id),
-        outport=codec.decode(outport_id),
+        inport=inport,
+        outport=outport,
         header=Header(
             src_ip=src_ip,
             dst_ip=dst_ip,

@@ -1,0 +1,561 @@
+"""Resilience primitives for the monitoring plane itself.
+
+VeriDP's detection-latency guarantee (Section 4.5) silently assumes tag
+reports survive the trip from switch to verifier and that the verifier
+stays up.  SDNsec-style accountability argues the monitoring plane must
+tolerate its own faults; this module supplies the building blocks the
+daemons in :mod:`repro.core.daemon` compose:
+
+* :class:`PolicyQueue` — a bounded report queue with an explicit overflow
+  policy (``block`` / ``drop-oldest`` / ``drop-new``) and per-policy drop
+  counters, replacing silent loss with accounted loss,
+* :class:`DeadLetterQueue` — bounded retry-then-quarantine storage for
+  payloads that fail decoding or crash verification, with structured
+  :class:`DeadLetter` error records,
+* :class:`RestartBackoff` — bounded exponential backoff schedule for
+  worker restarts,
+* :class:`WorkerSupervisor` — a polling thread that detects dead or
+  wedged workers (exitcode + heartbeat age) and asks the owner to restart
+  them, under a restart budget with an exhaustion callback.
+
+Everything here is transport- and daemon-agnostic: the primitives hold no
+references to sockets, processes, or path tables, so they are unit-testable
+with fakes and reusable by future ingestion paths.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "OverflowPolicy",
+    "PolicyQueue",
+    "QueueStopped",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "RestartBackoff",
+    "WorkerProbe",
+    "WorkerSupervisor",
+]
+
+
+class OverflowPolicy(str, enum.Enum):
+    """What a bounded ingestion queue does when it is full.
+
+    * ``BLOCK`` — the producer waits (optionally up to a timeout) for a
+      consumer to make room; loss-free but transfers pressure upstream,
+    * ``DROP_OLDEST`` — evict the oldest queued payload to admit the new
+      one; keeps the stream fresh under overload (newest-wins),
+    * ``DROP_NEW`` — reject the new payload; keeps the oldest work
+      (oldest-wins), mirroring plain UDP tail drop.
+    """
+
+    BLOCK = "block"
+    DROP_OLDEST = "drop-oldest"
+    DROP_NEW = "drop-new"
+
+    @classmethod
+    def coerce(cls, value: "OverflowPolicy | str") -> "OverflowPolicy":
+        """Accept either the enum or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            names = ", ".join(p.value for p in cls)
+            raise ValueError(
+                f"unknown overflow policy {value!r} (expected one of: {names})"
+            ) from None
+
+
+class QueueStopped(Exception):
+    """Raised by :meth:`PolicyQueue.get` after :meth:`PolicyQueue.close`."""
+
+
+class PolicyQueue:
+    """A bounded FIFO with explicit overflow policy and drop accounting.
+
+    Unlike :class:`queue.Queue`, a full queue never loses work silently:
+    every admission decision increments a counter (``dropped_new``,
+    ``dropped_oldest``, ``block_timeouts``) surfaced via :meth:`stats`.
+    ``task_done``/``join`` semantics match the stdlib queue so daemon
+    workers can drain it the same way.
+    """
+
+    def __init__(
+        self,
+        maxsize: int,
+        policy: "OverflowPolicy | str" = OverflowPolicy.DROP_NEW,
+    ) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.policy = OverflowPolicy.coerce(policy)
+        self._items: Deque[object] = deque()
+        self._mutex = threading.Lock()
+        self._not_empty = threading.Condition(self._mutex)
+        self._not_full = threading.Condition(self._mutex)
+        self._all_done = threading.Condition(self._mutex)
+        self._unfinished = 0
+        self._closed = False
+        self.dropped_new = 0
+        self.dropped_oldest = 0
+        self.block_timeouts = 0
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._items)
+
+    def qsize(self) -> int:
+        """Approximate number of queued items."""
+        return len(self)
+
+    # -- producer side ----------------------------------------------------
+
+    def put(
+        self,
+        item: object,
+        timeout: Optional[float] = None,
+        force: bool = False,
+    ) -> bool:
+        """Admit ``item`` under the configured policy; True if admitted.
+
+        ``force=True`` bypasses the bound entirely (used for control
+        sentinels such as stop tokens, which must never be dropped).
+        """
+        with self._mutex:
+            if force:
+                self._admit(item)
+                return True
+            if len(self._items) < self.maxsize:
+                self._admit(item)
+                return True
+            if self.policy is OverflowPolicy.DROP_NEW:
+                self.dropped_new += 1
+                return False
+            if self.policy is OverflowPolicy.DROP_OLDEST:
+                self._items.popleft()
+                self.dropped_oldest += 1
+                # The evicted item will never be processed; settle its
+                # join() obligation here.
+                self._mark_done()
+                self._admit(item)
+                return True
+            # BLOCK: wait for room (bounded by timeout when given).
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while len(self._items) >= self.maxsize:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    self.block_timeouts += 1
+                    return False
+                self._not_full.wait(remaining)
+            self._admit(item)
+            return True
+
+    def _admit(self, item: object) -> None:
+        self._items.append(item)
+        self._unfinished += 1
+        self._not_empty.notify()
+
+    # -- consumer side ----------------------------------------------------
+
+    def get(self, timeout: Optional[float] = None) -> object:
+        """Pop the oldest item, blocking until one arrives.
+
+        Raises :class:`QueueStopped` if the queue was closed and drained.
+        """
+        with self._mutex:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while not self._items:
+                if self._closed:
+                    raise QueueStopped
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError("queue.get timed out")
+                self._not_empty.wait(remaining)
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def get_nowait(self) -> object:
+        """Pop without blocking; raises ``IndexError`` when empty."""
+        with self._mutex:
+            if not self._items:
+                raise IndexError("queue is empty")
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def task_done(self) -> None:
+        """Signal that one previously-gotten item is fully processed."""
+        with self._mutex:
+            self._mark_done()
+
+    def _mark_done(self) -> None:
+        if self._unfinished <= 0:
+            raise ValueError("task_done() called too many times")
+        self._unfinished -= 1
+        if self._unfinished == 0:
+            self._all_done.notify_all()
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Block until every admitted item was processed; True on success."""
+        with self._mutex:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while self._unfinished:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._all_done.wait(remaining)
+            return True
+
+    def close(self) -> None:
+        """Wake blocked consumers; subsequent empty gets raise QueueStopped."""
+        with self._mutex:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def stats(self) -> Dict[str, int]:
+        """Admission counters for :meth:`VeriDPDaemon.stats` consumption."""
+        with self._mutex:
+            return {
+                "queued": len(self._items),
+                "dropped_new": self.dropped_new,
+                "dropped_oldest": self.dropped_oldest,
+                "block_timeouts": self.block_timeouts,
+            }
+
+
+# ---------------------------------------------------------------------------
+# dead-lettering
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DeadLetter:
+    """Structured record of one payload the pipeline could not process."""
+
+    payload: bytes
+    stage: str  # "decode" | "verify" | ...
+    error_type: str
+    error: str
+    attempts: int = 1
+    quarantined: bool = False
+
+    def describe(self) -> str:
+        state = "quarantined" if self.quarantined else "pending"
+        return (
+            f"[{state}] {self.stage} failed after {self.attempts} attempt(s): "
+            f"{self.error_type}: {self.error} ({len(self.payload)}B payload)"
+        )
+
+
+class DeadLetterQueue:
+    """Bounded retry-then-quarantine storage for failed payloads.
+
+    A payload that fails decoding or crashes verification lands here as a
+    :class:`DeadLetter` instead of killing a worker or vanishing into a
+    bare counter.  :meth:`retry` re-runs a handler over the pending set;
+    records that keep failing past ``max_attempts`` move to the quarantine
+    ring, whose eviction is counted (``evicted``) so accounting stays
+    closed even when the operator never drains it.
+    """
+
+    def __init__(self, capacity: int = 1024, max_attempts: int = 3) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if max_attempts <= 0:
+            raise ValueError(f"max_attempts must be positive, got {max_attempts}")
+        self.capacity = capacity
+        self.max_attempts = max_attempts
+        self._pending: Deque[DeadLetter] = deque()
+        self._quarantined: Deque[DeadLetter] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.total = 0
+        self.recovered = 0
+        self.evicted = 0
+
+    def add(self, payload: bytes, stage: str, error: BaseException) -> DeadLetter:
+        """Record one failed payload (evicting the oldest pending if full)."""
+        letter = DeadLetter(
+            payload=payload,
+            stage=stage,
+            error_type=type(error).__name__,
+            error=str(error),
+        )
+        with self._lock:
+            self.total += 1
+            if len(self._pending) >= self.capacity:
+                self._quarantine(self._pending.popleft())
+            self._pending.append(letter)
+        return letter
+
+    def _quarantine(self, letter: DeadLetter) -> None:
+        letter.quarantined = True
+        if len(self._quarantined) == self._quarantined.maxlen:
+            self.evicted += 1
+        self._quarantined.append(letter)
+
+    def retry(
+        self, handler: Callable[[bytes], None]
+    ) -> Tuple[int, int]:
+        """Re-run ``handler`` over pending letters.
+
+        ``handler`` raising keeps (or, past ``max_attempts``, quarantines)
+        the letter; returning normally recovers it.  Returns
+        ``(recovered, quarantined_now)``.
+        """
+        with self._lock:
+            batch = list(self._pending)
+            self._pending.clear()
+        recovered = 0
+        quarantined = 0
+        survivors: List[DeadLetter] = []
+        for letter in batch:
+            try:
+                handler(letter.payload)
+            except BaseException as exc:
+                letter.attempts += 1
+                letter.error_type = type(exc).__name__
+                letter.error = str(exc)
+                if letter.attempts >= self.max_attempts:
+                    quarantined += 1
+                    with self._lock:
+                        self._quarantine(letter)
+                else:
+                    survivors.append(letter)
+            else:
+                recovered += 1
+        with self._lock:
+            self.recovered += recovered
+            # Preserve FIFO order ahead of anything added mid-retry.
+            self._pending.extendleft(reversed(survivors))
+        return recovered, quarantined
+
+    def drain_quarantined(self) -> List[DeadLetter]:
+        """Return and clear the quarantine ring (operator interface)."""
+        with self._lock:
+            letters = list(self._quarantined)
+            self._quarantined.clear()
+            return letters
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def quarantined(self) -> int:
+        with self._lock:
+            return len(self._quarantined)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "dead_lettered": self.total,
+                "dead_letter_pending": len(self._pending),
+                "dead_letter_quarantined": len(self._quarantined),
+                "dead_letter_recovered": self.recovered,
+                "dead_letter_evicted": self.evicted,
+            }
+
+
+# ---------------------------------------------------------------------------
+# restart scheduling and supervision
+# ---------------------------------------------------------------------------
+
+
+class RestartBackoff:
+    """Bounded exponential backoff: ``base * factor**n`` capped at ``cap``.
+
+    One instance per supervised worker; :meth:`reset` after a worker
+    survives ``healthy_after`` seconds so an old crash streak does not
+    penalise a now-stable worker forever.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        factor: float = 2.0,
+        cap: float = 2.0,
+        healthy_after: float = 30.0,
+    ) -> None:
+        if base <= 0 or factor < 1.0 or cap < base:
+            raise ValueError(
+                f"invalid backoff schedule (base={base}, factor={factor}, cap={cap})"
+            )
+        self.base = base
+        self.factor = factor
+        self.cap = cap
+        self.healthy_after = healthy_after
+        self.failures = 0
+        self._last_restart = 0.0
+
+    def next_delay(self, now: Optional[float] = None) -> float:
+        """Delay to wait before the next restart attempt (and record it)."""
+        now = time.monotonic() if now is None else now
+        if (
+            self.failures
+            and self._last_restart
+            and now - self._last_restart >= self.healthy_after
+        ):
+            self.failures = 0
+        delay = min(self.cap, self.base * (self.factor ** self.failures))
+        self.failures += 1
+        self._last_restart = now
+        return delay
+
+    def reset(self) -> None:
+        self.failures = 0
+        self._last_restart = 0.0
+
+
+@dataclass
+class WorkerProbe:
+    """One worker's health snapshot, as seen by the supervisor."""
+
+    worker_id: int
+    alive: bool
+    heartbeat_age: float = 0.0
+
+
+class WorkerSupervisor:
+    """Detect dead or wedged workers and restart them, under a budget.
+
+    The supervisor owns *policy* (poll cadence, backoff, budget) and leaves
+    *mechanism* to callbacks so it can supervise OS processes, threads, or
+    fakes in tests:
+
+    * ``probe()`` -> sequence of :class:`WorkerProbe` (alive + heartbeat age),
+    * ``restart(worker_id)`` — tear down and relaunch one worker,
+    * ``on_budget_exhausted()`` — called once when crash restarts exceed
+      ``restart_budget``; the owner degrades (e.g. falls back to a
+      single-process daemon) and the supervisor stops.
+
+    A worker is considered wedged when its heartbeat age exceeds
+    ``heartbeat_timeout`` even though the process is alive; wedged workers
+    are restarted exactly like dead ones.
+    """
+
+    def __init__(
+        self,
+        probe: Callable[[], Sequence[WorkerProbe]],
+        restart: Callable[[int], None],
+        restart_budget: int = 3,
+        poll_interval: float = 0.05,
+        heartbeat_timeout: float = 10.0,
+        backoff: Optional[RestartBackoff] = None,
+        on_budget_exhausted: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if restart_budget < 0:
+            raise ValueError(f"restart_budget must be >= 0, got {restart_budget}")
+        self._probe = probe
+        self._restart = restart
+        self.restart_budget = restart_budget
+        self.poll_interval = poll_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self._backoffs: Dict[int, RestartBackoff] = {}
+        self._backoff_proto = backoff or RestartBackoff()
+        self._on_budget_exhausted = on_budget_exhausted
+        self._thread: Optional[threading.Thread] = None
+        self._wake = threading.Event()
+        self._running = False
+        self._lock = threading.Lock()
+        self.restarts = 0
+        self.wedged_restarts = 0
+        self.exhausted = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._wake.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="veridp-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._running = False
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # -- supervision loop -------------------------------------------------
+
+    def _loop(self) -> None:
+        while self._running:
+            try:
+                self.check_once()
+            except Exception:  # pragma: no cover - supervision must survive
+                pass
+            self._wake.wait(self.poll_interval)
+            self._wake.clear()
+
+    def check_once(self) -> int:
+        """One supervision pass; returns how many workers were restarted.
+
+        Exposed so tests (and the sharded daemon's ``join`` loop) can drive
+        supervision synchronously without racing the poll thread.
+        """
+        restarted = 0
+        with self._lock:
+            if self.exhausted:
+                return 0
+            for probe in self._probe():
+                wedged = (
+                    probe.alive
+                    and probe.heartbeat_age > self.heartbeat_timeout > 0
+                )
+                if probe.alive and not wedged:
+                    continue
+                if self.restarts >= self.restart_budget:
+                    self.exhausted = True
+                    self._running = False
+                    if self._on_budget_exhausted is not None:
+                        self._on_budget_exhausted()
+                    return restarted
+                backoff = self._backoffs.setdefault(
+                    probe.worker_id,
+                    RestartBackoff(
+                        base=self._backoff_proto.base,
+                        factor=self._backoff_proto.factor,
+                        cap=self._backoff_proto.cap,
+                        healthy_after=self._backoff_proto.healthy_after,
+                    ),
+                )
+                delay = backoff.next_delay()
+                if delay > 0:
+                    time.sleep(delay)
+                self._restart(probe.worker_id)
+                self.restarts += 1
+                if wedged:
+                    self.wedged_restarts += 1
+                restarted += 1
+        return restarted
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "restarts": self.restarts,
+            "wedged_restarts": self.wedged_restarts,
+            "restart_budget": self.restart_budget,
+            "budget_exhausted": int(self.exhausted),
+        }

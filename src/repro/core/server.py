@@ -24,7 +24,7 @@ from ..netmodel.topology import Topology
 from .bloom import BloomTagScheme
 from .localization import LocalizationResult, PathInferLocalizer
 from .pathtable import PathTable, PathTableBuilder, SnapshotProvider
-from .reports import PortCodec, TagReport, unpack_report
+from .reports import PortCodec, ReportDecodeError, TagReport, unpack_report
 from .verifier import VerificationResult, Verdict, Verifier
 
 __all__ = ["VeriDPServer", "Incident"]
@@ -83,6 +83,8 @@ class VeriDPServer:
         self.verifier = Verifier(self.table, self.hs, fast_path=fast_path)
         self.localizer = PathInferLocalizer(self.builder, self.scheme, topo)
         self.incidents: List[Incident] = []
+        self.decode_errors = 0
+        self.localization_errors = 0
         self._dirty = False
         # A persistent fault produces one identical failing report per
         # sampled packet; running Algorithm 4 once per *distinct* failure is
@@ -131,8 +133,27 @@ class VeriDPServer:
     # -- report ingestion ------------------------------------------------------
 
     def receive_report_bytes(self, payload: bytes) -> Incident:
-        """Parse a UDP report payload, then verify/localize it."""
+        """Parse a UDP report payload, then verify/localize it.
+
+        Raises :class:`ReportDecodeError` on malformed payloads; callers
+        on a lossy transport should use :meth:`try_receive_report_bytes`
+        (or dead-letter the payload themselves, as the daemons do).
+        """
         return self.receive_report(unpack_report(payload, self.codec))
+
+    def try_receive_report_bytes(self, payload: bytes) -> Optional[Incident]:
+        """Like :meth:`receive_report_bytes`, but decode failure is data.
+
+        Returns ``None`` and increments :attr:`decode_errors` for payloads
+        that cannot be decoded — the transport-facing entry point for
+        ingestion paths without their own dead-letter handling.
+        """
+        try:
+            report = unpack_report(payload, self.codec)
+        except ReportDecodeError:
+            self.decode_errors += 1
+            return None
+        return self.receive_report(report)
 
     def receive_report(self, report: TagReport) -> Incident:
         """Verify one report; on failure, localize.  Always returns a record
@@ -141,7 +162,13 @@ class VeriDPServer:
         verification = self.verifier.verify(report)
         localization = None
         if not verification.passed and self.localize_failures:
-            localization = self._localize_cached(report)
+            # Localization is best-effort diagnosis: a report exotic enough
+            # to crash Algorithm 4 (e.g. a switch the path table has never
+            # seen) must still produce its incident, just unlocalized.
+            try:
+                localization = self._localize_cached(report)
+            except Exception:
+                self.localization_errors += 1
         incident = Incident(verification=verification, localization=localization)
         if not verification.passed:
             self.incidents.append(incident)
@@ -176,6 +203,8 @@ class VeriDPServer:
             "passed": self.verifier.counters[Verdict.PASS],
             "failed": self.verifier.failure_count,
             "incidents": len(self.incidents),
+            "decode_errors": self.decode_errors,
+            "localization_errors": self.localization_errors,
             "path_table_pairs": table_stats.num_pairs,
             "path_table_paths": table_stats.num_paths,
             "avg_path_length": table_stats.avg_path_length,

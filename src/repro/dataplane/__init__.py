@@ -4,7 +4,10 @@ This package replaces the paper's Mininet/OVS testbed and ONetSwitch FPGA
 prototype (see DESIGN.md, substitutions table).  It executes real flow-table
 lookups per packet, runs Algorithm 1 verbatim beside them, serialises tag
 reports to their UDP byte format, and exposes the Section 2.2 fault taxonomy
-for injection experiments.
+for injection experiments.  A sibling taxonomy in
+:mod:`repro.dataplane.report_faults` perturbs the monitoring plane itself
+(lost/duplicated/reordered/corrupted tag reports, stale replicas, worker
+kills) for chaos campaigns against the verification daemons.
 """
 
 from .faults import (
@@ -18,6 +21,20 @@ from .faults import (
     random_misforward_fault,
 )
 from .latency import HardwarePipelineModel, PAPER_NATIVE_POINTS, PAPER_PACKET_SIZES
+from .report_faults import (
+    BitFlipReports,
+    Delivery,
+    DuplicateReports,
+    InjectionResult,
+    LoseReports,
+    ReorderReports,
+    ReportPlaneFault,
+    ReportStreamFault,
+    ReportStreamFaultInjector,
+    StaleReplica,
+    TruncateReports,
+    WorkerKill,
+)
 from .network import DataPlaneNetwork, DeliveryResult, DeliveryStatus
 from .pipeline import PipelineResult, VeriDPPipeline
 from .switch import DataPlaneSwitch
@@ -37,6 +54,18 @@ __all__ = [
     "IgnorePriorities",
     "KillSwitch",
     "random_misforward_fault",
+    "ReportPlaneFault",
+    "ReportStreamFault",
+    "LoseReports",
+    "DuplicateReports",
+    "ReorderReports",
+    "TruncateReports",
+    "BitFlipReports",
+    "StaleReplica",
+    "WorkerKill",
+    "Delivery",
+    "InjectionResult",
+    "ReportStreamFaultInjector",
     "HardwarePipelineModel",
     "PAPER_NATIVE_POINTS",
     "PAPER_PACKET_SIZES",

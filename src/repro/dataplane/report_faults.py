@@ -1,0 +1,303 @@
+"""Fault injection for the *monitoring plane itself*: the report path.
+
+:mod:`repro.dataplane.faults` perturbs the forwarding plane — the thing
+VeriDP watches.  This module is its sibling for the thing VeriDP *is*: the
+tag-report stream from switches to the verifier, and the verifier's own
+worker fleet.  SDNsec-style accountability (arXiv:1605.01944) and network
+state fuzzing (arXiv:1904.08977) both argue the monitor must be exercised
+under the same adversarial/lossy conditions as the network it monitors.
+
+Two fault families:
+
+* **Stream faults** (:class:`ReportStreamFault`) perturb a sequence of wire
+  payloads the way a congested or adversarial transport would — loss,
+  duplication, reordering, truncation, bit flips.  They are pure functions
+  over the payload list, driven by a seeded RNG, and they record ground
+  truth (which deliveries are corrupted, how many were lost/duplicated) so
+  a chaos campaign can assert exact accounting afterwards,
+* **Plane faults** (:class:`ReportPlaneFault`) attack the verification
+  daemon: :class:`WorkerKill` SIGKILLs a shard worker mid-batch,
+  :class:`StaleReplica` moves the path-table version under the daemon's
+  compiled replicas without re-replication (the supervisor must
+  resynchronise on the next restart).
+
+:class:`ReportStreamFaultInjector` composes stream faults into one seeded
+campaign and returns :class:`InjectionResult` — the perturbed deliveries
+plus the ledger the assertions need.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "ReportPlaneFault",
+    "ReportStreamFault",
+    "LoseReports",
+    "DuplicateReports",
+    "ReorderReports",
+    "TruncateReports",
+    "BitFlipReports",
+    "StaleReplica",
+    "WorkerKill",
+    "Delivery",
+    "InjectionResult",
+    "ReportStreamFaultInjector",
+]
+
+
+class ReportPlaneFault:
+    """Base class for faults against the monitoring plane itself."""
+
+    def describe(self) -> str:
+        """Human-readable description for experiment logs."""
+        return repr(self)
+
+
+@dataclass
+class Delivery:
+    """One payload as it leaves the faulty transport, with ground truth.
+
+    ``origin`` indexes the payload in the pristine input stream (several
+    deliveries may share an origin after duplication); ``corrupted`` marks
+    payloads whose *bytes* were altered (truncation/bit flip), the only
+    deliveries allowed to verify differently from a fault-free run.
+    """
+
+    payload: bytes
+    origin: int
+    corrupted: bool = False
+    duplicate: bool = False
+
+
+class ReportStreamFault(ReportPlaneFault):
+    """A transport-level perturbation of the report stream."""
+
+    def perturb(
+        self, deliveries: List[Delivery], rng: random.Random
+    ) -> List[Delivery]:
+        """Return the perturbed delivery sequence (may mutate in place)."""
+        raise NotImplementedError
+
+
+@dataclass
+class LoseReports(ReportStreamFault):
+    """Each delivery is independently dropped with probability ``rate``.
+
+    The paper's transport is plain UDP — loss is the baseline fault, and
+    Section 4.5's detection-latency bound silently assumes it away.
+    """
+
+    rate: float = 0.05
+
+    def perturb(self, deliveries, rng):
+        return [d for d in deliveries if rng.random() >= self.rate]
+
+    def describe(self) -> str:
+        return f"lose reports (p={self.rate})"
+
+
+@dataclass
+class DuplicateReports(ReportStreamFault):
+    """Each delivery is independently duplicated with probability ``rate``.
+
+    UDP duplicates on retransmitting middleboxes; verification must be
+    idempotent (a duplicated PASS report must not flip any verdict).
+    """
+
+    rate: float = 0.01
+
+    def perturb(self, deliveries, rng):
+        out: List[Delivery] = []
+        for d in deliveries:
+            out.append(d)
+            if rng.random() < self.rate:
+                out.append(
+                    Delivery(d.payload, d.origin, corrupted=d.corrupted, duplicate=True)
+                )
+        return out
+
+    def describe(self) -> str:
+        return f"duplicate reports (p={self.rate})"
+
+
+@dataclass
+class ReorderReports(ReportStreamFault):
+    """Deliveries are locally shuffled inside windows of ``window`` slots.
+
+    With probability ``rate`` a window is shuffled; report verification is
+    order-free by design, so reordering must be a pure no-op on verdicts.
+    """
+
+    rate: float = 0.1
+    window: int = 16
+
+    def perturb(self, deliveries, rng):
+        out = list(deliveries)
+        for start in range(0, len(out), self.window):
+            if rng.random() < self.rate:
+                chunk = out[start : start + self.window]
+                rng.shuffle(chunk)
+                out[start : start + self.window] = chunk
+        return out
+
+    def describe(self) -> str:
+        return f"reorder reports (p={self.rate}, window={self.window})"
+
+
+@dataclass
+class TruncateReports(ReportStreamFault):
+    """Each delivery is independently cut short with probability ``rate``.
+
+    Truncated datagrams must dead-letter as decode failures — never crash
+    a worker, never count as verified.
+    """
+
+    rate: float = 0.01
+
+    def perturb(self, deliveries, rng):
+        out = []
+        for d in deliveries:
+            if rng.random() < self.rate and len(d.payload) > 1:
+                cut = rng.randrange(1, len(d.payload))
+                out.append(
+                    Delivery(d.payload[:cut], d.origin, corrupted=True,
+                             duplicate=d.duplicate)
+                )
+            else:
+                out.append(d)
+        return out
+
+    def describe(self) -> str:
+        return f"truncate reports (p={self.rate})"
+
+
+@dataclass
+class BitFlipReports(ReportStreamFault):
+    """Each delivery independently gets one flipped bit with prob ``rate``.
+
+    A flipped bit may land anywhere — version byte (decode failure), port
+    ids (unknown pair), tag or header bits (verdict flips).  The campaign's
+    false-positive bound: corrupted deliveries may raise incidents, but
+    their count caps the damage.
+    """
+
+    rate: float = 0.01
+
+    def perturb(self, deliveries, rng):
+        out = []
+        for d in deliveries:
+            if rng.random() < self.rate and d.payload:
+                data = bytearray(d.payload)
+                bit = rng.randrange(len(data) * 8)
+                data[bit // 8] ^= 1 << (bit % 8)
+                out.append(
+                    Delivery(bytes(data), d.origin, corrupted=True,
+                             duplicate=d.duplicate)
+                )
+            else:
+                out.append(d)
+        return out
+
+    def describe(self) -> str:
+        return f"bit-flip reports (p={self.rate})"
+
+
+@dataclass
+class StaleReplica(ReportPlaneFault):
+    """The path table moves under the daemon's compiled worker replicas.
+
+    Bumps :attr:`PathTable.version` on the daemon's server without
+    re-replication — exactly the state a crashed-then-restarted worker
+    must resynchronise against (the supervisor rebuilds the restarted
+    shard from the current table and reloads the survivors).
+    """
+
+    def apply(self, daemon) -> None:
+        daemon.server.table.version += 1
+
+    def describe(self) -> str:
+        return "path-table version moves under the compiled replicas"
+
+
+@dataclass
+class WorkerKill(ReportPlaneFault):
+    """SIGKILL one shard worker of a :class:`ShardedVeriDPDaemon` mid-run."""
+
+    shard: int = 0
+
+    def apply(self, daemon) -> None:
+        daemon.kill_worker(self.shard)
+
+    def describe(self) -> str:
+        return f"SIGKILL shard worker {self.shard}"
+
+
+@dataclass
+class InjectionResult:
+    """The perturbed stream plus the ledger chaos assertions need."""
+
+    deliveries: List[Delivery]
+    original_count: int
+    lost: int = 0
+    duplicated: int = 0
+    corrupted: int = 0
+
+    @property
+    def payloads(self) -> List[bytes]:
+        return [d.payload for d in self.deliveries]
+
+    @property
+    def delivered(self) -> int:
+        return len(self.deliveries)
+
+    @property
+    def uncorrupted(self) -> List[Delivery]:
+        return [d for d in self.deliveries if not d.corrupted]
+
+    def summary(self) -> str:
+        return (
+            f"{self.original_count} sent -> {self.delivered} delivered "
+            f"({self.lost} lost, {self.duplicated} duplicated, "
+            f"{self.corrupted} corrupted)"
+        )
+
+
+class ReportStreamFaultInjector:
+    """Run a payload stream through a seeded pipeline of stream faults.
+
+    Order matters and mirrors a real path: loss/duplication/reordering are
+    transport behaviours, truncation/bit flips happen to whatever is still
+    in flight.  The injector takes the faults in the order given.
+    """
+
+    def __init__(
+        self,
+        faults: Sequence[ReportStreamFault],
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        for fault in faults:
+            if not isinstance(fault, ReportStreamFault):
+                raise TypeError(
+                    f"{fault!r} is not a ReportStreamFault (plane faults "
+                    f"like WorkerKill are applied to the daemon, not the stream)"
+                )
+        self.faults = list(faults)
+        self.rng = rng or random.Random(seed)
+
+    def run(self, payloads: Sequence[bytes]) -> InjectionResult:
+        deliveries = [Delivery(p, i) for i, p in enumerate(payloads)]
+        for fault in self.faults:
+            deliveries = fault.perturb(deliveries, self.rng)
+        surviving_origins = {d.origin for d in deliveries}
+        result = InjectionResult(
+            deliveries=deliveries,
+            original_count=len(payloads),
+            lost=len(payloads) - len(surviving_origins),
+            duplicated=sum(1 for d in deliveries if d.duplicate),
+            corrupted=sum(1 for d in deliveries if d.corrupted),
+        )
+        return result

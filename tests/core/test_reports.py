@@ -5,6 +5,7 @@ import pytest
 from repro.core.reports import (
     MAX_PORT_ID,
     PortCodec,
+    ReportDecodeError,
     TagReport,
     pack_report,
     unpack_report,
@@ -105,3 +106,62 @@ class TestWireFormat:
     def test_str_mentions_ports(self, codec):
         text = str(self.make_report())
         assert "S1" in text and "S3" in text
+
+
+class TestReportDecodeError:
+    """Satellite regression: decode failure is one typed, catchable error."""
+
+    def make_payload(self, codec):
+        report = TagReport(
+            inport=PortRef("S1", 1),
+            outport=PortRef("S3", 2),
+            header=Header(src_ip=0x0A000001, dst_ip=0x0A000002, proto=6,
+                          src_port=1234, dst_port=80),
+            tag=0xBEEF,
+        )
+        return pack_report(report, codec)
+
+    def test_every_truncated_prefix_raises_decode_error(self, codec):
+        """Fuzz every prefix length: never a bare struct.error or KeyError."""
+        payload = self.make_payload(codec)
+        for cut in range(len(payload)):
+            with pytest.raises(ReportDecodeError):
+                unpack_report(payload[:cut], codec)
+
+    def test_oversized_payload_raises_decode_error(self, codec):
+        payload = self.make_payload(codec)
+        with pytest.raises(ReportDecodeError):
+            unpack_report(payload + b"\x00", codec)
+
+    def test_unknown_switch_index_raises_decode_error(self, codec):
+        """A port id beyond the codec must not leak IndexError/KeyError."""
+        payload = bytearray(self.make_payload(codec))
+        payload[2] = 0xFF  # inport high byte -> switch index way out of range
+        payload[3] = 0x00
+        with pytest.raises(ReportDecodeError):
+            unpack_report(bytes(payload), codec)
+
+    def test_bad_version_raises_decode_error(self, codec):
+        payload = bytearray(self.make_payload(codec))
+        payload[0] = 99
+        with pytest.raises(ReportDecodeError):
+            unpack_report(bytes(payload), codec)
+
+    def test_decode_error_is_a_value_error(self, codec):
+        """Backwards compatibility: older call sites catch ValueError."""
+        assert issubclass(ReportDecodeError, ValueError)
+
+    def test_fuzzed_bitflips_never_raise_untyped(self, codec):
+        """Single-bit corruption anywhere decodes or raises only the typed error."""
+        import random
+
+        payload = self.make_payload(codec)
+        rng = random.Random(1337)
+        for _ in range(500):
+            data = bytearray(payload)
+            bit = rng.randrange(len(data) * 8)
+            data[bit // 8] ^= 1 << (bit % 8)
+            try:
+                unpack_report(bytes(data), codec)
+            except ReportDecodeError:
+                pass  # typed failure is the contract

@@ -1,0 +1,256 @@
+"""Unit tests for the resilience primitives (queue, DLQ, backoff, supervisor)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.resilience import (
+    DeadLetterQueue,
+    OverflowPolicy,
+    PolicyQueue,
+    RestartBackoff,
+    WorkerProbe,
+    WorkerSupervisor,
+)
+
+
+class TestOverflowPolicy:
+    def test_coerce_strings(self):
+        assert OverflowPolicy.coerce("block") is OverflowPolicy.BLOCK
+        assert OverflowPolicy.coerce("drop-oldest") is OverflowPolicy.DROP_OLDEST
+        assert OverflowPolicy.coerce("drop-new") is OverflowPolicy.DROP_NEW
+        assert OverflowPolicy.coerce(OverflowPolicy.BLOCK) is OverflowPolicy.BLOCK
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown overflow policy"):
+            OverflowPolicy.coerce("yolo")
+
+
+class TestPolicyQueue:
+    def test_fifo_order(self):
+        q = PolicyQueue(4)
+        for i in range(3):
+            assert q.put(i)
+        assert [q.get(), q.get(), q.get()] == [0, 1, 2]
+
+    def test_drop_new_rejects_and_counts(self):
+        q = PolicyQueue(2, OverflowPolicy.DROP_NEW)
+        assert q.put("a") and q.put("b")
+        assert not q.put("c")
+        assert q.stats()["dropped_new"] == 1
+        assert q.get() == "a"  # oldest-wins: original items preserved
+
+    def test_drop_oldest_evicts_and_counts(self):
+        q = PolicyQueue(2, OverflowPolicy.DROP_OLDEST)
+        assert q.put("a") and q.put("b")
+        assert q.put("c")  # admits by evicting "a"
+        assert q.stats()["dropped_oldest"] == 1
+        assert q.get() == "b"
+        assert q.get() == "c"
+
+    def test_drop_oldest_settles_join_obligation(self):
+        q = PolicyQueue(1, OverflowPolicy.DROP_OLDEST)
+        q.put("a")
+        q.put("b")  # evicts "a", which will never be task_done'd
+        q.get()
+        q.task_done()
+        assert q.join(timeout=1.0)
+
+    def test_block_waits_for_room(self):
+        q = PolicyQueue(1, OverflowPolicy.BLOCK)
+        q.put("a")
+        done = []
+
+        def producer():
+            q.put("b")
+            done.append(True)
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not done  # blocked on the full queue
+        assert q.get() == "a"
+        thread.join(timeout=2)
+        assert done
+
+    def test_block_timeout_counts(self):
+        q = PolicyQueue(1, OverflowPolicy.BLOCK)
+        q.put("a")
+        assert not q.put("b", timeout=0.01)
+        assert q.stats()["block_timeouts"] == 1
+
+    def test_force_put_bypasses_bound(self):
+        q = PolicyQueue(1, OverflowPolicy.DROP_NEW)
+        q.put("a")
+        assert q.put("sentinel", force=True)
+        assert q.qsize() == 2
+
+    def test_join_tracks_unfinished(self):
+        q = PolicyQueue(8)
+        q.put("a")
+        assert not q.join(timeout=0.01)
+        q.get()
+        q.task_done()
+        assert q.join(timeout=1.0)
+
+    def test_get_nowait_raises_when_empty(self):
+        q = PolicyQueue(2)
+        with pytest.raises(IndexError):
+            q.get_nowait()
+
+    def test_requires_positive_maxsize(self):
+        with pytest.raises(ValueError):
+            PolicyQueue(0)
+
+
+class TestDeadLetterQueue:
+    def test_add_records_structured_error(self):
+        dlq = DeadLetterQueue(capacity=4)
+        letter = dlq.add(b"xx", "decode", ValueError("bad version"))
+        assert letter.stage == "decode"
+        assert letter.error_type == "ValueError"
+        assert "bad version" in letter.error
+        assert dlq.pending == 1
+        assert "decode" in letter.describe()
+
+    def test_retry_recovers_on_success(self):
+        dlq = DeadLetterQueue(capacity=4)
+        dlq.add(b"xx", "decode", ValueError("transient"))
+        recovered, quarantined = dlq.retry(lambda payload: None)
+        assert (recovered, quarantined) == (1, 0)
+        assert dlq.pending == 0
+        assert dlq.stats()["dead_letter_recovered"] == 1
+
+    def test_retry_then_quarantine(self):
+        dlq = DeadLetterQueue(capacity=4, max_attempts=2)
+
+        def always_fails(payload):
+            raise ValueError("still broken")
+
+        dlq.add(b"xx", "decode", ValueError("broken"))
+        recovered, quarantined = dlq.retry(always_fails)
+        assert (recovered, quarantined) == (0, 1)
+        assert dlq.pending == 0
+        assert dlq.quarantined == 1
+        letters = dlq.drain_quarantined()
+        assert len(letters) == 1
+        assert letters[0].quarantined
+        assert letters[0].attempts == 2
+        assert dlq.quarantined == 0
+
+    def test_capacity_overflow_quarantines_oldest(self):
+        dlq = DeadLetterQueue(capacity=2)
+        for i in range(3):
+            dlq.add(bytes([i]), "decode", ValueError(str(i)))
+        assert dlq.pending == 2
+        assert dlq.quarantined == 1
+        assert dlq.total == 3
+
+
+class TestRestartBackoff:
+    def test_exponential_and_capped(self):
+        backoff = RestartBackoff(base=0.1, factor=2.0, cap=0.5, healthy_after=1e9)
+        delays = [backoff.next_delay(now=1.0) for _ in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_reset_after_healthy_period(self):
+        backoff = RestartBackoff(base=0.1, factor=2.0, cap=1.0, healthy_after=10.0)
+        assert backoff.next_delay(now=0.0) == 0.1
+        assert backoff.next_delay(now=1.0) == pytest.approx(0.2)
+        # A long quiet stretch forgives the crash streak.
+        assert backoff.next_delay(now=100.0) == 0.1
+
+    def test_rejects_bad_schedule(self):
+        with pytest.raises(ValueError):
+            RestartBackoff(base=0.0)
+
+
+class FakeFleet:
+    """A pretend worker pool the supervisor can probe and restart."""
+
+    def __init__(self, workers=2):
+        self.alive = [True] * workers
+        self.heartbeat_age = [0.0] * workers
+        self.restarted = []
+
+    def probe(self):
+        return [
+            WorkerProbe(i, self.alive[i], self.heartbeat_age[i])
+            for i in range(len(self.alive))
+        ]
+
+    def restart(self, worker_id):
+        self.alive[worker_id] = True
+        self.heartbeat_age[worker_id] = 0.0
+        self.restarted.append(worker_id)
+
+
+class TestWorkerSupervisor:
+    def make(self, fleet, **kwargs):
+        kwargs.setdefault("backoff", RestartBackoff(base=0.001, cap=0.002))
+        return WorkerSupervisor(fleet.probe, fleet.restart, **kwargs)
+
+    def test_restarts_dead_worker(self):
+        fleet = FakeFleet(2)
+        supervisor = self.make(fleet, restart_budget=5)
+        fleet.alive[1] = False
+        assert supervisor.check_once() == 1
+        assert fleet.restarted == [1]
+        assert supervisor.restarts == 1
+
+    def test_restarts_wedged_worker(self):
+        fleet = FakeFleet(2)
+        supervisor = self.make(fleet, restart_budget=5, heartbeat_timeout=1.0)
+        fleet.heartbeat_age[0] = 5.0  # alive but unresponsive
+        assert supervisor.check_once() == 1
+        assert fleet.restarted == [0]
+        assert supervisor.wedged_restarts == 1
+
+    def test_healthy_fleet_untouched(self):
+        fleet = FakeFleet(3)
+        supervisor = self.make(fleet)
+        assert supervisor.check_once() == 0
+        assert fleet.restarted == []
+
+    def test_budget_exhaustion_fires_callback_once(self):
+        fleet = FakeFleet(1)
+        degraded = []
+        supervisor = self.make(
+            fleet,
+            restart_budget=2,
+            on_budget_exhausted=lambda: degraded.append(True),
+        )
+        for _ in range(2):
+            fleet.alive[0] = False
+            supervisor.check_once()
+        fleet.alive[0] = False
+        supervisor.check_once()  # third death exceeds the budget
+        assert supervisor.exhausted
+        assert degraded == [True]
+        assert supervisor.restarts == 2
+        # Once exhausted, no further restarts ever happen.
+        supervisor.check_once()
+        assert len(fleet.restarted) == 2
+
+    def test_polling_thread_detects_death(self):
+        fleet = FakeFleet(1)
+        supervisor = self.make(fleet, restart_budget=5, poll_interval=0.01)
+        supervisor.start()
+        try:
+            fleet.alive[0] = False
+            deadline = time.time() + 5
+            while not fleet.restarted and time.time() < deadline:
+                time.sleep(0.01)
+            assert fleet.restarted == [0]
+        finally:
+            supervisor.stop()
+        assert not supervisor.running
+
+    def test_stats_shape(self):
+        fleet = FakeFleet(1)
+        supervisor = self.make(fleet, restart_budget=7)
+        stats = supervisor.stats()
+        assert stats["restart_budget"] == 7
+        assert stats["restarts"] == 0
+        assert stats["budget_exhausted"] == 0

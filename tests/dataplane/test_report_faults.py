@@ -1,0 +1,133 @@
+"""Tests for the report-plane fault taxonomy and the stream injector."""
+
+import random
+
+import pytest
+
+from repro.dataplane.report_faults import (
+    BitFlipReports,
+    Delivery,
+    DuplicateReports,
+    LoseReports,
+    ReorderReports,
+    ReportStreamFault,
+    ReportStreamFaultInjector,
+    StaleReplica,
+    TruncateReports,
+    WorkerKill,
+)
+
+
+def payloads(n=1000, size=26):
+    rng = random.Random(7)
+    return [bytes(rng.randrange(256) for _ in range(size)) for _ in range(n)]
+
+
+class TestStreamFaults:
+    def test_lose_reports_rate(self):
+        result = ReportStreamFaultInjector([LoseReports(0.5)], seed=1).run(
+            payloads(2000)
+        )
+        assert 800 < result.delivered < 1200
+        assert result.lost == 2000 - result.delivered
+        assert result.corrupted == 0
+
+    def test_lose_zero_and_one(self):
+        assert ReportStreamFaultInjector([LoseReports(0.0)], seed=1).run(
+            payloads(50)
+        ).delivered == 50
+        assert ReportStreamFaultInjector([LoseReports(1.0)], seed=1).run(
+            payloads(50)
+        ).delivered == 0
+
+    def test_duplicate_reports_marked(self):
+        result = ReportStreamFaultInjector([DuplicateReports(0.5)], seed=2).run(
+            payloads(1000)
+        )
+        assert result.delivered > 1000
+        assert result.duplicated == result.delivered - 1000
+        dupes = [d for d in result.deliveries if d.duplicate]
+        assert dupes and all(not d.corrupted for d in dupes)
+
+    def test_reorder_preserves_multiset(self):
+        stream = payloads(300)
+        result = ReportStreamFaultInjector(
+            [ReorderReports(rate=1.0, window=8)], seed=3
+        ).run(stream)
+        assert sorted(result.payloads) == sorted(stream)
+        assert result.payloads != stream  # actually shuffled
+        assert result.lost == 0 and result.corrupted == 0
+
+    def test_truncate_marks_corrupted_and_shortens(self):
+        stream = payloads(500)
+        result = ReportStreamFaultInjector([TruncateReports(0.2)], seed=4).run(stream)
+        corrupted = [d for d in result.deliveries if d.corrupted]
+        assert corrupted
+        assert result.corrupted == len(corrupted)
+        for d in corrupted:
+            assert 0 < len(d.payload) < len(stream[d.origin])
+
+    def test_bitflip_flips_exactly_one_bit(self):
+        stream = payloads(500)
+        result = ReportStreamFaultInjector([BitFlipReports(0.2)], seed=5).run(stream)
+        corrupted = [d for d in result.deliveries if d.corrupted]
+        assert corrupted
+        for d in corrupted:
+            original = stream[d.origin]
+            assert len(d.payload) == len(original)
+            diff_bits = sum(
+                bin(a ^ b).count("1") for a, b in zip(d.payload, original)
+            )
+            assert diff_bits == 1
+
+    def test_injector_is_deterministic(self):
+        stream = payloads(400)
+        faults = lambda: [
+            LoseReports(0.05),
+            DuplicateReports(0.01),
+            ReorderReports(0.1),
+            TruncateReports(0.01),
+            BitFlipReports(0.01),
+        ]
+        a = ReportStreamFaultInjector(faults(), seed=42).run(stream)
+        b = ReportStreamFaultInjector(faults(), seed=42).run(stream)
+        assert a.payloads == b.payloads
+        assert (a.lost, a.duplicated, a.corrupted) == (
+            b.lost,
+            b.duplicated,
+            b.corrupted,
+        )
+
+    def test_injector_rejects_plane_faults(self):
+        with pytest.raises(TypeError, match="not a ReportStreamFault"):
+            ReportStreamFaultInjector([WorkerKill(0)])
+
+    def test_summary_and_describe(self):
+        result = ReportStreamFaultInjector([LoseReports(0.5)], seed=1).run(
+            payloads(100)
+        )
+        assert "lost" in result.summary()
+        for fault in (
+            LoseReports(),
+            DuplicateReports(),
+            ReorderReports(),
+            TruncateReports(),
+            BitFlipReports(),
+            StaleReplica(),
+            WorkerKill(1),
+        ):
+            assert fault.describe()
+
+    def test_uncorrupted_subset_matches_ledger(self):
+        stream = payloads(500)
+        result = ReportStreamFaultInjector(
+            [TruncateReports(0.05), BitFlipReports(0.05)], seed=6
+        ).run(stream)
+        uncorrupted = result.uncorrupted
+        assert len(uncorrupted) == result.delivered - result.corrupted
+        for d in uncorrupted:
+            assert d.payload == stream[d.origin]
+
+    def test_base_perturb_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ReportStreamFault().perturb([Delivery(b"x", 0)], random.Random(0))
