@@ -14,6 +14,7 @@ Usage::
     python -m repro tradeoff --intervals 0.5 1 2
     python -m repro paths --topo ft4
     python -m repro report
+    python -m repro serve --topo ft4 --metrics-port 9090
 
 Each subcommand builds its scenario, runs the matching harness from
 :mod:`repro.analysis`, and prints the table/series the paper reports
@@ -269,6 +270,89 @@ def cmd_functest(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run a live VeriDP daemon: UDP report ingestion + monitoring endpoint.
+
+    With ``--reports N`` the command also self-drives N sampled reports
+    from the topology's own data plane through the UDP socket — a built-in
+    smoke mode that exercises the full ingestion path and then prints the
+    consolidated statistics.  ``--duration S`` keeps serving S more
+    seconds; with neither flag it serves until interrupted.
+    """
+    import time as _time
+
+    from .core import VeriDPServer
+    from .core.daemon import ShardedVeriDPDaemon, UdpReportListener, VeriDPDaemon
+    from .core.reports import pack_report
+    from .dataplane import DataPlaneNetwork
+
+    scenario = _scenario_factories()[args.topo](args)
+    server = VeriDPServer(scenario.topo, scenario.channel)
+    if args.mode == "sharded":
+        daemon = ShardedVeriDPDaemon(
+            server,
+            workers=args.workers,
+            metrics_port=args.metrics_port,
+            metrics_host=args.metrics_host,
+        )
+    else:
+        daemon = VeriDPDaemon(
+            server,
+            workers=args.workers,
+            metrics_port=args.metrics_port,
+            metrics_host=args.metrics_host,
+        )
+    daemon.start()
+    listener = UdpReportListener(daemon, host=args.host, port=args.port)
+    listener.start()
+    print(f"listening for tag reports on udp://{listener.address[0]}:{listener.address[1]}")
+    if daemon.metrics_address is not None:
+        host, port = daemon.metrics_address
+        print(f"monitoring endpoint on http://{host}:{port}  (/metrics /healthz /varz)")
+    try:
+        if args.reports > 0:
+            net = DataPlaneNetwork(scenario.topo, scenario.channel)
+            pairs = scenario.host_pairs()
+            sent = 0
+            import socket as _socket
+
+            client = _socket.socket(_socket.AF_INET, _socket.SOCK_DGRAM)
+            try:
+                for i in range(args.reports):
+                    src, dst = pairs[i % len(pairs)]
+                    result = net.inject_from_host(
+                        src, scenario.header_between(src, dst)
+                    )
+                    for report in result.reports:
+                        client.sendto(
+                            pack_report(report, net.codec), listener.address
+                        )
+                        sent += 1
+            finally:
+                client.close()
+            deadline = _time.monotonic() + 10.0
+            while listener.received < sent and _time.monotonic() < deadline:
+                _time.sleep(0.02)
+            daemon.join()
+            print(f"self-drive: sent {sent} reports from {args.reports} packets")
+        if args.duration is not None:
+            _time.sleep(args.duration)
+        elif args.reports == 0:
+            while True:  # serve until interrupted
+                _time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        listener.stop()
+        daemon.join()
+        stats = daemon.stats()
+        daemon.stop()
+    rows = [(key, stats[key]) for key in sorted(stats)]
+    rows += [(f"udp_{k}", v) for k, v in sorted(listener.stats().items())]
+    print(render_table(f"serve ({args.mode}) statistics", ["metric", "value"], rows))
+    return 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     import random as _random
 
@@ -341,6 +425,26 @@ def build_parser() -> argparse.ArgumentParser:
                           default=[0.5, 1.0, 2.0])
     tradeoff.add_argument("--trials", type=int, default=5)
 
+    serve = add("serve", "run a live daemon with UDP ingestion + /metrics")
+    serve.add_argument("--topo", choices=["stanford", "internet2", "ft4", "ft6"],
+                       default="ft4")
+    serve.add_argument("--mode", choices=["thread", "sharded"], default="thread")
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="UDP bind address for tag reports")
+    serve.add_argument("--port", type=int, default=0,
+                       help="UDP port (0 picks a free one)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       help="serve /metrics, /healthz, /varz on this port "
+                            "(0 picks a free one; omit to disable)")
+    serve.add_argument("--metrics-host", default="127.0.0.1")
+    serve.add_argument("--reports", type=int, default=0,
+                       help="self-drive N sampled packets through the UDP "
+                            "socket, then print statistics")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="keep serving this many seconds (default: "
+                            "forever unless --reports is given)")
+
     add("report", "collate persisted benchmark tables")
     paths = add("paths", "dump a topology's path table")
     paths.add_argument("--topo", choices=["stanford", "internet2", "ft4", "ft6"],
@@ -362,6 +466,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "report": cmd_report,
     "paths": cmd_paths,
     "demo": cmd_demo,
+    "serve": cmd_serve,
 }
 
 

@@ -60,8 +60,20 @@ import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import (
+    DEFAULT_BUCKETS,
+    MetricsEndpoint,
+    MetricsRegistry,
+    Observability,
+)
 from .pathtable import PathTable
-from .reports import _REPORT_STRUCT, REPORT_VERSION, ReportDecodeError, unpack_report
+from .reports import (
+    _REPORT_STRUCT,
+    REPORT_SIZE,
+    REPORT_VERSION,
+    ReportDecodeError,
+    unpack_report,
+)
 from .resilience import (
     DeadLetterQueue,
     OverflowPolicy,
@@ -108,12 +120,16 @@ class VeriDPDaemon:
         submit_timeout: Optional[float] = None,
         dead_letter_capacity: int = 1024,
         dead_letter_attempts: int = 3,
+        obs: Optional[Observability] = None,
+        metrics_port: Optional[int] = None,
+        metrics_host: str = "127.0.0.1",
     ) -> None:
         if workers <= 0:
             raise ValueError(f"need at least one worker, got {workers}")
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.server = server
+        self.obs = obs or server.obs
         self.overflow = OverflowPolicy.coerce(overflow)
         self._queue = PolicyQueue(queue_size, self.overflow)
         self._lock = threading.Lock()
@@ -129,6 +145,20 @@ class VeriDPDaemon:
         self.dead_letters = DeadLetterQueue(
             capacity=dead_letter_capacity, max_attempts=dead_letter_attempts
         )
+        self._register_metrics()
+        self._endpoint: Optional[MetricsEndpoint] = None
+        if metrics_port is not None:
+            self._endpoint = self.obs.endpoint(
+                host=metrics_host,
+                port=metrics_port,
+                health=self._health,
+                varz=self.stats,
+            ).start()
+
+    @property
+    def submitted(self) -> int:
+        """Payloads offered to :meth:`submit` (admitted or not)."""
+        return self._queue.puts
 
     @property
     def dropped(self) -> int:
@@ -139,6 +169,103 @@ class VeriDPDaemon:
             + self._queue.block_timeouts
         )
 
+    @property
+    def metrics_address(self) -> Optional[Tuple[str, int]]:
+        """``(host, port)`` of the live monitoring endpoint, if enabled."""
+        return None if self._endpoint is None else self._endpoint.address
+
+    def _health(self) -> Tuple[bool, dict]:
+        return self._running, {"mode": "thread", "workers": self.workers}
+
+    def _register_metrics(self) -> None:
+        """Expose daemon state on the shared registry (callback-sourced).
+
+        Hot-path counters stay plain ints updated under :attr:`_lock`; the
+        registry reads them at scrape time.  The merged-fleet verification
+        families re-register the ones :class:`VeriDPServer` owns by
+        default — latest owner wins, and the daemon's view (server +
+        worker verifiers) is a superset of the server's own.
+        """
+        reg = self.obs.registry
+        reg.counter(
+            "veridp_submitted_total",
+            "Report payloads offered to the daemon (admitted or not).",
+            callback=lambda: self._queue.puts,
+        )
+        reg.counter(
+            "veridp_processed_total",
+            "Payloads fully verified by the worker pool.",
+            callback=lambda: self.processed,
+        )
+        reg.counter(
+            "veridp_malformed_total",
+            "Payloads the decoder rejected (dead-lettered, not fatal).",
+            callback=lambda: self.malformed,
+        )
+        reg.counter(
+            "veridp_verify_errors_total",
+            "Payloads that crashed the verifier (dead-lettered).",
+            callback=lambda: self.verify_errors,
+        )
+        reg.gauge(
+            "veridp_queue_depth",
+            "Report payloads waiting in the ingestion queue.",
+            callback=lambda: self._queue.qsize(),
+        )
+        reg.gauge(
+            "veridp_queue_capacity",
+            "Bound of the ingestion queue.",
+            callback=lambda: self._queue.maxsize,
+        )
+        reg.counter(
+            "veridp_queue_dropped_total",
+            "Payloads lost to backpressure, by overflow policy decision.",
+            ("policy",),
+            callback=lambda: {
+                ("drop-new",): self._queue.dropped_new,
+                ("drop-oldest",): self._queue.dropped_oldest,
+                ("block-timeout",): self._queue.block_timeouts,
+            },
+        )
+        reg.gauge(
+            "veridp_workers",
+            "Verification workers in the pool.",
+            callback=lambda: self.workers,
+        )
+        reg.counter(
+            "veridp_verifications_total",
+            "Tag reports verified, by Algorithm 3 verdict (merged fleet).",
+            ("verdict",),
+            callback=self._merged_verdicts,
+        )
+        reg.counter(
+            "veridp_dead_letters_total",
+            "Payloads dead-lettered since start.",
+            callback=lambda: self.dead_letters.total,
+        )
+        reg.gauge(
+            "veridp_dead_letter_pending",
+            "Dead letters awaiting retry.",
+            callback=lambda: self.dead_letters.pending,
+        )
+        reg.gauge(
+            "veridp_dead_letter_quarantined",
+            "Dead letters past the retry budget.",
+            callback=lambda: self.dead_letters.quarantined,
+        )
+        self._batch_hist = reg.histogram(
+            "veridp_verify_batch_seconds",
+            "Wall-clock seconds spent verifying one batch of reports.",
+            buckets=DEFAULT_BUCKETS,
+        ).labels()
+
+    def _merged_verdicts(self) -> Dict[tuple, int]:
+        merged = {v: n for v, n in self.server.verifier.counters.items()}
+        for verifier in self._worker_verifiers:
+            for verdict, count in verifier.counters.items():
+                merged[verdict] += count
+        return {(v.value,): n for v, n in merged.items()}
+
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
@@ -146,6 +273,8 @@ class VeriDPDaemon:
         if self._running:
             return
         self._running = True
+        if self._endpoint is not None:
+            self._endpoint.start()
         self.server.refresh_if_dirty()
         self._worker_verifiers = []
         for index in range(self.workers):
@@ -176,6 +305,8 @@ class VeriDPDaemon:
             thread.join(timeout=5)
         self._threads.clear()
         self._running = False
+        if self._endpoint is not None:
+            self._endpoint.stop()
 
     def __enter__(self) -> "VeriDPDaemon":
         self.start()
@@ -253,20 +384,26 @@ class VeriDPDaemon:
         sources: List[bytes] = []
         malformed = 0
         codec = self.server.codec
-        for payload in payloads:
-            try:
-                reports.append(unpack_report(payload, codec))
-                sources.append(payload)
-            except ReportDecodeError as exc:
-                malformed += 1
-                self.dead_letters.add(payload, "decode", exc)
+        # Spans are batch-granular on purpose: one ring append per batch is
+        # noise-level cost, one per report would not be (see DESIGN.md §8).
+        with self.obs.span("decode", reports=len(payloads)):
+            for payload in payloads:
+                try:
+                    reports.append(unpack_report(payload, codec))
+                    sources.append(payload)
+                except ReportDecodeError as exc:
+                    malformed += 1
+                    self.dead_letters.add(payload, "decode", exc)
         incidents: List[Incident] = []
         verify_errors = 0
         failures = []
         if reports:
             # Pure computation outside the lock.
             try:
-                failures = verifier.verify_batch(reports).failures
+                with self.obs.span("verify", reports=len(reports)):
+                    batch_result = verifier.verify_batch(reports)
+                failures = batch_result.failures
+                self._batch_hist.observe(batch_result.elapsed_s)
             except Exception:
                 # One poisoned report must not take down its batch-mates:
                 # retry one by one and dead-letter only the culprit(s).
@@ -280,22 +417,26 @@ class VeriDPDaemon:
                         continue
                     if not result.passed:
                         failures.append(result)
-        for failure in failures:
-            localization = None
-            if self.server.localize_failures:
-                try:
-                    localization = self.server.localizer.localize(failure.report)
-                except Exception:  # pragma: no cover - defensive
+        if failures:
+            with self.obs.span("localize", failures=len(failures)):
+                for failure in failures:
                     localization = None
-            incidents.append(
-                Incident(verification=failure, localization=localization)
-            )
+                    if self.server.localize_failures:
+                        try:
+                            localization = self.server.localizer.localize(
+                                failure.report
+                            )
+                        except Exception:  # pragma: no cover - defensive
+                            localization = None
+                    incidents.append(
+                        Incident(verification=failure, localization=localization)
+                    )
         with self._lock:
             self.processed += len(reports) - verify_errors
             self.malformed += malformed
             self.verify_errors += verify_errors
             if incidents:
-                self.server.incidents.extend(incidents)
+                self.server.log_incidents(incidents)
 
     # -- maintenance -----------------------------------------------------------
 
@@ -310,17 +451,30 @@ class VeriDPDaemon:
         return refreshed
 
     def stats(self) -> Dict[str, int]:
-        """Daemon-level counters plus merged per-worker verification counts."""
+        """Daemon-level counters plus merged per-worker verification counts.
+
+        Canonical drop keys follow :meth:`PolicyQueue.stats` (see DESIGN.md
+        §8 for the alias mapping): ``dropped_new`` / ``dropped_oldest`` /
+        ``block_timeouts`` with ``dropped`` as their total.  The historical
+        ``dropped_full_queue`` key (= ``dropped_new + block_timeouts``) is
+        kept as a compatibility alias.  After :meth:`join` the ledger
+        closes exactly::
+
+            submitted == processed + malformed + verify_errors + dropped
+        """
         queue_stats = self._queue.stats()
         with self._lock:
             merged = {
+                "submitted": queue_stats["puts"],
                 "processed": self.processed,
                 "malformed": self.malformed,
                 "verify_errors": self.verify_errors,
                 "queued": queue_stats["queued"],
                 "workers": self.workers,
                 "incidents": len(self.server.incidents),
+                "incidents_total": self.server.incidents_total,
                 "overflow_policy": self.overflow.value,
+                "dropped_new": queue_stats["dropped_new"],
                 "dropped_full_queue": queue_stats["dropped_new"]
                 + queue_stats["block_timeouts"],
                 "dropped_oldest": queue_stats["dropped_oldest"],
@@ -464,6 +618,14 @@ def _shard_worker_main(
     A payload can never kill the worker: undecodable ones are counted (and
     sampled for dead-lettering), and a verification crash is shipped back
     as a structured error record instead of an unhandled exception.
+
+    Observability: the worker keeps a local :class:`MetricsRegistry` of
+    ``veridp_shard_*`` families (labelled by shard id, so families never
+    collide with the parent's) and ships ``snapshot(reset=True)`` deltas
+    as the final element of each flush reply; the parent merges them into
+    its registry.  Verification itself stays on plain ints — only the
+    per-batch timing histogram and the per-flush delta transfer touch the
+    registry.
     """
     counters = {
         _PASS: 0,
@@ -476,10 +638,39 @@ def _shard_worker_main(
     failures: List[Tuple[bytes, str]] = []
     crashed: List[Tuple[bytes, str]] = []
     malformed_sample: List[bytes] = []
+    registry = MetricsRegistry()
+    shard = str(worker_id)
+    batch_hist = registry.histogram(
+        "veridp_shard_batch_seconds",
+        "Wall-clock seconds one shard worker spent verifying one batch.",
+        ("shard",),
+        buckets=DEFAULT_BUCKETS,
+    ).labels(shard)
+    batches_counter = registry.counter(
+        "veridp_shard_batches_total",
+        "Batches a shard worker verified.",
+        ("shard",),
+    ).labels(shard)
+    processed_counter = registry.counter(
+        "veridp_shard_processed_total",
+        "Payloads a shard worker verified.",
+        ("shard",),
+    ).labels(shard)
+    malformed_counter = registry.counter(
+        "veridp_shard_malformed_total",
+        "Payloads a shard worker could not decode.",
+        ("shard",),
+    ).labels(shard)
+    verdict_family = registry.counter(
+        "veridp_shard_verifications_total",
+        "Shard-worker verdicts, by verdict and shard.",
+        ("shard", "verdict"),
+    )
     while True:
         message = in_queue.get()
         kind = message[0]
         if kind == "batch":
+            batch_started = time.perf_counter()
             for payload in message[1]:
                 try:
                     verdict = _verify_wire(pairs, packing, payload)
@@ -497,7 +688,17 @@ def _shard_worker_main(
                 counters[verdict] += 1
                 if verdict != _PASS:
                     failures.append((payload, verdict))
+            batch_hist.observe(time.perf_counter() - batch_started)
+            batches_counter.inc()
         elif kind == "flush":
+            # The plain ints zero at every flush, so the current values ARE
+            # the delta: move them onto the local registry, then ship the
+            # whole thing as a resetting snapshot.
+            processed_counter.inc(processed)
+            malformed_counter.inc(malformed)
+            for name, count in counters.items():
+                if count:
+                    verdict_family.labels(shard, name).inc(count)
             out_queue.put(
                 (
                     "flush",
@@ -509,6 +710,7 @@ def _shard_worker_main(
                     failures,
                     crashed,
                     malformed_sample,
+                    registry.snapshot(reset=True),
                 )
             )
             processed = 0
@@ -575,6 +777,9 @@ class ShardedVeriDPDaemon:
         fallback_workers: int = 2,
         dead_letter_capacity: int = 1024,
         dead_letter_attempts: int = 3,
+        obs: Optional[Observability] = None,
+        metrics_port: Optional[int] = None,
+        metrics_host: str = "127.0.0.1",
     ) -> None:
         if workers <= 0:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -592,10 +797,12 @@ class ShardedVeriDPDaemon:
                 "the threaded VeriDPDaemon for newest-wins ingestion"
             )
         self.server = server
+        self.obs = obs or server.obs
         self.workers = workers
         self.batch_size = batch_size
         self.max_pending_batches = max_pending_batches
         self.fallback_workers = fallback_workers
+        self.submitted = 0
         self.processed = 0
         self.malformed = 0
         self.verify_errors = 0
@@ -639,6 +846,162 @@ class ShardedVeriDPDaemon:
                 backoff=backoff,
                 on_budget_exhausted=self._degrade,
             )
+        self._register_metrics()
+        self._endpoint: Optional[MetricsEndpoint] = None
+        if metrics_port is not None:
+            self._endpoint = self.obs.endpoint(
+                host=metrics_host,
+                port=metrics_port,
+                health=self._health,
+                varz=self.stats,
+            ).start()
+
+    @property
+    def metrics_address(self) -> Optional[Tuple[str, int]]:
+        """``(host, port)`` of the live monitoring endpoint, if enabled."""
+        return None if self._endpoint is None else self._endpoint.address
+
+    def _health(self) -> Tuple[bool, dict]:
+        detail = {
+            "mode": "thread-fallback" if self.degraded else "process",
+            "workers": self.workers,
+        }
+        # A daemon that burned its restart budget still ingests (via the
+        # fallback) but is operator-attention-worthy: report unhealthy.
+        return (self._running or self._fallback is not None) and not self.degraded, detail
+
+    def _register_metrics(self) -> None:
+        """Expose the consolidated parent-side view on the shared registry.
+
+        Re-registers the ingestion families the server/threaded daemon may
+        already own (latest owner wins); the per-shard ``veridp_shard_*``
+        families arrive separately via worker snapshot merges in
+        :meth:`_merge_flush`.  When degraded, the callbacks fold in the
+        fallback daemon's figures — the fallback itself runs on a private
+        registry so its own registrations cannot clobber these.
+        """
+        reg = self.obs.registry
+
+        def fallback_stat(name: str) -> int:
+            fallback = self._fallback
+            return 0 if fallback is None else getattr(fallback, name)
+
+        reg.counter(
+            "veridp_submitted_total",
+            "Report payloads offered to the daemon (admitted or not).",
+            callback=lambda: self.submitted,
+        )
+        reg.counter(
+            "veridp_processed_total",
+            "Payloads fully verified by the shard workers.",
+            callback=lambda: self.processed + fallback_stat("processed"),
+        )
+        reg.counter(
+            "veridp_malformed_total",
+            "Payloads the decoder rejected (dead-lettered, not fatal).",
+            callback=lambda: self.malformed + fallback_stat("malformed"),
+        )
+        reg.counter(
+            "veridp_verify_errors_total",
+            "Payloads that crashed verification (dead-lettered).",
+            callback=lambda: self.verify_errors + fallback_stat("verify_errors"),
+        )
+        reg.counter(
+            "veridp_queue_dropped_total",
+            "Payloads lost to backpressure, by overflow policy decision.",
+            ("policy",),
+            callback=lambda: {
+                ("drop-new",): self.dropped_full_queue
+                + (
+                    0
+                    if self._fallback is None
+                    else self._fallback.dropped
+                ),
+            },
+        )
+        reg.gauge(
+            "veridp_queue_depth",
+            "Payloads buffered parent-side awaiting dispatch.",
+            callback=lambda: sum(len(b) for b in self._buffers),
+        )
+        reg.counter(
+            "veridp_lost_in_restart_total",
+            "Payloads dispatched to a worker whose verdicts never returned.",
+            callback=lambda: max(
+                0, sum(self._dispatched) - sum(self._accounted)
+            ),
+        )
+        reg.gauge(
+            "veridp_workers",
+            "Shard worker processes (fallback threads when degraded).",
+            callback=lambda: (
+                self.fallback_workers if self.degraded else self.workers
+            ),
+        )
+        reg.gauge(
+            "veridp_degraded",
+            "1 when the daemon fell back to the threaded single process.",
+            callback=lambda: int(self.degraded),
+        )
+        reg.counter(
+            "veridp_verifications_total",
+            "Tag reports verified, by Algorithm 3 verdict (merged fleet).",
+            ("verdict",),
+            callback=self._merged_verdicts,
+        )
+        reg.counter(
+            "veridp_worker_restarts_total",
+            "Shard workers the supervisor restarted (dead or wedged).",
+            callback=lambda: (
+                0 if self._supervisor is None else self._supervisor.restarts
+            ),
+        )
+        reg.counter(
+            "veridp_wedged_restarts_total",
+            "Restarts triggered by heartbeat timeout rather than death.",
+            callback=lambda: (
+                0
+                if self._supervisor is None
+                else self._supervisor.wedged_restarts
+            ),
+        )
+        reg.gauge(
+            "veridp_restart_budget",
+            "Supervisor crash-restart budget before degrading.",
+            callback=lambda: (
+                0
+                if self._supervisor is None
+                else self._supervisor.restart_budget
+            ),
+        )
+        reg.counter(
+            "veridp_dead_letters_total",
+            "Payloads dead-lettered since start.",
+            callback=lambda: self.dead_letters.total
+            + (
+                0 if self._fallback is None else self._fallback.dead_letters.total
+            ),
+        )
+        reg.gauge(
+            "veridp_dead_letter_pending",
+            "Dead letters awaiting retry.",
+            callback=lambda: self.dead_letters.pending,
+        )
+        reg.gauge(
+            "veridp_dead_letter_quarantined",
+            "Dead letters past the retry budget.",
+            callback=lambda: self.dead_letters.quarantined,
+        )
+
+    def _merged_verdicts(self) -> Dict[tuple, int]:
+        with self._merge_lock:
+            merged = dict(self.counters)
+        fallback = self._fallback
+        if fallback is not None:
+            for verifier in fallback._worker_verifiers:
+                for verdict, count in verifier.counters.items():
+                    merged[verdict] += count
+        return {(v.value,): n for v, n in merged.items()}
 
     @staticmethod
     def _packing_for(server: VeriDPServer) -> Tuple[Tuple[int, int], ...]:
@@ -657,6 +1020,8 @@ class ShardedVeriDPDaemon:
 
     def start(self) -> None:
         """Replicate the (compiled) path table and fork the workers."""
+        if self._endpoint is not None:
+            self._endpoint.start()
         if self._fallback is not None:
             self._fallback.start()
             return
@@ -714,6 +1079,8 @@ class ShardedVeriDPDaemon:
 
     def stop(self) -> None:
         """Consolidate outstanding work and terminate the workers."""
+        if self._endpoint is not None:
+            self._endpoint.stop()
         if self._fallback is not None:
             self._fallback.stop()
             return
@@ -758,9 +1125,17 @@ class ShardedVeriDPDaemon:
     # -- ingestion -------------------------------------------------------------
 
     def submit(self, payload: bytes) -> bool:
-        """Route one wire-format report to its shard (buffered)."""
+        """Route one wire-format report to its shard (buffered).
+
+        Every call increments :attr:`submitted` exactly once — including
+        post-degrade calls delegated to the fallback — so the accounting
+        identity in :meth:`stats` stays closed across the daemon's whole
+        life.
+        """
         fallback = self._fallback
         if fallback is not None:
+            with self._dispatch_lock:
+                self.submitted += 1
             return fallback.submit(payload)
         if not self._running:
             raise RuntimeError("daemon is not running; call start() first")
@@ -768,6 +1143,7 @@ class ShardedVeriDPDaemon:
         shard = _shard_of(pair_key, self.workers)
         batch: Optional[List[bytes]] = None
         with self._dispatch_lock:
+            self.submitted += 1
             buffer = self._buffers[shard]
             buffer.append(payload)
             if len(buffer) >= self.batch_size:
@@ -784,6 +1160,10 @@ class ShardedVeriDPDaemon:
         stall other producers, and the supervisor's restart path (which
         the wait leans on for liveness) must never deadlock against us.
         """
+        with self.obs.span("admit", shard=shard, reports=len(batch)):
+            return self._dispatch_inner(shard, batch)
+
+    def _dispatch_inner(self, shard: int, batch: List[bytes]) -> bool:
         while True:
             fallback = self._fallback
             if fallback is not None:  # degraded mid-dispatch
@@ -895,7 +1275,13 @@ class ShardedVeriDPDaemon:
             failures,
             crashed,
             malformed_sample,
+            metrics_snapshot,
         ) = message
+        # Merge the worker's veridp_shard_* delta snapshot outside
+        # _merge_lock: merging takes registry/metric locks, and holding
+        # _merge_lock across it would serialise scrapes (whose callbacks
+        # take _merge_lock) against every flush for no benefit.
+        self.obs.registry.merge(metrics_snapshot)
         with self._merge_lock:
             self.processed += processed
             self.malformed += malformed
@@ -1045,6 +1431,10 @@ class ShardedVeriDPDaemon:
             overflow=self.overflow,
             dead_letter_capacity=self.dead_letters.capacity,
             dead_letter_attempts=self.dead_letters.max_attempts,
+            # A private Observability: the fallback's own registrations must
+            # not clobber this daemon's families on the shared registry (the
+            # callbacks above already fold its figures in).
+            obs=Observability(),
         )
         fallback.start()
         for shard in range(self.workers):
@@ -1055,6 +1445,11 @@ class ShardedVeriDPDaemon:
             recovered = self._drain_abandoned(
                 self._in_queues[shard], self._out_queues[shard]
             )
+            # Salvaged payloads leave the sharded ledger for the fallback's:
+            # settle their dispatch debt here or they would double-count as
+            # lost_in_restart *and* as fallback `processed`.
+            with self._merge_lock:
+                self._accounted[shard] += len(recovered)
             for payload in recovered:
                 fallback.submit(payload)
         with self._dispatch_lock:
@@ -1094,11 +1489,18 @@ class ShardedVeriDPDaemon:
         ``lost_in_restart`` counts payloads dispatched to a worker whose
         verdicts never came back — exact after :meth:`join` returns (it
         includes in-flight work mid-run).  The accounting identity after a
-        completed ``join`` is::
+        completed ``join`` on a non-degraded daemon is::
 
             submitted == processed + malformed + verify_errors
-                         + dropped_full_queue + lost_in_restart
+                         + dropped_new + lost_in_restart
+
+        ``dropped_new`` is the canonical name for sharded tail drop (the
+        only policy decision this daemon can take); ``dropped_full_queue``
+        is kept as its historical alias and ``dropped`` as the
+        policy-total, mirroring :meth:`PolicyQueue.stats` (DESIGN.md §8).
         """
+        with self._dispatch_lock:
+            submitted = self.submitted
         with self._merge_lock:
             processed = self.processed
             malformed = self.malformed
@@ -1108,6 +1510,7 @@ class ShardedVeriDPDaemon:
             lost = max(0, sum(self._dispatched) - sum(self._accounted))
         verified = sum(counters.values())
         stats = {
+            "submitted": submitted,
             "processed": processed,
             "malformed": malformed,
             "verify_errors": verify_errors,
@@ -1116,8 +1519,11 @@ class ShardedVeriDPDaemon:
             "verified": verified,
             "failed": verified - counters[Verdict.PASS],
             "incidents": len(self.server.incidents),
+            "incidents_total": self.server.incidents_total,
             "overflow_policy": self.overflow.value,
+            "dropped_new": dropped,
             "dropped_full_queue": dropped,
+            "dropped": dropped,
             "lost_in_restart": lost,
             "degraded": int(self.degraded),
         }
@@ -1129,7 +1535,9 @@ class ShardedVeriDPDaemon:
             fb = fallback.stats()
             for key in ("processed", "malformed", "verify_errors", "verified", "failed"):
                 stats[key] += fb[key]
+            stats["dropped_new"] += fb["dropped_new"]
             stats["dropped_full_queue"] += fb["dropped_full_queue"]
+            stats["dropped"] += fb["dropped"]
             stats["dead_lettered"] += fb["dead_lettered"]
             stats["dead_letter_quarantined"] += fb["dead_letter_quarantined"]
             stats["incidents"] = fb["incidents"]
@@ -1169,7 +1577,38 @@ class UdpReportListener:
         self.received = 0
         self.malformed = 0
         self.dropped = 0
+        self.wrong_size = 0  # datagrams whose length cannot be a report
         self.socket_errors = 0
+        self.obs = getattr(daemon, "obs", None) or Observability()
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        reg = self.obs.registry
+        reg.counter(
+            "veridp_udp_received_total",
+            "UDP datagrams received on the report socket.",
+            callback=lambda: self.received,
+        )
+        reg.counter(
+            "veridp_udp_wrong_size_total",
+            "Datagrams whose size cannot be a wire report (still submitted).",
+            callback=lambda: self.wrong_size,
+        )
+        reg.counter(
+            "veridp_udp_submit_errors_total",
+            "Datagrams the daemon's submit() raised on.",
+            callback=lambda: self.malformed,
+        )
+        reg.counter(
+            "veridp_udp_dropped_total",
+            "Datagrams refused by daemon backpressure.",
+            callback=lambda: self.dropped,
+        )
+        reg.counter(
+            "veridp_udp_socket_errors_total",
+            "Transient socket errors absorbed by the receive loop.",
+            callback=lambda: self.socket_errors,
+        )
 
     def _open_socket(self) -> None:
         sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
@@ -1221,6 +1660,7 @@ class UdpReportListener:
             "received": self.received,
             "malformed": self.malformed,
             "dropped": self.dropped,
+            "wrong_size": self.wrong_size,
             "socket_errors": self.socket_errors,
         }
 
@@ -1254,6 +1694,11 @@ class UdpReportListener:
                 continue
             consecutive_errors = 0
             self.received += 1
+            if len(payload) != REPORT_SIZE:
+                # Submitted anyway — the decode stage owns the authoritative
+                # reject (and dead-letters it); this counter just makes
+                # transport-level truncation visible at the edge.
+                self.wrong_size += 1
             try:
                 accepted = self.daemon.submit(payload)
             except Exception:

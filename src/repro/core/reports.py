@@ -29,6 +29,7 @@ __all__ = [
     "pack_report",
     "unpack_report",
     "REPORT_VERSION",
+    "REPORT_SIZE",
 ]
 
 REPORT_VERSION = 1
@@ -136,6 +137,9 @@ class TagReport:
 #   version:1  flags:1  inport:2  outport:2  tag:8
 #   src_ip:4  dst_ip:4  proto:1  src_port:2  dst_port:2
 _REPORT_STRUCT = struct.Struct(">BBHHQ" + "IIBHH")
+#: Exact wire size of one report payload; transports use it to pre-screen
+#: datagrams (anything of a different length cannot possibly decode).
+REPORT_SIZE = _REPORT_STRUCT.size
 _FLAG_TTL_EXPIRED = 0x01
 
 

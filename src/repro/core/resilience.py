@@ -103,6 +103,7 @@ class PolicyQueue:
         self._all_done = threading.Condition(self._mutex)
         self._unfinished = 0
         self._closed = False
+        self.puts = 0  # non-forced put() calls: the queue's "submitted" ledger
         self.dropped_new = 0
         self.dropped_oldest = 0
         self.block_timeouts = 0
@@ -130,8 +131,11 @@ class PolicyQueue:
         """
         with self._mutex:
             if force:
+                # Control sentinels (stop tokens) are not workload; they stay
+                # out of the submitted ledger.
                 self._admit(item)
                 return True
+            self.puts += 1
             if len(self._items) < self.maxsize:
                 self._admit(item)
                 return True
@@ -227,13 +231,24 @@ class PolicyQueue:
             self._not_empty.notify_all()
 
     def stats(self) -> Dict[str, int]:
-        """Admission counters for :meth:`VeriDPDaemon.stats` consumption."""
+        """Admission counters for :meth:`VeriDPDaemon.stats` consumption.
+
+        Canonical drop keys (shared with the daemons' ``stats()`` and the
+        ``veridp_queue_dropped_total`` metric family — see DESIGN.md §8):
+        ``dropped_new`` (refused at the door), ``dropped_oldest``
+        (evicted to admit newer), ``block_timeouts`` (blocking put timed
+        out), and ``dropped`` — the total across all three.
+        """
         with self._mutex:
             return {
                 "queued": len(self._items),
+                "puts": self.puts,
                 "dropped_new": self.dropped_new,
                 "dropped_oldest": self.dropped_oldest,
                 "block_timeouts": self.block_timeouts,
+                "dropped": (
+                    self.dropped_new + self.dropped_oldest + self.block_timeouts
+                ),
             }
 
 

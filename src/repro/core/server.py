@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 from ..bdd.headerspace import HeaderSpace
 from ..controlplane.messages import Channel, FlowMod
 from ..netmodel.topology import Topology
+from ..obs import Observability
 from .bloom import BloomTagScheme
 from .localization import LocalizationResult, PathInferLocalizer
 from .pathtable import PathTable, PathTableBuilder, SnapshotProvider
@@ -62,8 +63,10 @@ class VeriDPServer:
         localize_failures: bool = True,
         max_path_length: Optional[int] = None,
         fast_path: bool = True,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.topo = topo
+        self.obs = obs or Observability()
         self.hs = hs or HeaderSpace()
         self.scheme = scheme or BloomTagScheme()
         self.codec = codec or PortCodec(sorted(topo.switches))
@@ -83,8 +86,10 @@ class VeriDPServer:
         self.verifier = Verifier(self.table, self.hs, fast_path=fast_path)
         self.localizer = PathInferLocalizer(self.builder, self.scheme, topo)
         self.incidents: List[Incident] = []
+        self.incidents_total = 0  # survives drain_incidents(), unlike len()
         self.decode_errors = 0
         self.localization_errors = 0
+        self.localizations = 0
         self._dirty = False
         # A persistent fault produces one identical failing report per
         # sampled packet; running Algorithm 4 once per *distinct* failure is
@@ -94,8 +99,98 @@ class VeriDPServer:
         )
         self.localization_cache_hits = 0
         self.localization_cache_max = 4096
+        self._register_metrics()
         if channel is not None:
             channel.subscribe(self._on_message)
+
+    def _register_metrics(self) -> None:
+        """Expose server state on the shared registry, at zero hot-path cost.
+
+        Everything here is a *callback* instrument: the verifier/localizer
+        keep their plain-int counters on the hot path and the registry
+        reads them at collection time.  A daemon that wraps this server
+        re-registers ``veridp_verifications_total`` with its merged
+        worker view (latest owner wins — see :mod:`repro.obs.metrics`).
+        """
+        reg = self.obs.registry
+        reg.counter(
+            "veridp_verifications_total",
+            "Tag reports verified, by Algorithm 3 verdict.",
+            ("verdict",),
+            callback=lambda: {
+                (v.value,): n for v, n in self.verifier.counters.items()
+            },
+        )
+        reg.counter(
+            "veridp_fastpath_verifications_total",
+            "Verifications by implementation path (compiled fast vs "
+            "paper-literal BDD).",
+            ("path",),
+            callback=lambda: {
+                ("fast",): self.verifier.fast_verifications,
+                ("bdd",): self.verifier.slow_verifications,
+            },
+        )
+        reg.counter(
+            "veridp_flow_cache_hits_total",
+            "Fast-path verifications answered from the per-flow cache.",
+            callback=lambda: self.verifier.flow_cache_hits,
+        )
+        reg.counter(
+            "veridp_flow_cache_misses_total",
+            "Fast-path verifications that ran the full matcher scan.",
+            callback=lambda: self.verifier.flow_cache_misses,
+        )
+        reg.gauge(
+            "veridp_flow_cache_size",
+            "Flows currently resident in the verifier's flow cache.",
+            callback=lambda: self.verifier.flow_cache_len,
+        )
+        reg.counter(
+            "veridp_decode_errors_total",
+            "Report payloads the server-side codec rejected.",
+            callback=lambda: self.decode_errors,
+        )
+        reg.counter(
+            "veridp_localizations_total",
+            "Algorithm 4 localizations attempted (cache hits included).",
+            callback=lambda: self.localizations,
+        )
+        reg.counter(
+            "veridp_localization_cache_hits_total",
+            "Localizations served from the bounded result cache.",
+            callback=lambda: self.localization_cache_hits,
+        )
+        reg.counter(
+            "veridp_localization_errors_total",
+            "Failures Algorithm 4 could not localize (incident kept).",
+            callback=lambda: self.localization_errors,
+        )
+        reg.counter(
+            "veridp_incidents_total",
+            "Inconsistencies detected since server start (drain-proof).",
+            callback=lambda: self.incidents_total,
+        )
+        reg.gauge(
+            "veridp_incident_log_size",
+            "Incidents currently waiting in the operator log.",
+            callback=lambda: len(self.incidents),
+        )
+        reg.gauge(
+            "veridp_path_table_version",
+            "Structural version of the live path table.",
+            callback=lambda: self.table.version,
+        )
+        reg.gauge(
+            "veridp_path_table_pairs",
+            "Indexed (inport, outport) pairs in the path table.",
+            callback=lambda: self.table.stats().num_pairs,
+        )
+        reg.gauge(
+            "veridp_path_table_paths",
+            "Distinct configured paths in the path table.",
+            callback=lambda: self.table.stats().num_paths,
+        )
 
     # -- control-plane synchronisation ---------------------------------
 
@@ -139,7 +234,9 @@ class VeriDPServer:
         on a lossy transport should use :meth:`try_receive_report_bytes`
         (or dead-letter the payload themselves, as the daemons do).
         """
-        return self.receive_report(unpack_report(payload, self.codec))
+        with self.obs.span("decode"):
+            report = unpack_report(payload, self.codec)
+        return self.receive_report(report)
 
     def try_receive_report_bytes(self, payload: bytes) -> Optional[Incident]:
         """Like :meth:`receive_report_bytes`, but decode failure is data.
@@ -159,22 +256,38 @@ class VeriDPServer:
         """Verify one report; on failure, localize.  Always returns a record
         (with a PASS verdict when nothing is wrong)."""
         self.refresh_if_dirty()
-        verification = self.verifier.verify(report)
+        with self.obs.span("verify") as span:
+            verification = self.verifier.verify(report)
+            span.set("verdict", verification.verdict.value)
         localization = None
         if not verification.passed and self.localize_failures:
             # Localization is best-effort diagnosis: a report exotic enough
             # to crash Algorithm 4 (e.g. a switch the path table has never
             # seen) must still produce its incident, just unlocalized.
             try:
-                localization = self._localize_cached(report)
+                with self.obs.span("localize"):
+                    localization = self._localize_cached(report)
             except Exception:
                 self.localization_errors += 1
         incident = Incident(verification=verification, localization=localization)
         if not verification.passed:
-            self.incidents.append(incident)
+            self.log_incidents([incident])
         return incident
 
+    def log_incidents(self, incidents: List[Incident]) -> None:
+        """Append detected inconsistencies to the operator log (counted).
+
+        The single entry point for incident recording: ``incidents_total``
+        keeps growing across :meth:`drain_incidents`, so the
+        ``veridp_incidents_total`` counter stays monotonic even though the
+        log itself is drained.
+        """
+        with self.obs.span("incident", count=len(incidents)):
+            self.incidents.extend(incidents)
+            self.incidents_total += len(incidents)
+
     def _localize_cached(self, report: TagReport) -> LocalizationResult:
+        self.localizations += 1
         key = (report.inport, report.outport, report.header, report.tag)
         cached = self._localization_cache.get(key)
         if cached is not None:
@@ -196,19 +309,34 @@ class VeriDPServer:
         return incidents
 
     def stats(self) -> Dict[str, object]:
-        """Verification counters plus path-table shape."""
+        """Verification counters plus path-table shape.
+
+        This is the *server-local* view (this instance's own verifier);
+        a daemon's ``stats()``/``/metrics`` carry the merged fleet view.
+        Keys here mirror the metric catalogue in DESIGN.md §8.
+        """
         table_stats = self.table.stats()
+        verifier = self.verifier
         return {
-            "verified": self.verifier.verified_count,
-            "passed": self.verifier.counters[Verdict.PASS],
-            "failed": self.verifier.failure_count,
+            "verified": verifier.verified_count,
+            "passed": verifier.counters[Verdict.PASS],
+            "failed": verifier.failure_count,
             "incidents": len(self.incidents),
+            "incidents_total": self.incidents_total,
             "decode_errors": self.decode_errors,
+            "localizations": self.localizations,
             "localization_errors": self.localization_errors,
+            "localization_cache_hits": self.localization_cache_hits,
             "path_table_pairs": table_stats.num_pairs,
             "path_table_paths": table_stats.num_paths,
+            "path_table_version": self.table.version,
             "avg_path_length": table_stats.avg_path_length,
             "fast_path": self.fast_path,
-            "flow_cache_hits": self.verifier.flow_cache_hits,
-            "flow_cache_flows": self.verifier.flow_cache_len,
+            "flow_cache_hits": verifier.flow_cache_hits,
+            "flow_cache_misses": verifier.flow_cache_misses,
+            "flow_cache_hit_ratio": verifier.flow_cache_hit_ratio,
+            "flow_cache_flows": verifier.flow_cache_len,
+            "fast_path_verifications": verifier.fast_verifications,
+            "slow_path_verifications": verifier.slow_verifications,
+            "fast_path_ratio": verifier.fast_path_ratio,
         }

@@ -159,6 +159,8 @@ class Verifier:
         self.counters: Dict[Verdict, int] = {v: 0 for v in Verdict}
         self.total_time_s = 0.0
         self.flow_cache_hits = 0
+        self.fast_verifications = 0
+        self.slow_verifications = 0
         self._flow_cache: Dict[tuple, Optional[PathEntry]] = {}
         self._flow_cache_table: Optional[PathTable] = None
         self._flow_cache_version = -1
@@ -259,6 +261,10 @@ class Verifier:
         elapsed = time.perf_counter() - started
         self.counters[verdict] += 1
         self.total_time_s += elapsed
+        if self.fast_path:
+            self.fast_verifications += 1
+        else:
+            self.slow_verifications += 1
         return VerificationResult(
             verdict=verdict,
             report=report,
@@ -298,6 +304,10 @@ class Verifier:
                 )
         elapsed = time.perf_counter() - started
         self.total_time_s += elapsed
+        if self.fast_path:
+            self.fast_verifications += len(verdicts)
+        else:
+            self.slow_verifications += len(verdicts)
         counts = {v: n for v in Verdict if (n := verdicts.count(v))}
         return BatchVerificationResult(
             verdicts=verdicts,
@@ -331,6 +341,26 @@ class Verifier:
         """Reports that failed verification (any failure class)."""
         return self.verified_count - self.counters[Verdict.PASS]
 
+    @property
+    def flow_cache_misses(self) -> int:
+        """Fast-path verifications that had to run the full matcher scan."""
+        return max(0, self.fast_verifications - self.flow_cache_hits)
+
+    @property
+    def flow_cache_hit_ratio(self) -> float:
+        """Fraction of fast-path verifications served from the flow cache."""
+        if self.fast_verifications == 0:
+            return 0.0
+        return self.flow_cache_hits / self.fast_verifications
+
+    @property
+    def fast_path_ratio(self) -> float:
+        """Fraction of all verifications that took the compiled fast path."""
+        total = self.verified_count
+        if total == 0:
+            return 0.0
+        return self.fast_verifications / total
+
     def mean_verification_time_s(self) -> float:
         """Average wall-clock time per verification (Figure 13's metric)."""
         if self.verified_count == 0:
@@ -342,3 +372,5 @@ class Verifier:
         self.counters = {v: 0 for v in Verdict}
         self.total_time_s = 0.0
         self.flow_cache_hits = 0
+        self.fast_verifications = 0
+        self.slow_verifications = 0

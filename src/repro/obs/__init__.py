@@ -1,0 +1,88 @@
+"""Unified observability for the VeriDP monitoring plane.
+
+The paper sells VeriDP as *continuous* monitoring of control-data plane
+consistency; a monitor whose own behaviour is opaque is only half built.
+This package makes the monitoring plane observable with zero hard
+dependencies (stdlib only):
+
+* :mod:`repro.obs.metrics`    — thread/process-safe registry of counters,
+  gauges and fixed-bucket histograms with labels, callback-sourced
+  instruments, and mergeable picklable snapshots (shard workers ship
+  deltas to the parent through them),
+* :mod:`repro.obs.tracing`    — span context managers with a ring-buffer
+  exporter instrumenting decode → admission → verify → localize →
+  incident,
+* :mod:`repro.obs.exposition` — Prometheus text format v0.0.4 + JSON,
+* :mod:`repro.obs.httpd`      — the live ``/metrics`` / ``/healthz`` /
+  ``/varz`` endpoint served by a stdlib ``http.server``.
+
+:class:`Observability` bundles one registry and one tracer; the
+:class:`~repro.core.server.VeriDPServer` creates one by default and the
+daemons adopt it, so one scrape covers the whole pipeline.  The metric
+catalogue and span taxonomy are documented in DESIGN.md §8.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .exposition import (
+    CONTENT_TYPE_PROMETHEUS,
+    parse_prometheus_text,
+    render_json,
+    render_prometheus,
+    snapshot_to_dict,
+)
+from .httpd import MetricsEndpoint
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "Tracer",
+    "Span",
+    "MetricsEndpoint",
+    "render_prometheus",
+    "render_json",
+    "snapshot_to_dict",
+    "parse_prometheus_text",
+    "CONTENT_TYPE_PROMETHEUS",
+]
+
+
+class Observability:
+    """One registry + one tracer: the unit components share and export."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.registry = registry or MetricsRegistry()
+        self.tracer = tracer or Tracer()
+        self.tracer.register_metrics(self.registry)
+        # Bound-method shorthand; skips a wrapper frame on the hot path.
+        self.span = self.tracer.span
+
+    def endpoint(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        health=None,
+        varz=None,
+    ) -> MetricsEndpoint:
+        """Build (but do not start) an HTTP endpoint over this bundle."""
+        return MetricsEndpoint(self, host=host, port=port, health=health, varz=varz)

@@ -1,0 +1,184 @@
+"""Render metric snapshots: Prometheus text format v0.0.4 and JSON.
+
+The text format is the de-facto scrape interface ("Prometheus exposition
+format, version 0.0.4"): ``# HELP``/``# TYPE`` headers followed by one
+``name{label="value"} number`` sample per series.  Histograms expand into
+cumulative ``_bucket{le="..."}`` samples plus ``_sum`` and ``_count`` —
+bucket counts are stored per-bucket in the snapshot and cumulated here.
+
+:func:`parse_prometheus_text` is the inverse for *our own* output (plus
+any well-formed subset): the chaos-campaign CI job scrapes a live daemon
+and reconciles the parsed counters against the fault injector's
+ground-truth ledger, and the golden-file test round-trips through it.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Tuple
+
+from .metrics import LabelKey, MetricsSnapshot
+
+__all__ = [
+    "CONTENT_TYPE_PROMETHEUS",
+    "render_prometheus",
+    "render_json",
+    "snapshot_to_dict",
+    "parse_prometheus_text",
+]
+
+CONTENT_TYPE_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _format_number(value) -> str:
+    """Prometheus-style numbers: integers bare, floats via repr, inf/nan named."""
+    if isinstance(value, bool):  # pragma: no cover - bools are not metrics
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _labels_text(labelnames: Tuple[str, ...], key: LabelKey, extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in zip(labelnames, key)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(snapshot: MetricsSnapshot) -> str:
+    """The v0.0.4 text exposition of one snapshot (ends with a newline)."""
+    lines: List[str] = []
+    for metric in snapshot.metrics:
+        name = metric["name"]
+        labelnames = tuple(metric["labelnames"])
+        if metric["help"]:
+            lines.append(f"# HELP {name} {_escape_help(metric['help'])}")
+        lines.append(f"# TYPE {name} {metric['kind']}")
+        values = metric["values"]
+        for key in sorted(values):
+            value = values[key]
+            if metric["kind"] == "histogram":
+                counts, total = value
+                cumulative = 0
+                for bound, count in zip(metric["buckets"], counts):
+                    cumulative += count
+                    le = _labels_text(
+                        labelnames, key, f'le="{_format_number(float(bound))}"'
+                    )
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                cumulative += counts[-1]
+                inf = _labels_text(labelnames, key, 'le="+Inf"')
+                lines.append(f"{name}_bucket{inf} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_labels_text(labelnames, key)} "
+                    f"{_format_number(total)}"
+                )
+                lines.append(f"{name}_count{_labels_text(labelnames, key)} {cumulative}")
+            else:
+                lines.append(
+                    f"{name}{_labels_text(labelnames, key)} {_format_number(value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_to_dict(snapshot: MetricsSnapshot) -> dict:
+    """JSON-ready structure: ``{name: {kind, help, samples: [...]}}``."""
+    out: Dict[str, dict] = {}
+    for metric in snapshot.metrics:
+        labelnames = tuple(metric["labelnames"])
+        samples = []
+        for key in sorted(metric["values"]):
+            value = metric["values"][key]
+            labels = dict(zip(labelnames, key))
+            if metric["kind"] == "histogram":
+                counts, total = value
+                samples.append(
+                    {
+                        "labels": labels,
+                        "buckets": list(metric["buckets"]),
+                        "counts": list(counts),
+                        "sum": total,
+                        "count": sum(counts),
+                    }
+                )
+            else:
+                samples.append({"labels": labels, "value": value})
+        out[metric["name"]] = {
+            "kind": metric["kind"],
+            "help": metric["help"],
+            "samples": samples,
+        }
+    return out
+
+
+def render_json(snapshot: MetricsSnapshot, **extra) -> str:
+    """JSON snapshot (the ``/varz`` body); ``extra`` keys ride alongside."""
+    payload = {"metrics": snapshot_to_dict(snapshot)}
+    payload.update(extra)
+    return json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"')
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value.replace(r"\n", "\n").replace(r"\"", '"').replace(r"\\", "\\")
+    )
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[frozenset, float]]:
+    """Parse v0.0.4 text into ``{name: {frozenset(label items): value}}``.
+
+    Histogram series surface under their expanded sample names
+    (``*_bucket``/``*_sum``/``*_count``), mirroring what a real scraper
+    stores.  Built for round-tripping this module's own renderer in tests
+    and the chaos CI reconciliation; not a general-purpose parser.
+    """
+    out: Dict[str, Dict[frozenset, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        raw = match.group("value")
+        if raw == "+Inf":
+            value = float("inf")
+        elif raw == "-Inf":
+            value = float("-inf")
+        else:
+            value = float(raw)
+        labels = frozenset(
+            (name, _unescape_label(val))
+            for name, val in _LABEL_RE.findall(match.group("labels") or "")
+        )
+        out.setdefault(match.group("name"), {})[labels] = value
+    return out

@@ -1,0 +1,184 @@
+"""Lightweight trace spans for the VeriDP hot paths.
+
+A *span* is one timed step of the report pipeline — decode, queue
+admission, verify, localize, incident — recorded with a name, a duration
+and a small attribute dict.  The exporter is a bounded ring buffer: the
+last ``capacity`` spans are kept for ``/varz`` and debugging, and per-name
+aggregates (count, total seconds, errors) survive ring eviction so the
+metrics view never loses history.
+
+Design constraints, in order:
+
+1. **Cheap.** One ``perf_counter`` pair, one deque append, one dict update
+   per span.  Hot loops span at *batch* granularity (one span per
+   ``verify_batch`` call, not per report), which is how the <5 %
+   instrumentation-overhead budget on the Figure 13 fast path is met
+   (``benchmarks/test_obs_overhead.py`` gates it).
+2. **Crash-transparent.** An exception inside a span marks the span's
+   ``error`` and re-raises; tracing never swallows or adds failures.
+3. **Optional.** ``Tracer(enabled=False)`` turns ``span()`` into a no-op
+   that yields a shared inert span object.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One recorded pipeline step.  Mutable while active, frozen after.
+
+    A span is its *own* context manager — ``Tracer.span()`` hands it out
+    and ``__exit__`` records it.  One object and no generator frame per
+    span: a generator-based ``@contextmanager`` costs microseconds of
+    entry/exit against a ~100 us verify batch, which is real money on the
+    daemon hot path (the obs-overhead bench gates the difference).
+    """
+
+    __slots__ = ("name", "start_s", "duration_s", "attrs", "error", "_tracer")
+
+    def __init__(self, name: str, attrs: Optional[dict] = None) -> None:
+        self.name = name
+        self.start_s = 0.0
+        self.duration_s = 0.0
+        self.attrs = attrs if attrs is not None else {}
+        self.error: Optional[str] = None
+        self._tracer: Optional["Tracer"] = None
+
+    def set(self, key: str, value) -> None:
+        """Attach one attribute to the active span."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        self.start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        if tracer is None:  # detached (noop) span: nothing to record
+            return False
+        self.duration_s = time.perf_counter() - self.start_s
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        with tracer._lock:
+            tracer._ring.append(self)
+            agg = tracer._agg.get(self.name)
+            if agg is None:
+                agg = tracer._agg[self.name] = [0, 0.0, 0]
+            agg[0] += 1
+            agg[1] += self.duration_s
+            if self.error is not None:
+                agg[2] += 1
+        return False  # never swallow the exception
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+            "error": self.error,
+        }
+
+    def __repr__(self) -> str:
+        status = f" error={self.error}" if self.error else ""
+        return f"<span {self.name} {self.duration_s * 1e6:.1f}us{status}>"
+
+
+#: Shared inert span handed out by disabled tracers: its ``_tracer`` stays
+#: None, so ``__exit__`` records nothing (attrs land nowhere observable,
+#: which is exactly the point).
+_NOOP_SPAN = Span("noop")
+
+
+class Tracer:
+    """Ring-buffer span recorder with per-name aggregates.
+
+    ``span()`` is a context manager::
+
+        with tracer.span("verify", reports=len(batch)) as sp:
+            result = verifier.verify_batch(batch)
+            sp.set("failed", len(result.failures))
+
+    ``spans()`` returns the retained ring (oldest first); ``aggregates()``
+    returns ``{name: {"count", "total_s", "errors"}}`` accumulated since
+    construction (or the last ``reset()``), independent of ring capacity.
+    ``register_metrics()`` exposes the aggregates as callback counters on a
+    :class:`~repro.obs.metrics.MetricsRegistry`, so span totals ride the
+    same ``/metrics`` exposition as everything else.
+    """
+
+    def __init__(self, capacity: int = 2048, enabled: bool = True) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._ring: Deque[Span] = deque(maxlen=capacity)
+        self._agg: Dict[str, List[float]] = {}  # name -> [count, total_s, errors]
+        self._lock = threading.Lock()
+
+    def span(self, name: str, **attrs) -> Span:
+        if not self.enabled:
+            return _NOOP_SPAN
+        record = Span(name, attrs)
+        record._tracer = self
+        return record
+
+    # -- export ------------------------------------------------------------
+
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        """The retained ring, oldest first (optionally one span name)."""
+        with self._lock:
+            if name is None:
+                return list(self._ring)
+            return [span for span in self._ring if span.name == name]
+
+    def aggregates(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            return {
+                name: {"count": agg[0], "total_s": agg[1], "errors": agg[2]}
+                for name, agg in self._agg.items()
+            }
+
+    def to_dict(self, limit: int = 64) -> dict:
+        """JSON-ready view for ``/varz``: aggregates + the newest spans."""
+        with self._lock:
+            recent = [span.to_dict() for span in list(self._ring)[-limit:]]
+        return {"aggregates": self.aggregates(), "recent": recent}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._agg.clear()
+
+    def register_metrics(self, registry) -> None:
+        """Expose span aggregates as callback counters on ``registry``."""
+        registry.counter(
+            "veridp_spans_total",
+            "Completed trace spans by span name.",
+            ("span",),
+            callback=lambda: {
+                (name,): agg["count"] for name, agg in self.aggregates().items()
+            },
+        )
+        registry.counter(
+            "veridp_span_seconds_total",
+            "Cumulative seconds spent inside spans, by span name.",
+            ("span",),
+            callback=lambda: {
+                (name,): agg["total_s"] for name, agg in self.aggregates().items()
+            },
+        )
+        registry.counter(
+            "veridp_span_errors_total",
+            "Spans that ended with an exception, by span name.",
+            ("span",),
+            callback=lambda: {
+                (name,): agg["errors"] for name, agg in self.aggregates().items()
+            },
+        )

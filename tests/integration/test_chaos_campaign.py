@@ -20,10 +20,12 @@ version is opt-in via ``CHAOS_FULL=1`` so the tier-1 suite stays fast.
 """
 
 import os
+import urllib.request
 
 import pytest
 
 from repro.core.daemon import ShardedVeriDPDaemon, VeriDPDaemon
+from repro.obs.exposition import parse_prometheus_text
 from repro.core.reports import pack_report
 from repro.core.resilience import RestartBackoff
 from repro.core.server import VeriDPServer
@@ -189,3 +191,107 @@ class TestChaosCampaign:
     def test_full_scale_marker(self):
         """Documents that the scaled run above used the full 50k dose."""
         assert TOTAL_REPORTS == 50_000
+
+
+class TestMetricsUnderChaos:
+    """The observability plane scraped while the campaign is in flight."""
+
+    REQUIRED_FAMILIES = (
+        # ingestion
+        "veridp_submitted_total",
+        "veridp_processed_total",
+        "veridp_malformed_total",
+        # queue / backpressure
+        "veridp_queue_depth",
+        "veridp_queue_dropped_total",
+        # verification
+        "veridp_verifications_total",
+        "veridp_flow_cache_hits_total",
+        # localization
+        "veridp_localizations_total",
+        "veridp_incidents_total",
+        # supervisor
+        "veridp_worker_restarts_total",
+        "veridp_lost_in_restart_total",
+        "veridp_degraded",
+    )
+
+    def test_live_scrape_reconciles_with_ledger(self):
+        """Satellite 5: ``/metrics`` scraped mid-campaign must be valid
+        exposition covering every required family, and the final scrape must
+        reconcile *exactly* against the submission ledger."""
+        scenario, server, net = make_rig()
+        payloads = healthy_payloads(scenario, net, TOTAL_REPORTS // 4)
+        injection = ReportStreamFaultInjector(
+            campaign_faults(), seed=CHAOS_SEED
+        ).run(payloads)
+        stream = injection.payloads
+        kill_at = len(stream) // 3
+
+        with ShardedVeriDPDaemon(
+            server,
+            workers=2,
+            batch_size=64,
+            overflow="block",
+            restart_budget=3,
+            poll_interval=0.02,
+            backoff=RestartBackoff(base=0.01, cap=0.05),
+            metrics_port=0,
+        ) as daemon:
+            host, port = daemon.metrics_address
+            url = f"http://{host}:{port}/metrics"
+            mid_text = None
+            for i, payload in enumerate(stream):
+                daemon.submit(payload)
+                if i == kill_at:
+                    WorkerKill(shard=0).apply(daemon)
+                if i == len(stream) // 2:
+                    with urllib.request.urlopen(url, timeout=10) as resp:
+                        assert resp.status == 200
+                        assert resp.headers.get("Content-Type").startswith(
+                            "text/plain; version=0.0.4"
+                        )
+                        mid_text = resp.read().decode()
+            daemon.join(timeout=JOIN_DEADLINE)
+            with urllib.request.urlopen(url, timeout=10) as resp:
+                final_text = resp.read().decode()
+            stats = daemon.stats()
+
+        # Survived the kill without degrading (the identity below assumes it).
+        assert stats["restarts"] >= 1
+        assert not stats["degraded"]
+
+        # The mid-flight scrape parsed cleanly and covers every family the
+        # acceptance criteria name (parse_prometheus_text raises on noise).
+        mid = parse_prometheus_text(mid_text)
+        for family in self.REQUIRED_FAMILIES:
+            assert family in mid, f"missing family {family} in mid-run scrape"
+
+        final = parse_prometheus_text(final_text)
+
+        def total(name):
+            return sum(final.get(name, {}).values())
+
+        # Exact ledger reconciliation from the scrape alone: every submitted
+        # payload is processed, malformed, a verify error, dropped by the
+        # admission queue, or honestly reported lost to the worker kill.
+        submitted = total("veridp_submitted_total")
+        assert submitted == len(stream)
+        assert (
+            total("veridp_processed_total")
+            + total("veridp_malformed_total")
+            + total("veridp_verify_errors_total")
+            + total("veridp_queue_dropped_total")
+            + total("veridp_lost_in_restart_total")
+            == submitted
+        )
+
+        # The scrape and the legacy stats() surface tell one story.
+        assert total("veridp_processed_total") == stats["processed"]
+        assert total("veridp_malformed_total") == stats["malformed"]
+        assert total("veridp_lost_in_restart_total") == stats["lost_in_restart"]
+        assert total("veridp_worker_restarts_total") == stats["restarts"]
+
+        # Per-shard worker deltas merged into the parent account for every
+        # processed report (shard families ship via snapshot/merge).
+        assert total("veridp_shard_processed_total") == stats["processed"]

@@ -1,0 +1,123 @@
+"""Exposition tests: golden-file Prometheus text, JSON view, parser round-trip."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs.exposition import (
+    CONTENT_TYPE_PROMETHEUS,
+    parse_prometheus_text,
+    render_json,
+    render_prometheus,
+    snapshot_to_dict,
+)
+from repro.obs.metrics import MetricsRegistry
+
+GOLDEN = pathlib.Path(__file__).parent / "golden_metrics.prom"
+
+
+def build_golden_registry() -> MetricsRegistry:
+    """A deterministic registry covering every exposition feature: labels,
+    label-key sorting, empty families, histogram cumulation, bound
+    formatting (1e-06 / 0.001 / 1), and label-value escaping."""
+    reg = MetricsRegistry()
+    c = reg.counter(
+        "veridp_requests_total",
+        'Requests by method and code; quotes "ok", backslash \\ ok.',
+        ("method", "code"),
+    )
+    c.labels("get", "200").inc(3)
+    c.labels("post", "500").inc()
+    reg.gauge("veridp_queue_depth", "Reports waiting in the admission queue.").set(7)
+    reg.gauge("veridp_degraded")  # no help, no samples: TYPE line only
+    h = reg.histogram(
+        "veridp_verify_batch_seconds",
+        "Batch verify latency.",
+        ("shard",),
+        buckets=(1e-6, 0.001, 1.0),
+    )
+    child = h.labels("0")
+    child.observe(0.0005)
+    child.observe(0.001)  # == bound, lands in le="0.001"
+    child.observe(5.0)    # beyond all bounds, +Inf only
+    reg.counter("veridp_lossy_total", "", ("path",)).labels(
+        'with"quote\\slash'
+    ).inc(2)
+    return reg
+
+
+class TestGoldenFile:
+    def test_render_matches_golden(self):
+        rendered = render_prometheus(build_golden_registry().snapshot())
+        assert rendered == GOLDEN.read_text()
+
+    def test_golden_parses_back(self):
+        parsed = parse_prometheus_text(GOLDEN.read_text())
+        assert parsed["veridp_requests_total"][
+            frozenset({("method", "get"), ("code", "200")})
+        ] == 3
+        assert parsed["veridp_queue_depth"][frozenset()] == 7
+        assert parsed["veridp_verify_batch_seconds_bucket"][
+            frozenset({("shard", "0"), ("le", "0.001")})
+        ] == 2
+        assert parsed["veridp_verify_batch_seconds_count"][
+            frozenset({("shard", "0")})
+        ] == 3
+        assert parsed["veridp_lossy_total"][
+            frozenset({("path", 'with"quote\\slash')})
+        ] == 2
+        assert "veridp_degraded" not in parsed  # no samples, headers only
+
+
+class TestRenderer:
+    def test_content_type_pins_version(self):
+        assert CONTENT_TYPE_PROMETHEUS == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_ends_with_newline(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc()
+        assert render_prometheus(reg.snapshot()).endswith("\n")
+
+    def test_infinite_gauge(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(float("inf"))
+        text = render_prometheus(reg.snapshot())
+        assert "g +Inf\n" in text
+        assert parse_prometheus_text(text)["g"][frozenset()] == float("inf")
+
+
+class TestJson:
+    def test_snapshot_to_dict_shape(self):
+        view = snapshot_to_dict(build_golden_registry().snapshot())
+        hist = view["veridp_verify_batch_seconds"]
+        assert hist["kind"] == "histogram"
+        (sample,) = hist["samples"]
+        assert sample["labels"] == {"shard": "0"}
+        assert sample["counts"] == [0, 2, 0, 1]
+        assert sample["count"] == 3
+
+    def test_render_json_extra_keys(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc()
+        payload = json.loads(render_json(reg.snapshot(), status="ok"))
+        assert payload["status"] == "ok"
+        assert payload["metrics"]["a_total"]["samples"] == [
+            {"labels": {}, "value": 1}
+        ]
+
+
+class TestParser:
+    def test_round_trip_values(self):
+        snapshot = build_golden_registry().snapshot()
+        parsed = parse_prometheus_text(render_prometheus(snapshot))
+        assert parsed["veridp_verify_batch_seconds_sum"][
+            frozenset({("shard", "0")})
+        ] == pytest.approx(5.0015)
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is { not a sample\n")
+
+    def test_comments_and_blank_lines_ignored(self):
+        assert parse_prometheus_text("# HELP x y\n\n# TYPE x counter\n") == {}

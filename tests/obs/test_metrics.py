@@ -1,0 +1,257 @@
+"""Unit tests for the metrics registry: instruments, snapshots, merging."""
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, reg):
+        c = reg.counter("c_total", "help")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self, reg):
+        c = reg.counter("c_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labels_positional_and_keyword(self, reg):
+        c = reg.counter("req_total", "", ("method", "code"))
+        c.labels("get", "200").inc(2)
+        c.labels(code="200", method="get").inc(3)
+        assert c.labels("get", "200").value == 5
+        assert c.labels("post", "500").value == 0
+
+    def test_label_arity_mismatch(self, reg):
+        c = reg.counter("req_total", "", ("method",))
+        with pytest.raises(ValueError):
+            c.labels("get", "extra")
+        with pytest.raises(ValueError):
+            c.labels(code="200")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, reg):
+        g = reg.gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_le(self, reg):
+        """A value equal to a bound lands in that bound's bucket (Prometheus
+        ``le`` semantics), one past it lands in the next."""
+        h = reg.histogram("lat_seconds", buckets=(0.1, 1.0, 10.0))
+        h.observe(0.1)    # == first bound -> bucket 0
+        h.observe(0.1001)  # just past -> bucket 1
+        h.observe(1.0)    # == second bound -> bucket 1
+        h.observe(10.0)   # == last bound -> bucket 2
+        h.observe(11.0)   # beyond all bounds -> +Inf slot
+        snap = reg.snapshot()
+        state = snap.value("lat_seconds")
+        assert state["counts"] == [1, 2, 1, 1]
+        assert state["count"] == 5
+        assert state["sum"] == pytest.approx(0.1 + 0.1001 + 1.0 + 10.0 + 11.0)
+
+    def test_unsorted_buckets_are_sorted(self, reg):
+        h = reg.histogram("h", buckets=(1.0, 0.1, 10.0))
+        assert h.buckets == (0.1, 1.0, 10.0)
+
+    def test_duplicate_buckets_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.histogram("h", buckets=(0.1, 0.1))
+
+    def test_empty_buckets_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.histogram("h", buckets=())
+
+
+class TestCallbacks:
+    def test_scalar_callback(self, reg):
+        state = {"n": 0}
+        reg.counter("cb_total", callback=lambda: state["n"])
+        state["n"] = 42
+        assert reg.snapshot().value("cb_total") == 42
+
+    def test_labelled_callback_dict(self, reg):
+        reg.counter(
+            "verdicts_total",
+            "",
+            ("verdict",),
+            callback=lambda: {("pass",): 7, ("fail",): 1},
+        )
+        snap = reg.snapshot()
+        assert snap.value("verdicts_total", ("pass",)) == 7
+        assert snap.total("verdicts_total") == 8
+
+    def test_callback_instrument_cannot_be_set(self, reg):
+        c = reg.counter("cb_total", callback=lambda: 1)
+        with pytest.raises(ValueError):
+            c.inc()
+
+    def test_reregistration_rebinds_callback(self, reg):
+        """Latest owner wins: a daemon attaching to an instrumented server
+        replaces the server's callback with its merged view."""
+        reg.counter("owned_total", callback=lambda: 1)
+        reg.counter("owned_total", callback=lambda: 99)
+        assert reg.snapshot().value("owned_total") == 99
+
+    def test_kind_mismatch_rejected(self, reg):
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_labelnames_mismatch_rejected(self, reg):
+        reg.counter("x_total", "", ("a",))
+        with pytest.raises(ValueError):
+            reg.counter("x_total", "", ("b",))
+
+
+class TestConcurrency:
+    def test_concurrent_thread_increments_are_exact(self, reg):
+        """Satellite 3: no lost updates under contention."""
+        c = reg.counter("hot_total", "", ("worker",))
+        threads = 8
+        per_thread = 5_000
+
+        def hammer(tid: int) -> None:
+            child = c.labels(str(tid % 2))
+            for _ in range(per_thread):
+                child.inc()
+
+        pool = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(threads)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert reg.snapshot().total("hot_total") == threads * per_thread
+
+
+def _worker_ship_deltas(result_queue, rounds: int) -> None:
+    """Forked child: increment a private registry, ship resetting deltas."""
+    registry = MetricsRegistry()
+    c = registry.counter("shard_processed_total", "", ("shard",))
+    h = registry.histogram("shard_batch_seconds", "", buckets=(0.1, 1.0))
+    for i in range(rounds):
+        c.labels("0").inc(10)
+        h.observe(0.05)
+        h.observe(0.5)
+        result_queue.put(registry.snapshot(reset=True).metrics)
+    result_queue.put(None)
+
+
+class TestSnapshotMerge:
+    def test_snapshot_reset_ships_deltas(self, reg):
+        c = reg.counter("c_total")
+        c.inc(5)
+        first = reg.snapshot(reset=True)
+        c.inc(2)
+        second = reg.snapshot(reset=True)
+        assert first.value("c_total") == 5
+        assert second.value("c_total") == 2
+
+    def test_reset_does_not_touch_gauges_or_callbacks(self, reg):
+        g = reg.gauge("depth")
+        g.set(3)
+        reg.counter("cb_total", callback=lambda: 11)
+        reg.snapshot(reset=True)
+        snap = reg.snapshot()
+        assert snap.value("depth") == 3
+        assert snap.value("cb_total") == 11
+
+    def test_merge_adds_counters_and_histograms(self, reg):
+        other = MetricsRegistry()
+        c = other.counter("c_total", "", ("k",))
+        c.labels("a").inc(3)
+        h = other.histogram("h_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        for _ in range(2):  # merging the same snapshot twice adds twice
+            reg.merge(other.snapshot())
+        snap = reg.snapshot()
+        assert snap.value("c_total", ("a",)) == 6
+        state = snap.value("h_seconds")
+        assert state["counts"] == [2, 0, 0]
+        assert state["sum"] == pytest.approx(0.1)
+
+    def test_merge_gauge_is_last_write_wins(self, reg):
+        reg.gauge("depth").set(100)
+        other = MetricsRegistry()
+        other.gauge("depth").set(7)
+        reg.merge(other.snapshot())
+        assert reg.snapshot().value("depth") == 7
+
+    def test_merge_into_callback_family_refused(self, reg):
+        reg.counter("owned_total", callback=lambda: 1)
+        other = MetricsRegistry()
+        other.counter("owned_total").inc()
+        with pytest.raises(ValueError):
+            reg.merge(other.snapshot())
+
+    def test_merge_bucket_schema_mismatch_refused(self, reg):
+        reg.histogram("h_seconds", buckets=(0.1, 1.0))
+        other = MetricsRegistry()
+        other.histogram("h_seconds", buckets=(0.5, 5.0)).observe(0.2)
+        with pytest.raises(ValueError):
+            reg.merge(other.snapshot())
+
+    def test_forked_worker_delta_merge(self, reg):
+        """Satellite 3: the sharded-daemon pattern — a forked worker ships
+        ``snapshot(reset=True)`` deltas over a multiprocessing queue and the
+        parent folds them in additively."""
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" not in methods:  # pragma: no cover - non-POSIX
+            pytest.skip("fork start method unavailable")
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        rounds = 4
+        proc = ctx.Process(target=_worker_ship_deltas, args=(queue, rounds))
+        proc.start()
+        merged = 0
+        while True:
+            metrics = queue.get(timeout=10)
+            if metrics is None:
+                break
+            reg.merge(MetricsSnapshot(metrics))
+            merged += 1
+        proc.join(timeout=10)
+        assert merged == rounds
+        snap = reg.snapshot()
+        assert snap.value("shard_processed_total", ("0",)) == 10 * rounds
+        state = snap.value("shard_batch_seconds")
+        assert state["count"] == 2 * rounds
+        assert state["sum"] == pytest.approx(0.55 * rounds)
+
+
+class TestRegistry:
+    def test_names_in_registration_order(self, reg):
+        reg.counter("a_total")
+        reg.gauge("b")
+        reg.histogram("c_seconds")
+        assert reg.names() == ["a_total", "b", "c_seconds"]
+
+    def test_unregister(self, reg):
+        reg.counter("a_total")
+        assert reg.unregister("a_total") is True
+        assert reg.unregister("a_total") is False
+        assert reg.names() == []
+
+    def test_default_buckets_sorted_unique(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))

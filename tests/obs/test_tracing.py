@@ -1,0 +1,89 @@
+"""Unit tests for the span tracer."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+class TestSpans:
+    def test_span_records_duration_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("verify", reports=8) as span:
+            span.set("failed", 1)
+        (recorded,) = tracer.spans()
+        assert recorded.name == "verify"
+        assert recorded.duration_s >= 0
+        assert recorded.attrs == {"reports": 8, "failed": 1}
+        assert recorded.error is None
+
+    def test_exception_marks_error_and_reraises(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("verify"):
+                raise RuntimeError("boom")
+        (recorded,) = tracer.spans()
+        assert recorded.error == "RuntimeError"
+        assert tracer.aggregates()["verify"]["errors"] == 1
+
+    def test_aggregates_survive_ring_eviction(self):
+        tracer = Tracer(capacity=4)
+        for _ in range(10):
+            with tracer.span("decode"):
+                pass
+        assert len(tracer.spans()) == 4
+        agg = tracer.aggregates()["decode"]
+        assert agg["count"] == 10
+        assert agg["total_s"] >= 0
+
+    def test_spans_filter_by_name(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.spans("a")] == ["a"]
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("verify") as span:
+            span.set("ignored", True)
+        assert tracer.spans() == []
+        assert tracer.aggregates() == {}
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.spans() == []
+        assert tracer.aggregates() == {}
+
+    def test_to_dict_limits_recent(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("a"):
+                pass
+        view = tracer.to_dict(limit=2)
+        assert len(view["recent"]) == 2
+        assert view["aggregates"]["a"]["count"] == 5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestSpanMetrics:
+    def test_register_metrics_exposes_aggregates(self):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        tracer.register_metrics(registry)
+        with pytest.raises(ValueError):
+            with tracer.span("verify"):
+                raise ValueError
+        with tracer.span("verify"):
+            pass
+        snap = registry.snapshot()
+        assert snap.value("veridp_spans_total", ("verify",)) == 2
+        assert snap.value("veridp_span_errors_total", ("verify",)) == 1
+        assert snap.value("veridp_span_seconds_total", ("verify",)) >= 0

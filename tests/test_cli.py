@@ -28,6 +28,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
 
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--topo", "ft4", "--mode", "sharded",
+             "--metrics-port", "0", "--reports", "5"]
+        )
+        assert args.command == "serve"
+        assert args.mode == "sharded"
+        assert args.metrics_port == 0
+        assert args.reports == 5
+
+    def test_serve_metrics_off_by_default(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.metrics_port is None
+        assert args.mode == "thread"
+
 
 class TestRenderTable:
     def test_alignment(self):
@@ -93,6 +108,15 @@ class TestCommands:
         assert self.run("paths", "--topo", "ft4", "--limit", "2") == 0
         out = capsys.readouterr().out
         assert "path table:" in out and "more)" in out
+
+    def test_serve_self_drive(self, capsys):
+        assert self.run("serve", "--topo", "ft4", "--reports", "4",
+                        "--metrics-port", "0") == 0
+        out = capsys.readouterr().out
+        assert "listening for tag reports on udp://" in out
+        assert "monitoring endpoint on http://" in out
+        assert "self-drive: sent" in out
+        assert "submitted" in out and "processed" in out
 
     def test_report_collates_results(self, capsys, tmp_path, monkeypatch):
         results = tmp_path / "benchmarks" / "results"
