@@ -204,6 +204,53 @@ class BDD:
         return len(self._level)
 
     # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def export_nodes(self) -> Tuple[List[int], List[int], List[int]]:
+        """The node table (terminals excluded) as three parallel lists.
+
+        Together with :meth:`from_nodes` this round-trips the manager so
+        that *node ids stay valid*: any header-set id held elsewhere (path
+        table entries, reachability records, FlatBDD sources) refers to the
+        same function in the restored manager.
+        """
+        return (list(self._level[2:]), list(self._low[2:]), list(self._high[2:]))
+
+    @classmethod
+    def from_nodes(
+        cls,
+        num_vars: int,
+        levels: List[int],
+        lows: List[int],
+        highs: List[int],
+    ) -> "BDD":
+        """Rebuild a manager from :meth:`export_nodes` output.
+
+        Rebuilds the unique table so subsequent operations hash-cons onto
+        the restored nodes (reproducing identical ids for identical
+        functions); operation caches start cold.
+        """
+        if not (len(levels) == len(lows) == len(highs)):
+            raise ValueError("node arrays disagree on length")
+        bdd = cls(num_vars)
+        bdd._level.extend(levels)
+        bdd._low.extend(lows)
+        bdd._high.extend(highs)
+        unique = bdd._unique
+        for node in range(2, len(bdd._level)):
+            low, high = bdd._low[node], bdd._high[node]
+            level = bdd._level[node]
+            # Nodes are appended in construction order, so children always
+            # precede parents; anything else is a corrupt table.
+            if not (0 <= low < node and 0 <= high < node) or low == high:
+                raise ValueError(f"corrupt node table at node {node}")
+            if not 0 <= level < num_vars:
+                raise ValueError(f"corrupt level at node {node}")
+            unique[(level, low, high)] = node
+        return bdd
+
+    # ------------------------------------------------------------------
     # the ite primitive and derived connectives
     # ------------------------------------------------------------------
 

@@ -15,6 +15,8 @@ Usage::
     python -m repro paths --topo ft4
     python -m repro report
     python -m repro serve --topo ft4 --metrics-port 9090
+    python -m repro serve --topo ft4 --state-dir state/ --reports 100
+    python -m repro replay state/ --stop-seq 500
 
 Each subcommand builds its scenario, runs the matching harness from
 :mod:`repro.analysis`, and prints the table/series the paper reports
@@ -60,6 +62,38 @@ def _scenario_factories():
         "ft4": lambda args: build_fattree(4),
         "ft6": lambda args: build_fattree(6),
     }
+
+
+def _scenario_for_topo_name(name: str, args: argparse.Namespace):
+    """Rebuild the scenario a state directory's ``meta.json`` names.
+
+    Replay needs the same topology *structure* (switches, ports, links) the
+    recorded server ran on; the flow tables themselves are replayed from
+    the WAL.  Scaled topologies (stanford/internet2) additionally need the
+    same ``--scale`` the recording run used.
+    """
+    import re
+
+    from .topologies import build_fattree, build_internet2, build_stanford
+    from .topologies.generators import build_grid, build_linear, build_ring
+
+    if name == "stanford":
+        return build_stanford(subnets_per_zone=args.scale)
+    if name == "internet2":
+        return build_internet2(prefixes_per_pop=args.scale)
+    if m := re.fullmatch(r"fattree-(\d+)", name):
+        return build_fattree(int(m.group(1)))
+    if m := re.fullmatch(r"linear-(\d+)", name):
+        return build_linear(int(m.group(1)))
+    if m := re.fullmatch(r"ring-(\d+)", name):
+        return build_ring(int(m.group(1)))
+    if m := re.fullmatch(r"grid-(\d+)x(\d+)", name):
+        return build_grid(int(m.group(1)), int(m.group(2)))
+    raise SystemExit(
+        f"cannot rebuild topology {name!r} from its name; "
+        f"replay supports stanford, internet2, fattree-K, linear-N, "
+        f"ring-N and grid-WxH state directories"
+    )
 
 
 # -- subcommands --------------------------------------------------------
@@ -287,7 +321,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .dataplane import DataPlaneNetwork
 
     scenario = _scenario_factories()[args.topo](args)
-    server = VeriDPServer(scenario.topo, scenario.channel)
+    server = VeriDPServer(
+        scenario.topo,
+        scenario.channel,
+        state_dir=args.state_dir,
+        fsync=args.fsync,
+    )
+    if args.state_dir is not None:
+        print(
+            f"durable state in {args.state_dir} "
+            f"(booted from {server.boot_source}, "
+            f"state version {server.state_version}, fsync={args.fsync})"
+        )
     if args.mode == "sharded":
         daemon = ShardedVeriDPDaemon(
             server,
@@ -347,9 +392,62 @@ def cmd_serve(args: argparse.Namespace) -> int:
         daemon.join()
         stats = daemon.stats()
         daemon.stop()
+        server.close()
     rows = [(key, stats[key]) for key in sorted(stats)]
     rows += [(f"udp_{k}", v) for k, v in sorted(listener.stats().items())]
     print(render_table(f"serve ({args.mode}) statistics", ["metric", "value"], rows))
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Deterministically re-verify a recorded report stream offline.
+
+    Opens the state directory read-only, rebuilds the path table from the
+    WAL (or the oldest covering snapshot when the log was pruned), and
+    re-feeds every logged report through a fresh verification pipeline.
+    ``--start-seq``/``--stop-seq`` window the verified reports, so the
+    first bad report can be found by bisection on WAL sequence numbers.
+    """
+    from .persist import PersistentState
+    from .persist.replay import replay as run_replay
+
+    state = PersistentState(args.state_dir, read_only=True)
+    try:
+        meta = state.read_meta()
+        if meta is None:
+            print(f"{args.state_dir}: no meta.json — not a VeriDP state directory")
+            return 1
+        scenario = _scenario_for_topo_name(meta["topo"], args)
+        result = run_replay(
+            state,
+            scenario.topo,
+            start_seq=args.start_seq,
+            stop_seq=args.stop_seq,
+            localize=not args.no_localize,
+        )
+    finally:
+        state.close()
+    print(result.summary())
+    rows = [
+        (
+            inc.seq,
+            inc.verification.verdict.value,
+            str(inc.verification.report.inport),
+            str(inc.verification.report.outport),
+            ", ".join(inc.localization.blamed_switches())
+            if inc.localization is not None
+            else "-",
+        )
+        for inc in result.incidents[: args.limit]
+    ]
+    print(render_table(
+        f"replayed incidents ({meta['topo']}, "
+        f"showing {len(rows)}/{len(result.incidents)})",
+        ["wal seq", "verdict", "inport", "outport", "blamed"],
+        rows,
+    ))
+    if result.first_failure_seq is not None:
+        print(f"first failure at WAL seq {result.first_failure_seq}")
     return 0
 
 
@@ -444,6 +542,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--duration", type=float, default=None,
                        help="keep serving this many seconds (default: "
                             "forever unless --reports is given)")
+    serve.add_argument("--state-dir", default=None,
+                       help="durable mode: WAL + snapshots in this directory; "
+                            "restarts recover the path table and the report "
+                            "stream becomes replayable (LPM rule sets only)")
+    serve.add_argument("--fsync", choices=["always", "interval", "never"],
+                       default="interval",
+                       help="WAL durability policy (durable mode)")
+
+    replay = add("replay", "re-verify a recorded report stream offline")
+    replay.add_argument("state_dir",
+                        help="state directory written by a --state-dir run")
+    replay.add_argument("--start-seq", type=int, default=1,
+                        help="first WAL seq whose reports are verified")
+    replay.add_argument("--stop-seq", type=int, default=None,
+                        help="stop after this WAL seq (bisection upper bound)")
+    replay.add_argument("--limit", type=int, default=30,
+                        help="max incidents to print")
+    replay.add_argument("--no-localize", action="store_true",
+                        help="skip Algorithm 4 on replayed failures")
 
     add("report", "collate persisted benchmark tables")
     paths = add("paths", "dump a topology's path table")
@@ -467,6 +584,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "paths": cmd_paths,
     "demo": cmd_demo,
     "serve": cmd_serve,
+    "replay": cmd_replay,
 }
 
 

@@ -72,6 +72,7 @@ from .reports import (
     REPORT_SIZE,
     REPORT_VERSION,
     ReportDecodeError,
+    payload_precheck,
     unpack_report,
 )
 from .resilience import (
@@ -129,6 +130,10 @@ class VeriDPDaemon:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.server = server
+        # Durable servers log payloads at submit time; the sharded daemon's
+        # thread fallback wraps the same server and clears this flag so a
+        # delegated submit is not logged twice.
+        self.record_reports = True
         self.obs = obs or server.obs
         self.overflow = OverflowPolicy.coerce(overflow)
         self._queue = PolicyQueue(queue_size, self.overflow)
@@ -326,7 +331,14 @@ class VeriDPDaemon:
         call still returns True), ``block`` waits up to ``submit_timeout``
         (forever when None).  Every variety of loss is visible in
         :meth:`stats` instead of silent.
+
+        On a durable server the payload hits the WAL here, *before* queue
+        admission: replay must see what arrived, including payloads the
+        overflow policy then refused (a dropped report is still evidence).
         """
+        persist = self.server.persist
+        if persist is not None and self.record_reports:
+            persist.log_report(payload)
         return self._queue.put(payload, timeout=self.submit_timeout)
 
     def join(self, timeout: Optional[float] = None) -> bool:
@@ -337,9 +349,25 @@ class VeriDPDaemon:
         """Re-run pending dead letters through the server's full pipeline.
 
         Useful after a codec/table update fixed the original cause.  Returns
-        ``(recovered, quarantined_now)``.
+        ``(recovered, quarantined_now)``.  Retried payloads were already
+        WAL-logged at first arrival, so the re-ingest skips recording.
         """
-        return self.dead_letters.retry(self.server.receive_report_bytes)
+        return self.dead_letters.retry(
+            lambda payload: self.server.receive_report_bytes(payload, record=False)
+        )
+
+    def dead_letter_transport(self, payload: bytes, reason: str) -> None:
+        """Record a payload rejected before queue admission (wrong size or
+        version, or a submit that raised).  The transport keeps the evidence
+        instead of discarding it: dead-letter queue, malformed counter, and
+        the WAL's malformed stream on a durable server.
+        """
+        self.dead_letters.add(payload, "transport", ReportDecodeError(reason))
+        with self._lock:
+            self.malformed += 1
+        persist = self.server.persist
+        if persist is not None:
+            persist.log_malformed(payload)
 
     # -- worker loop -----------------------------------------------------------
 
@@ -831,6 +859,9 @@ class ShardedVeriDPDaemon:
         self._running = False
         self._stopping = False
         self.degraded = False
+        #: When False, dispatch skips durable report logging (re-ingest
+        #: streams whose payloads are already in the WAL).
+        self.record_reports = True
         self._fallback: Optional[VeriDPDaemon] = None
         self._dispatch_lock = threading.Lock()
         self._merge_lock = threading.Lock()
@@ -1131,9 +1162,22 @@ class ShardedVeriDPDaemon:
         post-degrade calls delegated to the fallback — so the accounting
         identity in :meth:`stats` stays closed across the daemon's whole
         life.
+
+        Durable servers log reports at *dispatch* (one batched WAL append
+        per shard batch, see :meth:`_dispatch_inner`), not here: batch
+        granularity keeps the WAL off the per-report fast path, and with
+        ``fsync="interval"`` the loss window is the fsync interval either
+        way.  A payload buffered but never dispatched is never logged —
+        and was never verified, so the incident ledger cannot cite it.
         """
         fallback = self._fallback
         if fallback is not None:
+            # Degraded mode: the fallback's own logging is disabled (its
+            # stream mixes salvaged already-logged payloads), so new
+            # arrivals are logged here before delegation.
+            persist = self.server.persist
+            if persist is not None and self.record_reports:
+                persist.log_report(payload)
             with self._dispatch_lock:
                 self.submitted += 1
             return fallback.submit(payload)
@@ -1164,6 +1208,13 @@ class ShardedVeriDPDaemon:
             return self._dispatch_inner(shard, batch)
 
     def _dispatch_inner(self, shard: int, batch: List[bytes]) -> bool:
+        # WAL-before-verify, at batch granularity: the whole batch is
+        # logged in one append before any worker can see it.  Logged
+        # exactly once — a mid-dispatch degrade below delegates to a
+        # fallback whose own logging is off.
+        persist = self.server.persist
+        if persist is not None and self.record_reports:
+            persist.log_report_batch(batch)
         while True:
             fallback = self._fallback
             if fallback is not None:  # degraded mid-dispatch
@@ -1304,7 +1355,8 @@ class ShardedVeriDPDaemon:
             # (e.g. corrupted port id beyond the codec) is dead-lettered.
             try:
                 with self._server_mutex:
-                    self.server.receive_report_bytes(payload)
+                    # record=False: already WAL-logged at submit().
+                    self.server.receive_report_bytes(payload, record=False)
             except ReportDecodeError as exc:
                 self.dead_letters.add(payload, "decode", exc)
 
@@ -1312,9 +1364,18 @@ class ShardedVeriDPDaemon:
         """Re-run pending dead letters through the parent-side pipeline."""
         def handler(payload: bytes) -> None:
             with self._server_mutex:
-                self.server.receive_report_bytes(payload)
+                self.server.receive_report_bytes(payload, record=False)
 
         return self.dead_letters.retry(handler)
+
+    def dead_letter_transport(self, payload: bytes, reason: str) -> None:
+        """Transport-stage reject; see :meth:`VeriDPDaemon.dead_letter_transport`."""
+        self.dead_letters.add(payload, "transport", ReportDecodeError(reason))
+        with self._merge_lock:
+            self.malformed += 1
+        persist = self.server.persist
+        if persist is not None:
+            persist.log_malformed(payload)
 
     # -- supervision -----------------------------------------------------------
 
@@ -1436,6 +1497,12 @@ class ShardedVeriDPDaemon:
             # callbacks above already fold its figures in).
             obs=Observability(),
         )
+        # Payloads drained from worker queues were WAL-logged at dispatch
+        # and future delegated payloads are logged by submit(); the
+        # fallback must not log either a second time.  Parent-side
+        # buffers are the exception — never dispatched, never logged —
+        # so they are logged here before re-submission.
+        fallback.record_reports = False
         fallback.start()
         for shard in range(self.workers):
             process = self._processes[shard]
@@ -1452,8 +1519,11 @@ class ShardedVeriDPDaemon:
                 self._accounted[shard] += len(recovered)
             for payload in recovered:
                 fallback.submit(payload)
+        persist = self.server.persist
         with self._dispatch_lock:
             for shard in range(self.workers):
+                if persist is not None and self.record_reports:
+                    persist.log_report_batch(self._buffers[shard])
                 for payload in self._buffers[shard]:
                     fallback.submit(payload)
                 self._buffers[shard] = []
@@ -1591,7 +1661,7 @@ class UdpReportListener:
         )
         reg.counter(
             "veridp_udp_wrong_size_total",
-            "Datagrams whose size cannot be a wire report (still submitted).",
+            "Datagrams the precheck rejected (bad size/version; dead-lettered).",
             callback=lambda: self.wrong_size,
         )
         reg.counter(
@@ -1694,15 +1764,21 @@ class UdpReportListener:
                 continue
             consecutive_errors = 0
             self.received += 1
-            if len(payload) != REPORT_SIZE:
-                # Submitted anyway — the decode stage owns the authoritative
-                # reject (and dead-letters it); this counter just makes
-                # transport-level truncation visible at the edge.
+            reason = payload_precheck(payload)
+            if reason is not None:
+                # A datagram that *cannot* decode never reaches the queue:
+                # it goes to the dead-letter queue (and the WAL's malformed
+                # stream on a durable server) as evidence, not to a worker.
                 self.wrong_size += 1
+                self.daemon.dead_letter_transport(payload, reason)
+                continue
             try:
                 accepted = self.daemon.submit(payload)
-            except Exception:
+            except Exception as exc:
                 self.malformed += 1
+                self.daemon.dead_letter_transport(
+                    payload, f"submit failed: {exc}"
+                )
                 continue
             if accepted is False:
                 self.dropped += 1

@@ -39,7 +39,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..bdd.headerspace import HeaderSpace, parse_prefix
+from ..bdd.headerspace import HeaderSpace, format_ipv4, parse_prefix
 from ..netmodel.hops import Hop
 from ..netmodel.rules import DROP_PORT
 from ..netmodel.topology import PortRef, Topology
@@ -202,6 +202,23 @@ class PrefixRuleTree:
             to_port=parent.out_port,
         )
 
+    # -- enumeration (persistence) --------------------------------------------
+
+    def rules(self) -> List[Tuple[Tuple[int, int], int]]:
+        """Every installed ``(prefix, out_port)``, parents before children.
+
+        The containment tree is canonical (insertion-order independent), so
+        re-adding these to an empty tree reproduces it exactly — the form
+        snapshots persist.
+        """
+        out: List[Tuple[Tuple[int, int], int]] = []
+        stack = list(reversed(self.root.children))
+        while stack:
+            node = stack.pop()
+            out.append((node.prefix, node.out_port))
+            stack.extend(reversed(node.children))
+        return out
+
     # -- full recomputation (for cross-checking) ------------------------------
 
     def port_predicates(self) -> Dict[int, int]:
@@ -289,6 +306,27 @@ class LpmProvider:
         new = self.inbound_denied(switch_id, in_port)
         return self.hs.bdd.diff(old, new)
 
+    def iter_rules(self) -> List[Tuple[str, str, int]]:
+        """Every installed rule as ``(switch, "a.b.c.d/len", out_port)``.
+
+        Deterministic (switches sorted, tree order within a switch); the
+        durable form snapshots record and recovery re-applies.
+        """
+        out: List[Tuple[str, str, int]] = []
+        for switch_id in sorted(self.trees):
+            for (value, plen), port in self.trees[switch_id].rules():
+                out.append((switch_id, f"{format_ipv4(value)}/{plen}", port))
+        return out
+
+    @property
+    def has_inbound_denies(self) -> bool:
+        """True when any ingress ACL deny is installed (not persisted)."""
+        return any(
+            entries
+            for per_port in self._in_deny.values()
+            for entries in per_port.values()
+        )
+
     def add_rule(self, switch_id: str, prefix: str, out_port: int) -> RuleDelta:
         """Insert ``prefix -> out_port`` and patch the port predicates."""
         delta = self.trees[switch_id].add(parse_prefix(prefix), out_port)
@@ -340,6 +378,43 @@ class IncrementalPathTable:
         )
         self.table: PathTable = self.builder.build()
         self.last_update_s: float = 0.0
+
+    @classmethod
+    def restore(
+        cls,
+        topo: Topology,
+        hs: HeaderSpace,
+        table: PathTable,
+        reach_index: Dict[str, List[ReachRecord]],
+        scheme: Optional[BloomTagScheme] = None,
+        provider: Optional[LpmProvider] = None,
+        max_path_length: Optional[int] = None,
+    ) -> "IncrementalPathTable":
+        """Adopt an already-materialised table instead of rebuilding.
+
+        The crash-recovery path (:mod:`repro.persist.recovery`) deserializes
+        the path table and reachability index from a snapshot; running
+        Algorithm 2 again would defeat the point of snapshotting.  The
+        caller guarantees ``table``/``reach_index`` were produced against
+        ``provider``'s current predicates and ``hs``'s node table.
+        """
+        inst = cls.__new__(cls)
+        inst.topo = topo
+        inst.hs = hs
+        inst.scheme = scheme or BloomTagScheme()
+        inst.provider = provider or LpmProvider(topo, hs)
+        inst.builder = PathTableBuilder(
+            topo,
+            hs,
+            scheme=inst.scheme,
+            provider=inst.provider,
+            max_path_length=max_path_length,
+            record_reach=True,
+        )
+        inst.builder.reach_index = reach_index
+        inst.table = table
+        inst.last_update_s = 0.0
+        return inst
 
     # -- public update API ----------------------------------------------------
 

@@ -30,6 +30,7 @@ __all__ = [
     "unpack_report",
     "REPORT_VERSION",
     "REPORT_SIZE",
+    "payload_precheck",
 ]
 
 REPORT_VERSION = 1
@@ -210,3 +211,19 @@ def unpack_report(payload: bytes, codec: PortCodec) -> TagReport:
         tag=tag,
         ttl_expired=bool(flags & _FLAG_TTL_EXPIRED),
     )
+
+
+def payload_precheck(payload: bytes) -> Optional[str]:
+    """Codec-free screen of a raw datagram; ``None`` means plausibly valid.
+
+    Transports use this at the socket edge to route payloads that *cannot*
+    decode (wrong length, unknown version byte) straight to dead-lettering
+    without spending a queue slot or a worker decode on them.  It is a
+    necessary check only — payloads that pass may still fail
+    :func:`unpack_report` (e.g. an out-of-range switch index).
+    """
+    if len(payload) != REPORT_SIZE:
+        return f"wrong size {len(payload)} (a wire report is {REPORT_SIZE} bytes)"
+    if payload[0] != REPORT_VERSION:
+        return f"unsupported report version {payload[0]}"
+    return None

@@ -64,23 +64,59 @@ class VeriDPServer:
         max_path_length: Optional[int] = None,
         fast_path: bool = True,
         obs: Optional[Observability] = None,
+        state_dir: Optional[str] = None,
+        fsync: str = "interval",
+        snapshot_every: Optional[int] = None,
+        snapshot_retain: int = 3,
     ) -> None:
         self.topo = topo
         self.obs = obs or Observability()
-        self.hs = hs or HeaderSpace()
         self.scheme = scheme or BloomTagScheme()
         self.codec = codec or PortCodec(sorted(topo.switches))
         self.localize_failures = localize_failures
         self.fast_path = fast_path
-        self._provider = SnapshotProvider(topo, self.hs)
-        self.builder = PathTableBuilder(
-            topo,
-            self.hs,
-            scheme=self.scheme,
-            provider=self._provider,
-            max_path_length=max_path_length,
-        )
-        self.table: PathTable = self.builder.build()
+        self.persist = None
+        self.updater = None
+        self.boot_source: Optional[str] = None
+        self.snapshot_every = snapshot_every
+        self._rules_since_snapshot = 0
+        if state_dir is not None:
+            # Durable mode: the snapshot owns the BDD node table, so the
+            # HeaderSpace must be ours to create.
+            if hs is not None:
+                raise ValueError(
+                    "state_dir manages its own HeaderSpace; do not pass hs"
+                )
+            from ..persist.recovery import PersistentState
+
+            self.persist = PersistentState(
+                state_dir,
+                fsync=fsync,
+                retain=snapshot_retain,
+                obs=self.obs,
+            )
+            boot = self.persist.boot(
+                topo, scheme=self.scheme, max_path_length=max_path_length
+            )
+            self.hs = boot.hs
+            self.updater = boot.updater
+            self._provider = boot.updater.provider
+            self.builder = boot.updater.builder
+            self.table: PathTable = boot.updater.table
+            self.state_version = boot.state_version
+            self.boot_source = boot.source
+        else:
+            self.hs = hs or HeaderSpace()
+            self._provider = SnapshotProvider(topo, self.hs)
+            self.builder = PathTableBuilder(
+                topo,
+                self.hs,
+                scheme=self.scheme,
+                provider=self._provider,
+                max_path_length=max_path_length,
+            )
+            self.table = self.builder.build()
+            self.state_version = 0
         if fast_path:
             self.table.compile_matchers(self.hs)
         self.verifier = Verifier(self.table, self.hs, fast_path=fast_path)
@@ -182,6 +218,11 @@ class VeriDPServer:
             callback=lambda: self.table.version,
         )
         reg.gauge(
+            "veridp_state_version",
+            "Monotonic count of rule updates applied to the server's state.",
+            callback=lambda: self.state_version,
+        )
+        reg.gauge(
             "veridp_path_table_pairs",
             "Indexed (inport, outport) pairs in the path table.",
             callback=lambda: self.table.stats().num_pairs,
@@ -202,7 +243,15 @@ class VeriDPServer:
             self._dirty = True
 
     def refresh_if_dirty(self) -> bool:
-        """Rebuild the path table if rule changes were observed."""
+        """Rebuild the path table if rule changes were observed.
+
+        In durable mode this is a no-op: rule changes flow through
+        :meth:`apply_rule_update`/:meth:`apply_rule_delete`, which log to
+        the WAL and update the table incrementally — a lazy full rebuild
+        would bypass the log and desynchronise recovery.
+        """
+        if self.persist is not None:
+            return False
         if not self._dirty:
             return False
         self._provider.refresh(self.topo, self.hs)
@@ -218,33 +267,115 @@ class VeriDPServer:
         self.verifier.invalidate_fast_path()
         self._localization_cache.clear()
         self._dirty = False
+        self.state_version += 1
         return True
 
     def force_rebuild(self) -> None:
         """Unconditionally rebuild (e.g. after out-of-band topology edits)."""
+        if self.persist is not None:
+            raise RuntimeError(
+                "durable servers update incrementally via apply_rule_update/"
+                "apply_rule_delete; full rebuilds would bypass the WAL"
+            )
         self._dirty = True
         self.refresh_if_dirty()
 
+    # -- durable mode: logged rule updates + snapshots -----------------------
+
+    def _require_durable(self):
+        if self.persist is None:
+            raise RuntimeError(
+                "this server was built without state_dir; durable-mode "
+                "operations are unavailable"
+            )
+        return self.persist
+
+    def apply_rule_update(self, switch: str, prefix: str, out_port: int) -> float:
+        """Log, then apply, one LPM rule installation (Section 4.4).
+
+        WAL-first ordering: the control record is durable (per the fsync
+        policy) before the table changes, so a crash between the two replays
+        the event at boot instead of losing it.  Returns the update's
+        elapsed seconds (the Figure 14 metric).
+        """
+        persist = self._require_durable()
+        from ..persist.wal import ControlEvent
+
+        persist.log_control(ControlEvent("add", switch, prefix, out_port))
+        elapsed = self.updater.add_rule(switch, prefix, out_port)
+        self._note_rule_applied()
+        return elapsed
+
+    def apply_rule_delete(self, switch: str, prefix: str) -> float:
+        """Log, then apply, one LPM rule removal.  See :meth:`apply_rule_update`."""
+        persist = self._require_durable()
+        from ..persist.wal import ControlEvent
+
+        persist.log_control(ControlEvent("delete", switch, prefix))
+        elapsed = self.updater.delete_rule(switch, prefix)
+        self._note_rule_applied()
+        return elapsed
+
+    def _note_rule_applied(self) -> None:
+        # The path table mutated in place; its version bump already
+        # invalidates the verifier's flow cache and compiled-matcher index.
+        # Localization results are keyed on reports, not table versions, so
+        # that cache needs an explicit flush.
+        self.state_version += 1
+        self._localization_cache.clear()
+        self._rules_since_snapshot += 1
+        if (
+            self.snapshot_every is not None
+            and self._rules_since_snapshot >= self.snapshot_every
+        ):
+            self.snapshot_now()
+
+    def snapshot_now(self) -> str:
+        """Checkpoint the current state; returns the snapshot path."""
+        persist = self._require_durable()
+        path = persist.snapshot(
+            self.topo, self.hs, self.updater, self.state_version
+        )
+        self._rules_since_snapshot = 0
+        return path
+
+    def close(self) -> None:
+        """Flush and close durable state (no-op without ``state_dir``)."""
+        if self.persist is not None:
+            self.persist.close()
+
     # -- report ingestion ------------------------------------------------------
 
-    def receive_report_bytes(self, payload: bytes) -> Incident:
+    def receive_report_bytes(self, payload: bytes, record: bool = True) -> Incident:
         """Parse a UDP report payload, then verify/localize it.
 
         Raises :class:`ReportDecodeError` on malformed payloads; callers
         on a lossy transport should use :meth:`try_receive_report_bytes`
         (or dead-letter the payload themselves, as the daemons do).
+
+        In durable mode the payload is appended to the WAL *before* decode
+        (replay must see exactly what the live path saw, including payloads
+        it went on to reject).  ``record=False`` skips the append — for
+        re-ingestion paths whose payloads were already logged at first
+        arrival (daemon failure re-ingest, dead-letter retries).
         """
+        if record and self.persist is not None:
+            self.persist.log_report(payload)
         with self.obs.span("decode"):
             report = unpack_report(payload, self.codec)
         return self.receive_report(report)
 
-    def try_receive_report_bytes(self, payload: bytes) -> Optional[Incident]:
+    def try_receive_report_bytes(
+        self, payload: bytes, record: bool = True
+    ) -> Optional[Incident]:
         """Like :meth:`receive_report_bytes`, but decode failure is data.
 
         Returns ``None`` and increments :attr:`decode_errors` for payloads
         that cannot be decoded — the transport-facing entry point for
         ingestion paths without their own dead-letter handling.
         """
+        if record and self.persist is not None:
+            self.persist.log_report(payload)
         try:
             report = unpack_report(payload, self.codec)
         except ReportDecodeError:
@@ -317,7 +448,7 @@ class VeriDPServer:
         """
         table_stats = self.table.stats()
         verifier = self.verifier
-        return {
+        out = {
             "verified": verifier.verified_count,
             "passed": verifier.counters[Verdict.PASS],
             "failed": verifier.failure_count,
@@ -339,4 +470,10 @@ class VeriDPServer:
             "fast_path_verifications": verifier.fast_verifications,
             "slow_path_verifications": verifier.slow_verifications,
             "fast_path_ratio": verifier.fast_path_ratio,
+            "state_version": self.state_version,
+            "durable": self.persist is not None,
         }
+        if self.persist is not None:
+            out["boot_source"] = self.boot_source
+            out.update(self.persist.stats())
+        return out

@@ -36,6 +36,7 @@ from .exposition import (
 from .httpd import MetricsEndpoint
 from .metrics import (
     DEFAULT_BUCKETS,
+    IO_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -52,6 +53,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "DEFAULT_BUCKETS",
+    "IO_BUCKETS",
     "Tracer",
     "Span",
     "MetricsEndpoint",

@@ -50,6 +50,7 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "DEFAULT_BUCKETS",
+    "IO_BUCKETS",
 ]
 
 #: Default histogram buckets (seconds): microsecond-scale verification up
@@ -61,6 +62,17 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     1e-3, 2.5e-3, 5e-3,
     1e-2, 2.5e-2, 5e-2,
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Buckets for storage I/O latencies (seconds): fsync on a warm page cache
+#: lands in the tens of microseconds; snapshot writes and cold fsyncs can
+#: reach tens of milliseconds, and a stalled disk far beyond.
+IO_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 5.0, 30.0,
 )
 
 LabelKey = Tuple[str, ...]

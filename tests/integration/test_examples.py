@@ -24,6 +24,11 @@ EXPECTATIONS = {
     "self_healing.py": ["fixed-by-reissue", "fixed-by-resync", "blind spot"],
     "policy_audit.py": ["HOLDS", "violation!", "blamed ['sozb']"],
     "production_deployment.py": ["UDP", "repair: repair fixed", "coverage:"],
+    "postmortem_replay.py": [
+        "offline replay",
+        "first failure at WAL seq",
+        "localization blames: S3",
+    ],
 }
 
 

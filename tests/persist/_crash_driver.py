@@ -1,0 +1,153 @@
+"""Subprocess driver for the crash-recovery suite.
+
+Runs a durable :class:`VeriDPServer` (``fsync="always"``) over a
+deterministic report stream that contains a real data-plane fault, and
+appends every incident the live server raises to an fsynced JSONL
+ledger *after* the verdict lands.  The parent test SIGKILLs this
+process mid-ingestion and then checks that
+
+* a restarted server recovers the exact path table, and
+* replaying the WAL reproduces the pre-kill ledger.
+
+Because the WAL is written (and fsynced) *before* verification while
+the ledger line is written *after*, every ledger entry's report is
+guaranteed to be on disk — the ledger can never get ahead of the log,
+no matter where the SIGKILL lands.
+
+Ledger lines are JSON objects:
+
+* ``{"boot": source, "wal_seq": N}``   — once per driver start,
+* ``{"wal_seq": N, "key": [...]}``     — one per live incident, where
+  ``key`` is :func:`repro.persist.incident_key` and ``wal_seq`` is the
+  log position after the incident's report (in direct mode, exactly
+  the report's own seq).
+
+Usage: ``python tests/persist/_crash_driver.py STATE_DIR LEDGER
+[--mode direct|daemon] [--reports N]`` (run with ``PYTHONPATH=src``).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def fsynced_append(fh, obj):
+    fh.write(json.dumps(obj) + "\n")
+    fh.flush()
+    os.fsync(fh.fileno())
+
+
+def build_stream(scenario, net):
+    """Healthy warm-up, then a mixed block with a live data-plane fault."""
+    from repro.core.reports import pack_report
+    from repro.dataplane import ModifyRuleOutput
+
+    healthy = []
+    for src, dst in scenario.host_pairs():
+        result = net.inject_from_host(src, scenario.header_between(src, dst))
+        healthy += [pack_report(r, net.codec) for r in result.reports]
+
+    # Misforward S2's H1->H4 route in the data plane only: the path
+    # table still believes the configured route, so these reports fail.
+    header = scenario.header_between("H1", "H4")
+    rule = net.switch("S2").table.lookup(header, 3)
+    ModifyRuleOutput("S2", rule.rule_id, 1).apply(net)
+    faulty = [
+        pack_report(r, net.codec)
+        for r in net.inject_from_host("H1", header).reports
+    ]
+    return healthy, faulty
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("state_dir")
+    parser.add_argument("ledger")
+    parser.add_argument("--mode", choices=("direct", "daemon"), default="direct")
+    parser.add_argument("--reports", type=int, default=200_000)
+    args = parser.parse_args(argv)
+
+    from repro.core.server import VeriDPServer
+    from repro.dataplane import DataPlaneNetwork
+    from repro.persist import incident_key
+    from repro.topologies import build_linear
+
+    scenario = build_linear(4)
+    server = VeriDPServer(
+        scenario.topo, state_dir=args.state_dir, fsync="always"
+    )
+    ledger = open(args.ledger, "a")
+    fsynced_append(
+        ledger,
+        {"boot": server.boot_source, "wal_seq": server.persist.wal.last_seq},
+    )
+
+    # A few durable control-plane updates so recovery covers control
+    # records too.  Only on first boot: they are in the WAL afterwards.
+    if server.boot_source == "bootstrap":
+        server.apply_rule_update("S1", "10.99.0.0/24", 2)
+        server.apply_rule_update("S2", "10.99.0.0/24", 2)
+        server.apply_rule_delete("S1", "10.99.0.0/24")
+
+    net = DataPlaneNetwork(scenario.topo, scenario.channel)
+    healthy, faulty = build_stream(scenario, net)
+    # Warm-up, then a repeating mixed block: faults keep arriving, so
+    # the parent can kill at an arbitrary point and still have a
+    # non-trivial ledger.
+    stream = healthy + 10 * (healthy + faulty)
+
+    seen = 0
+
+    def drain_incidents():
+        nonlocal seen
+        while seen < len(server.incidents):
+            incident = server.incidents[seen]
+            key = incident_key(
+                incident.verification.report,
+                incident.verification.verdict.name,
+            )
+            fsynced_append(
+                ledger,
+                {"wal_seq": server.persist.wal.last_seq, "key": key},
+            )
+            seen += 1
+
+    if args.mode == "direct":
+        for i in range(args.reports):
+            server.receive_report_bytes(stream[i % len(stream)])
+            drain_incidents()
+    else:
+        from repro.core.daemon import ShardedVeriDPDaemon
+        from repro.core.resilience import RestartBackoff
+        from repro.dataplane import WorkerKill
+
+        with ShardedVeriDPDaemon(
+            server,
+            workers=2,
+            batch_size=32,
+            overflow="block",
+            restart_budget=3,
+            poll_interval=0.02,
+            backoff=RestartBackoff(base=0.01, cap=0.05),
+        ) as daemon:
+            for i in range(args.reports):
+                daemon.submit(stream[i % len(stream)])
+                if i == 2 * len(healthy):
+                    WorkerKill(shard=0).apply(daemon)
+                if i and i % 200 == 0:
+                    # Shard results merge (and incidents land on the
+                    # parent server) only during a flush: sync often so
+                    # the ledger grows while the stream is in flight.
+                    daemon.join(timeout=60.0)
+                    drain_incidents()
+            daemon.join(timeout=120.0)
+            drain_incidents()
+
+    server.close()
+    ledger.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
