@@ -29,6 +29,7 @@ header sets in O(size) time.
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["BDD", "FlatBDD", "FALSE", "TRUE"]
@@ -44,6 +45,15 @@ _TERMINAL_LEVEL = 1 << 30
 #: Child sentinels inside :class:`FlatBDD` arrays (real children are >= 0).
 _FLAT_FALSE = -1
 _FLAT_TRUE = -2
+
+#: Default bound on each operation cache.  When a cache reaches the bound the
+#: oldest half (dict insertion order) is dropped; memo eviction only costs
+#: recomputation, never correctness.
+_OP_CACHE_MAX = 1 << 20
+
+#: Worklist frame tags for the iterative ``ite``/``not_`` (see below).
+_EXPAND = 0
+_COMBINE = 1
 
 
 class FlatBDD:
@@ -116,9 +126,11 @@ class BDD:
         assert bdd.count(f) == 4  # of the 16 assignments over 4 vars
     """
 
-    def __init__(self, num_vars: int) -> None:
+    def __init__(self, num_vars: int, op_cache_max: int = _OP_CACHE_MAX) -> None:
         if num_vars <= 0:
             raise ValueError(f"num_vars must be positive, got {num_vars}")
+        if op_cache_max < 2:
+            raise ValueError(f"op_cache_max must be >= 2, got {op_cache_max}")
         self.num_vars = num_vars
         # Parallel arrays indexed by node id.  Slots 0/1 are the terminals;
         # their level sorts after every variable so cofactoring stops there.
@@ -127,11 +139,26 @@ class BDD:
         self._high: List[int] = [0, 1]
         # unique table: (level, low, high) -> node id
         self._unique: Dict[Tuple[int, int, int], int] = {}
-        # operation caches
+        # operation caches (memos): each bounded at op_cache_max entries.
+        # The ite cache doubles as the apply memo — every binary connective
+        # funnels through ite, and the cache survives across calls until
+        # new_generation()/clear_caches() retires it.
         self._ite_cache: Dict[Tuple[int, int, int], int] = {}
         self._not_cache: Dict[int, int] = {}
+        self._and_memo: Dict[Tuple[int, int], int] = {}
+        self._or_memo: Dict[Tuple[int, int], int] = {}
         self._quant_cache: Dict[Tuple[int, int, frozenset], int] = {}
         self._count_cache: Dict[int, int] = {}
+        # size() memo: node structure is immutable once allocated, so cached
+        # reachable-set sizes stay valid for the life of the manager.
+        self._size_cache: Dict[int, int] = {}
+        self.op_cache_max = op_cache_max
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+        #: Build generation: bumped by new_generation(); apply memos live
+        #: exactly one generation.
+        self.generation = 0
         # single-variable nodes are ubiquitous; build them lazily
         self._var_nodes: Dict[int, int] = {}
 
@@ -186,7 +213,15 @@ class BDD:
         return self._high[node]
 
     def size(self, node: int) -> int:
-        """Number of distinct nodes reachable from ``node`` (incl. terminals)."""
+        """Number of distinct nodes reachable from ``node`` (incl. terminals).
+
+        Memoized per root: node structure is immutable once allocated, so a
+        cached answer never goes stale.  Stats collection used to pay this
+        O(nodes) walk on every call; repeat calls are now O(1).
+        """
+        cached = self._size_cache.get(node)
+        if cached is not None:
+            return cached
         seen = {node}
         stack = [node]
         while stack:
@@ -197,7 +232,9 @@ class BDD:
                 if child not in seen:
                     seen.add(child)
                     stack.append(child)
-        return len(seen)
+        result = len(seen)
+        self._size_cache[node] = result
+        return result
 
     def num_nodes(self) -> int:
         """Total nodes allocated by this manager (a capacity metric)."""
@@ -216,6 +253,58 @@ class BDD:
         same function in the restored manager.
         """
         return (list(self._level[2:]), list(self._low[2:]), list(self._high[2:]))
+
+    def export_nodes_since(self, base: int) -> Tuple[List[int], List[int], List[int]]:
+        """The node-table suffix allocated at or after id ``base``.
+
+        The parallel path-table builder forks workers that share the parent's
+        first ``base`` nodes; each worker ships back only its private suffix,
+        and the parent grafts it on with :meth:`import_nodes`.  The same
+        slices serve as the appended-nodes half of a table delta.
+        """
+        start = max(base, 2)
+        return (
+            list(self._level[start:]),
+            list(self._low[start:]),
+            list(self._high[start:]),
+        )
+
+    def import_nodes(
+        self,
+        base: int,
+        levels: Sequence[int],
+        lows: Sequence[int],
+        highs: Sequence[int],
+    ) -> List[int]:
+        """Graft a foreign node-table suffix onto this manager.
+
+        The foreign manager must share this manager's first ``base`` nodes
+        (which fork-based workers do by construction): child references below
+        ``base`` are taken verbatim, references at or above it are remapped
+        through the nodes merged so far.  Hash-consing in :meth:`_mk`
+        collapses duplicates, so merging the same function from two workers
+        yields one node.
+
+        Returns ``remap`` with ``remap[i]`` = local id of foreign node
+        ``base + i``; terminals and ids below ``base`` map to themselves.
+        """
+        if not (len(levels) == len(lows) == len(highs)):
+            raise ValueError("node arrays disagree on length")
+        if not 2 <= base <= len(self._level):
+            raise ValueError(
+                f"foreign base {base} outside local table [2, {len(self._level)}]"
+            )
+        remap: List[int] = []
+        for level, low, high in zip(levels, lows, highs):
+            foreign_id = base + len(remap)
+            if not (0 <= low < foreign_id and 0 <= high < foreign_id):
+                raise ValueError(f"corrupt suffix at foreign node {foreign_id}")
+            if not 0 <= level < self.num_vars:
+                raise ValueError(f"corrupt level at foreign node {foreign_id}")
+            lo = low if low < base else remap[low - base]
+            hi = high if high < base else remap[high - base]
+            remap.append(self._mk(level, lo, hi))
+        return remap
 
     @classmethod
     def from_nodes(
@@ -254,9 +343,26 @@ class BDD:
     # the ite primitive and derived connectives
     # ------------------------------------------------------------------
 
+    def _evict_half(self, cache: Dict) -> None:
+        """Drop the oldest half of an operation cache (insertion order).
+
+        Amortized O(1) per insert; losing memo entries only costs
+        recomputation.  The evicted count feeds the obs registry.
+        """
+        drop = len(cache) // 2
+        for key in list(itertools.islice(iter(cache), drop)):
+            del cache[key]
+        self.cache_evictions += drop
+
     def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: the function ``(f AND g) OR (NOT f AND h)``."""
-        # terminal shortcuts
+        """If-then-else: the function ``(f AND g) OR (NOT f AND h)``.
+
+        Iterative worklist form: an explicit frame stack replaces the call
+        stack (no recursion-limit ceiling on deep BDDs, no per-call frame
+        overhead) and a value stack carries cofactor results up to their
+        ``_mk`` combine step.  The memo is bounded at ``op_cache_max``.
+        """
+        # terminal shortcuts (kept out of the loop for the hot trivial calls)
         if f == TRUE:
             return g
         if f == FALSE:
@@ -265,17 +371,52 @@ class BDD:
             return g
         if g == TRUE and h == FALSE:
             return f
-        key = (f, g, h)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
-            return cached
-        level = min(self._level[f], self._level[g], self._level[h])
-        f0, f1 = self._cofactors(f, level)
-        g0, g1 = self._cofactors(g, level)
-        h0, h1 = self._cofactors(h, level)
-        result = self._mk(level, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
-        self._ite_cache[key] = result
-        return result
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        cache = self._ite_cache
+        results: List[int] = []
+        stack: List[Tuple] = [(_EXPAND, f, g, h)]
+        while stack:
+            frame = stack.pop()
+            if frame[0] == _EXPAND:
+                _, f, g, h = frame
+                if f == TRUE:
+                    results.append(g)
+                    continue
+                if f == FALSE:
+                    results.append(h)
+                    continue
+                if g == h:
+                    results.append(g)
+                    continue
+                if g == TRUE and h == FALSE:
+                    results.append(f)
+                    continue
+                key = (f, g, h)
+                cached = cache.get(key)
+                if cached is not None:
+                    self.cache_hits += 1
+                    results.append(cached)
+                    continue
+                self.cache_misses += 1
+                level = min(levels[f], levels[g], levels[h])
+                f0, f1 = (lows[f], highs[f]) if levels[f] == level else (f, f)
+                g0, g1 = (lows[g], highs[g]) if levels[g] == level else (g, g)
+                h0, h1 = (lows[h], highs[h]) if levels[h] == level else (h, h)
+                stack.append((_COMBINE, key, level))
+                stack.append((_EXPAND, f1, g1, h1))
+                stack.append((_EXPAND, f0, g0, h0))
+            else:
+                _, key, level = frame
+                hi = results.pop()
+                lo = results.pop()
+                node = self._mk(level, lo, hi)
+                if len(cache) >= self.op_cache_max:
+                    self._evict_half(cache)
+                cache[key] = node
+                results.append(node)
+        return results[-1]
 
     def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
         if self._level[node] == level:
@@ -283,28 +424,95 @@ class BDD:
         return node, node
 
     def not_(self, f: int) -> int:
-        """Complement of ``f``."""
+        """Complement of ``f`` (iterative, memoized both directions)."""
         if f == FALSE:
             return TRUE
         if f == TRUE:
             return FALSE
-        cached = self._not_cache.get(f)
+        cache = self._not_cache
+        cached = cache.get(f)
         if cached is not None:
+            self.cache_hits += 1
             return cached
-        result = self._mk(
-            self._level[f], self.not_(self._low[f]), self.not_(self._high[f])
-        )
-        self._not_cache[f] = result
-        self._not_cache[result] = f
-        return result
+        levels = self._level
+        lows = self._low
+        highs = self._high
+        results: List[int] = []
+        stack: List[Tuple[int, int]] = [(_EXPAND, f)]
+        while stack:
+            tag, u = stack.pop()
+            if tag == _EXPAND:
+                if u == FALSE:
+                    results.append(TRUE)
+                    continue
+                if u == TRUE:
+                    results.append(FALSE)
+                    continue
+                cached = cache.get(u)
+                if cached is not None:
+                    self.cache_hits += 1
+                    results.append(cached)
+                    continue
+                self.cache_misses += 1
+                stack.append((_COMBINE, u))
+                stack.append((_EXPAND, highs[u]))
+                stack.append((_EXPAND, lows[u]))
+            else:
+                hi = results.pop()
+                lo = results.pop()
+                node = self._mk(levels[u], lo, hi)
+                if len(cache) >= self.op_cache_max:
+                    self._evict_half(cache)
+                cache[u] = node
+                cache[node] = u
+                results.append(node)
+        return results[-1]
 
     def and_(self, f: int, g: int) -> int:
         """Conjunction (header-set intersection)."""
-        return self.ite(f, g, FALSE)
+        if f == TRUE:
+            return g
+        if g == TRUE:
+            return f
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == g:
+            return f
+        # Commutative apply memo over the shared ite cache: catches the
+        # and_(g, f) flips the (f, g, FALSE) ite key cannot.
+        key = (f, g) if f < g else (g, f)
+        memo = self._and_memo
+        cached = memo.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        result = self.ite(f, g, FALSE)
+        if len(memo) >= self.op_cache_max:
+            self._evict_half(memo)
+        memo[key] = result
+        return result
 
     def or_(self, f: int, g: int) -> int:
         """Disjunction (header-set union)."""
-        return self.ite(f, TRUE, g)
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f == TRUE or g == TRUE:
+            return TRUE
+        if f == g:
+            return f
+        key = (f, g) if f < g else (g, f)
+        memo = self._or_memo
+        cached = memo.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        result = self.ite(f, TRUE, g)
+        if len(memo) >= self.op_cache_max:
+            self._evict_half(memo)
+        memo[key] = result
+        return result
 
     def xor(self, f: int, g: int) -> int:
         """Exclusive or (symmetric difference of header sets)."""
@@ -323,22 +531,51 @@ class BDD:
         return f == g
 
     def and_many(self, terms: Iterable[int]) -> int:
-        """Conjunction of an iterable of functions (TRUE for empty input)."""
-        acc = TRUE
-        for t in terms:
-            acc = self.and_(acc, t)
-            if acc == FALSE:
-                return FALSE
-        return acc
+        """Conjunction of an iterable of functions (TRUE for empty input).
+
+        Balanced-tree reduction: pairwise rounds keep intermediate results
+        small (a linear fold drags one ever-growing accumulant through every
+        step), turning n-way intersections from O(n * |acc|) into the
+        log-depth product profile.
+        """
+        items = [t for t in terms if t != TRUE]
+        if not items:
+            return TRUE
+        if FALSE in items:
+            return FALSE
+        while len(items) > 1:
+            nxt = []
+            for i in range(0, len(items) - 1, 2):
+                r = self.and_(items[i], items[i + 1])
+                if r == FALSE:
+                    return FALSE
+                nxt.append(r)
+            if len(items) & 1:
+                nxt.append(items[-1])
+            items = nxt
+        return items[0]
 
     def or_many(self, terms: Iterable[int]) -> int:
-        """Disjunction of an iterable of functions (FALSE for empty input)."""
-        acc = FALSE
-        for t in terms:
-            acc = self.or_(acc, t)
-            if acc == TRUE:
-                return TRUE
-        return acc
+        """Disjunction of an iterable of functions (FALSE for empty input).
+
+        Balanced-tree reduction; see :meth:`and_many`.
+        """
+        items = [t for t in terms if t != FALSE]
+        if not items:
+            return FALSE
+        if TRUE in items:
+            return TRUE
+        while len(items) > 1:
+            nxt = []
+            for i in range(0, len(items) - 1, 2):
+                r = self.or_(items[i], items[i + 1])
+                if r == TRUE:
+                    return TRUE
+                nxt.append(r)
+            if len(items) & 1:
+                nxt.append(items[-1])
+            items = nxt
+        return items[0]
 
     # ------------------------------------------------------------------
     # cube construction (the workhorse for match predicates)
@@ -554,12 +791,35 @@ class BDD:
         """Drop operation caches (the unique table is kept).
 
         Long-running servers can call this between workloads to bound memory;
-        node ids stay valid.
+        node ids stay valid.  The ``size()`` memo is kept: node structure is
+        immutable, so it can never go stale.
         """
         self._ite_cache.clear()
         self._not_cache.clear()
+        self._and_memo.clear()
+        self._or_memo.clear()
         self._quant_cache.clear()
         self._count_cache.clear()
+
+    def new_generation(self) -> int:
+        """Start a new build generation: retire the apply memos, keep nodes.
+
+        Apply memos (ite/not/and/or) survive across calls *within* one
+        generation — a full table build or one coalesced update flush — so
+        repeated sub-expressions hit.  Call this at generation boundaries to
+        return the memory without touching the unique table.
+        """
+        self.clear_caches()
+        self.generation += 1
+        return self.generation
+
+    def cache_counters(self) -> Dict[str, int]:
+        """Cumulative operation-cache hit/miss/eviction counters."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "evictions": self.cache_evictions,
+        }
 
     def stats(self) -> Dict[str, int]:
         """Allocation and cache-size counters, for capacity benchmarks."""
@@ -567,7 +827,15 @@ class BDD:
             "nodes": len(self._level),
             "ite_cache": len(self._ite_cache),
             "not_cache": len(self._not_cache),
+            "and_memo": len(self._and_memo),
+            "or_memo": len(self._or_memo),
             "quant_cache": len(self._quant_cache),
+            "size_cache": len(self._size_cache),
+            "op_cache_max": self.op_cache_max,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "generation": self.generation,
         }
 
     def to_dot(

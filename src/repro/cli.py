@@ -326,6 +326,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         scenario.channel,
         state_dir=args.state_dir,
         fsync=args.fsync,
+        build_workers=args.build_workers,
+        coalesce_ms=args.coalesce_ms,
     )
     if args.state_dir is not None:
         print(
@@ -546,6 +548,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="durable mode: WAL + snapshots in this directory; "
                             "restarts recover the path table and the report "
                             "stream becomes replayable (LPM rule sets only)")
+    serve.add_argument("--build-workers", type=int, default=None,
+                       help="worker processes for full path-table builds "
+                            "(0 = one per CPU, default serial; "
+                            "REPRO_BUILD_WORKERS env overrides)")
+    serve.add_argument("--coalesce-ms", type=float, default=0.0,
+                       help="coalescing window for rule updates in durable "
+                            "mode: stage events and recompute the path "
+                            "table once per window (0 = per-event)")
     serve.add_argument("--fsync", choices=["always", "interval", "never"],
                        default="interval",
                        help="WAL durability policy (durable mode)")

@@ -51,8 +51,10 @@ read-mostly monitor structure.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
+import pickle
 import queue
 import socket
 import struct
@@ -86,7 +88,15 @@ from .resilience import (
 from .server import Incident, VeriDPServer
 from .verifier import Verdict, Verifier
 
-__all__ = ["VeriDPDaemon", "ShardedVeriDPDaemon", "UdpReportListener"]
+__all__ = [
+    "VeriDPDaemon",
+    "ShardedVeriDPDaemon",
+    "UdpReportListener",
+    "build_pair_spec",
+    "build_shard_specs",
+    "build_one_shard_spec",
+    "replica_digest",
+]
 
 _STOP = object()
 
@@ -549,31 +559,78 @@ def _shard_of(pair_key: int, workers: int) -> int:
     return ((pair_key * _HASH_MULT) >> 16) % workers
 
 
+def build_pair_spec(table: PathTable, hs, inport, outport) -> Optional[tuple]:
+    """Compile one pair's picklable replica spec, ``None`` if it vanished.
+
+    The spec is ``(tags, flat_matchers, by_tag, disjoint)`` — flat integer
+    arrays only, so workers never need the codec, topology or BDD manager.
+    ``None`` is meaningful on the resync path: it tells a worker to drop the
+    pair (every path between the ports was removed by a rule update).
+    """
+    index = table.fast_index(inport, outport, hs)
+    if index is None:
+        return None
+    return (
+        tuple(entry.tag for entry in index.entries),
+        tuple(entry.compiled_matcher(hs) for entry in index.entries),
+        dict(index.by_tag),
+        index.disjoint,
+    )
+
+
 def build_shard_specs(
     table: PathTable, hs, codec, workers: int
 ) -> List[Dict[Tuple[int, int], tuple]]:
-    """Compile the path table into per-worker picklable shard replicas.
-
-    Each pair becomes ``(tags, flat_matchers, by_tag, disjoint)`` keyed by
-    the pair's *wire* port ids, so workers never need the codec, topology
-    or BDD manager — only flat integer arrays.
-    """
+    """Compile the path table into per-worker picklable shard replicas."""
     specs: List[Dict[Tuple[int, int], tuple]] = [{} for _ in range(workers)]
     for inport, outport in table.pairs():
-        index = table.fast_index(inport, outport, hs)
-        if index is None:  # pragma: no cover - pairs() only lists known keys
+        spec = build_pair_spec(table, hs, inport, outport)
+        if spec is None:  # pragma: no cover - pairs() only lists known keys
             continue
         in_wire = codec.encode(inport)
         out_wire = codec.encode(outport)
-        spec = (
-            tuple(entry.tag for entry in index.entries),
-            tuple(entry.compiled_matcher(hs) for entry in index.entries),
-            dict(index.by_tag),
-            index.disjoint,
-        )
         shard = _shard_of((in_wire << 16) | out_wire, workers)
         specs[shard][(in_wire, out_wire)] = spec
     return specs
+
+
+def build_one_shard_spec(
+    table: PathTable, hs, codec, workers: int, shard: int
+) -> Dict[Tuple[int, int], tuple]:
+    """Compile just one shard's replica (a restarted worker's bootstrap).
+
+    Restarting worker ``k`` used to recompile every shard's replica; only
+    shard ``k``'s pairs are compiled here, and the survivors are brought up
+    to date separately via pair deltas (:meth:`ShardedVeriDPDaemon.resync_replicas`).
+    """
+    spec: Dict[Tuple[int, int], tuple] = {}
+    for inport, outport in table.pairs():
+        in_wire = codec.encode(inport)
+        out_wire = codec.encode(outport)
+        if _shard_of((in_wire << 16) | out_wire, workers) != shard:
+            continue
+        compiled = build_pair_spec(table, hs, inport, outport)
+        if compiled is not None:
+            spec[(in_wire, out_wire)] = compiled
+    return spec
+
+
+def replica_digest(pairs: Dict[Tuple[int, int], tuple]) -> str:
+    """Stable fingerprint of one compiled shard replica.
+
+    Hashes pair keys, tags, tag buckets, the disjointness bit and every flat
+    matcher's structure (shift/low/high arrays — *not* the manager-dependent
+    ``source`` ids), so two replicas digest equal iff they verify every
+    report identically.  Used to assert worker replicas converged after a
+    delta resync.
+    """
+    digest = hashlib.sha1()
+    for key in sorted(pairs):
+        tags, flats, by_tag, disjoint = pairs[key]
+        digest.update(repr((key, tags, sorted(by_tag.items()), disjoint)).encode())
+        for flat in flats:
+            digest.update(repr((flat.root, flat.shifts, flat.low, flat.high)).encode())
+    return digest.hexdigest()
 
 
 def _verify_wire(
@@ -640,6 +697,8 @@ def _shard_worker_main(
         ("flush", token)            reply deltas on out_queue, reset them
         ("ping", seq)               reply ("pong", worker_id, seq) on hb_queue
         ("reload", pairs)           swap the compiled replica in place
+        ("patch", {key: spec|None}) apply a pair delta: None drops the pair
+        ("digest", token)           reply ("digest", id, token, sha1) on out_queue
         ("crash", how)              test hook: "exit" dies, "wedge" hangs
         ("stop",)                   exit cleanly
 
@@ -752,6 +811,14 @@ def _shard_worker_main(
             hb_queue.put(("pong", worker_id, message[1]))
         elif kind == "reload":
             pairs = message[1]
+        elif kind == "patch":
+            for key, spec in message[1].items():
+                if spec is None:
+                    pairs.pop(key, None)
+                else:
+                    pairs[key] = spec
+        elif kind == "digest":
+            out_queue.put(("digest", worker_id, message[1], replica_digest(pairs)))
         elif kind == "crash":  # pragma: no cover - exercised via subprocess
             if message[1] == "exit":
                 os._exit(13)
@@ -856,6 +923,12 @@ class ShardedVeriDPDaemon:
         self._ping_seq = 0
         self._flush_token = 0
         self._replica_version = -1
+        self._dirty_token: Optional[Tuple[int, int]] = None
+        self._digest_seq = 0
+        self.resyncs = 0
+        self.resync_pairs = 0
+        self.resync_delta_bytes = 0
+        self.full_resyncs = 0
         self._running = False
         self._stopping = False
         self.degraded = False
@@ -1023,6 +1096,26 @@ class ShardedVeriDPDaemon:
             "Dead letters past the retry budget.",
             callback=lambda: self.dead_letters.quarantined,
         )
+        reg.counter(
+            "veridp_replica_resyncs_total",
+            "In-place worker replica resyncs (delta patches, no recompile).",
+            callback=lambda: self.resyncs,
+        )
+        reg.counter(
+            "veridp_replica_resync_pairs_total",
+            "Path-table pairs recompiled and shipped as resync deltas.",
+            callback=lambda: self.resync_pairs,
+        )
+        reg.counter(
+            "veridp_replica_delta_bytes_total",
+            "Pickled bytes of pair deltas shipped to workers on resync.",
+            callback=lambda: self.resync_delta_bytes,
+        )
+        reg.counter(
+            "veridp_replica_full_resyncs_total",
+            "Resyncs that had to fall back to a full replica reload.",
+            callback=lambda: self.full_resyncs,
+        )
 
     def _merged_verdicts(self) -> Dict[tuple, int]:
         with self._merge_lock:
@@ -1064,6 +1157,7 @@ class ShardedVeriDPDaemon:
                 self.server.table, self.server.hs, self.server.codec, self.workers
             )
             self._replica_version = self.server.table.version
+            self._dirty_token = self.server.table.dirty_token()
         self._processes = [None] * self.workers
         self._in_queues = [None] * self.workers
         self._out_queues = [None] * self.workers
@@ -1183,6 +1277,17 @@ class ShardedVeriDPDaemon:
             return fallback.submit(payload)
         if not self._running:
             raise RuntimeError("daemon is not running; call start() first")
+        if self.server._flush_deadline is not None:
+            # Reports bypass the server here, so its coalescing window
+            # would never see a tick: expire it on arrival, exactly as
+            # receive_report does on the direct path.
+            with self._server_mutex:
+                self.server.maybe_flush_updates()
+        if self.server.table.version != self._replica_version:
+            # Rule churn moved the table under the fleet: patch the worker
+            # replicas in place (pair deltas, no whole-table recompile)
+            # before this payload can reach a stale replica.
+            self.resync_replicas()
         pair_key = int.from_bytes(payload[2:6], "big")
         shard = _shard_of(pair_key, self.workers)
         batch: Optional[List[bytes]] = None
@@ -1411,9 +1516,10 @@ class ShardedVeriDPDaemon:
         Recovers what it can from the abandoned generation's queues
         (undelivered batches are re-dispatched, already-flushed deltas are
         merged), then forks a successor whose replica is compiled from the
-        *current* path table.  If the table version moved since the last
-        replication, every other live worker gets a ``reload`` so verdicts
-        stay coherent across the fleet.
+        *current* path table — but only the dead shard's slice of it.  If
+        the table version moved since the last replication, the survivors
+        are brought up to date in place via pair deltas
+        (:meth:`resync_replicas`) instead of a whole-table recompile.
         """
         old_process = self._processes[shard]
         old_in = self._in_queues[shard]
@@ -1430,25 +1536,123 @@ class ShardedVeriDPDaemon:
         recovered = self._drain_abandoned(old_in, old_out)
         with self._server_mutex:
             self.server.refresh_if_dirty()
-            specs = build_shard_specs(
-                self.server.table, self.server.hs, self.server.codec, self.workers
+            spec = build_one_shard_spec(
+                self.server.table,
+                self.server.hs,
+                self.server.codec,
+                self.workers,
+                shard,
             )
-            version = self.server.table.version
         self._generations[shard] += 1
-        self._spawn_worker(shard, specs[shard])
-        if version != self._replica_version:
-            # The table moved while the fleet was replicated at an older
-            # version: resynchronise the survivors in place.
-            for other in range(self.workers):
-                if other == shard:
-                    continue
-                try:
-                    self._in_queues[other].put(("reload", specs[other]), timeout=1.0)
-                except queue.Full:  # pragma: no cover - defensive
-                    pass
-            self._replica_version = version
+        self._spawn_worker(shard, spec)
+        # The successor's replica is already current; patch the survivors
+        # (idempotent for the successor) if the table moved under the fleet.
+        self.resync_replicas()
         if recovered:
             self._in_queues[shard].put(("batch", recovered))
+
+    # -- replica resync --------------------------------------------------------
+
+    def resync_replicas(self) -> Optional[int]:
+        """Bring every worker replica up to date with the path table, in place.
+
+        Consumes the table's dirty-pair journal: only the ``(inport,
+        outport)`` pairs touched since the last replication are recompiled
+        and shipped, as per-shard ``patch`` messages (``None`` drops a pair
+        whose paths all vanished).  Falls back to compiling full shard
+        replicas and ``reload`` messages only when the journal overflowed
+        or the token went stale (e.g. the table object itself was swapped
+        by a rebuild).
+
+        Returns the number of pairs patched, ``0`` if the replicas were
+        already current, or ``None`` when a full reload was required.
+        """
+        if self._fallback is not None or not self._running:
+            return 0
+        with self._server_mutex:
+            table = self.server.table
+            hs, codec = self.server.hs, self.server.codec
+            version = table.version
+            if version == self._replica_version:
+                return 0
+            token, dirty = table.dirty_since(self._dirty_token)
+            if dirty is None:
+                specs = build_shard_specs(table, hs, codec, self.workers)
+                messages = [("reload", specs[w]) for w in range(self.workers)]
+                patched: Optional[int] = None
+            else:
+                patches: List[Dict[Tuple[int, int], Optional[tuple]]] = [
+                    {} for _ in range(self.workers)
+                ]
+                for inport, outport in dirty:
+                    in_wire = codec.encode(inport)
+                    out_wire = codec.encode(outport)
+                    shard = _shard_of((in_wire << 16) | out_wire, self.workers)
+                    patches[shard][(in_wire, out_wire)] = build_pair_spec(
+                        table, hs, inport, outport
+                    )
+                messages = [
+                    ("patch", patch) if patch else None for patch in patches
+                ]
+                patched = len(dirty)
+            delta_bytes = sum(
+                len(pickle.dumps(m[1])) for m in messages if m is not None
+            )
+            for worker_id, message in enumerate(messages):
+                if message is None:
+                    continue
+                try:
+                    self._in_queues[worker_id].put(message, timeout=1.0)
+                except queue.Full:  # pragma: no cover - defensive
+                    # Could not deliver: poison the replication state so the
+                    # next resync rebuilds full replicas for everyone.
+                    self._replica_version = -1
+                    self._dirty_token = None
+                    return None
+            self._replica_version = version
+            self._dirty_token = token
+            with self._merge_lock:
+                self.resyncs += 1
+                self.resync_delta_bytes += delta_bytes
+                if patched is None:
+                    self.full_resyncs += 1
+                else:
+                    self.resync_pairs += patched
+        return patched
+
+    def replica_digests(self, timeout: float = 10.0) -> List[str]:
+        """Collect every worker's replica fingerprint (ops/test hook).
+
+        Workers answer on their result queues; any flush replies drained
+        while waiting are merged rather than lost.  Two fleets whose
+        digests match verify every report identically (see
+        :func:`replica_digest`).
+        """
+        if self._fallback is not None or not self._running:
+            raise RuntimeError("no shard workers to digest")
+        self._digest_seq += 1
+        token = self._digest_seq
+        for shard in range(self.workers):
+            self._in_queues[shard].put(("digest", token), timeout=1.0)
+        digests: Dict[int, str] = {}
+        pending = set(range(self.workers))
+        deadline = time.monotonic() + timeout
+        while pending:
+            for shard in sorted(pending):
+                try:
+                    message = self._out_queues[shard].get(timeout=0.05)
+                except queue.Empty:
+                    continue
+                if message[0] == "flush":
+                    self._merge_flush(message)
+                elif message[0] == "digest" and message[2] == token:
+                    digests[message[1]] = message[3]
+                    pending.discard(shard)
+            if pending and time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"shard workers {sorted(pending)} did not answer digest"
+                )
+        return [digests[w] for w in range(self.workers)]
 
     def _drain_abandoned(self, old_in, old_out) -> List[bytes]:
         """Salvage an abandoned queue generation.

@@ -51,7 +51,18 @@ __all__ = [
     "RuleDelta",
     "LpmProvider",
     "IncrementalPathTable",
+    "UpdateFlushStats",
 ]
+
+
+@dataclass
+class UpdateFlushStats:
+    """What one coalesced flush did (feeds the veridp_update_* metrics)."""
+
+    events: int  # staged rule events covered by this flush
+    dirty_switches: int  # switches whose predicates net-changed
+    dirty_ports: int  # (switch, port) predicates with a net delta
+    elapsed_s: float
 
 
 @dataclass
@@ -363,6 +374,7 @@ class IncrementalPathTable:
         scheme: Optional[BloomTagScheme] = None,
         provider: Optional[LpmProvider] = None,
         max_path_length: Optional[int] = None,
+        build_workers: Optional[int] = None,
     ) -> None:
         self.topo = topo
         self.hs = hs
@@ -376,8 +388,11 @@ class IncrementalPathTable:
             max_path_length=max_path_length,
             record_reach=True,
         )
-        self.table: PathTable = self.builder.build()
+        self.table: PathTable = self.builder.build(workers=build_workers)
         self.last_update_s: float = 0.0
+        self._pending_events: int = 0
+        self._staged_preds: Dict[str, Dict[int, int]] = {}
+        self.last_flush: Optional[UpdateFlushStats] = None
 
     @classmethod
     def restore(
@@ -414,6 +429,9 @@ class IncrementalPathTable:
         inst.builder.reach_index = reach_index
         inst.table = table
         inst.last_update_s = 0.0
+        inst._pending_events = 0
+        inst._staged_preds = {}
+        inst.last_flush = None
         return inst
 
     # -- public update API ----------------------------------------------------
@@ -423,6 +441,8 @@ class IncrementalPathTable:
 
         Returns the update's wall-clock seconds.
         """
+        if self._pending_events:
+            self.flush_updates()
         started = time.perf_counter()
         delta = self.provider.add_rule(switch_id, prefix, out_port)
         self._apply_move(delta)
@@ -431,11 +451,164 @@ class IncrementalPathTable:
 
     def delete_rule(self, switch_id: str, prefix: str) -> float:
         """Remove a prefix rule and update the path table incrementally."""
+        if self._pending_events:
+            self.flush_updates()
         started = time.perf_counter()
         delta = self.provider.delete_rule(switch_id, prefix)
         self._apply_move(delta)
         self.last_update_s = time.perf_counter() - started
         return self.last_update_s
+
+    # -- coalesced (batched) updates ------------------------------------------
+
+    @property
+    def pending_updates(self) -> int:
+        """Staged rule events not yet folded into the path table."""
+        return self._pending_events
+
+    def stage_add_rule(self, switch_id: str, prefix: str, out_port: int) -> None:
+        """Install a prefix rule, deferring table recompute to the flush.
+
+        The provider (prefix tree + port predicates) is mutated immediately
+        — tree surgery is sequential and cheap — but the table-wide
+        subtract/extend phases, the per-event O(paths) cost, run once per
+        :meth:`flush_updates` over the batch's *net* predicate deltas.
+        Verification between stage and flush sees the pre-batch table (the
+        coalescing window's staleness tradeoff; the WAL is written at stage
+        time, so durability is unaffected).
+        """
+        self._snapshot_preds(switch_id)
+        self.provider.add_rule(switch_id, prefix, out_port)
+        self._pending_events += 1
+
+    def stage_delete_rule(self, switch_id: str, prefix: str) -> None:
+        """Remove a prefix rule, deferring table recompute to the flush."""
+        self._snapshot_preds(switch_id)
+        self.provider.delete_rule(switch_id, prefix)
+        self._pending_events += 1
+
+    def _snapshot_preds(self, switch_id: str) -> None:
+        """Capture a switch's pre-batch predicates at first touch."""
+        if switch_id not in self._staged_preds:
+            self._staged_preds[switch_id] = dict(
+                self.provider.base_port_predicates(switch_id)
+            )
+
+    def flush_updates(self) -> UpdateFlushStats:
+        """Fold every staged event into the path table in one pass.
+
+        Computes the batch's net per-(switch, port) predicate change —
+        ``lost = P_old ∧ ¬P_new`` and ``gained = P_new ∧ ¬P_old`` against
+        the predicates captured when each switch was first staged — then
+        runs *one* subtract scan over the table (each entry loses the union
+        of the lost slices along its hops) and one extend pass per dirty
+        switch.  Events that cancel out within the batch (add then delete)
+        produce empty deltas and cost nothing.  The result is BDD-identical
+        to applying the events one at a time (property-tested).
+        """
+        started = time.perf_counter()
+        events = self._pending_events
+        staged = self._staged_preds
+        self._pending_events = 0
+        self._staged_preds = {}
+        empty = self.hs.empty
+        bdd = self.hs.bdd
+        minus: Dict[str, Dict[int, int]] = {}
+        plus: Dict[str, Dict[int, int]] = {}
+        for switch_id, old_preds in staged.items():
+            new_preds = self.provider.base_port_predicates(switch_id)
+            lost_ports: Dict[int, int] = {}
+            gained_ports: Dict[int, int] = {}
+            for port in old_preds.keys() | new_preds.keys():
+                old = old_preds.get(port, empty)
+                new = new_preds.get(port, empty)
+                if old == new:
+                    continue
+                lost = bdd.diff(old, new)
+                gained = bdd.diff(new, old)
+                if lost != empty:
+                    lost_ports[port] = lost
+                if gained != empty:
+                    gained_ports[port] = gained
+            if lost_ports:
+                minus[switch_id] = lost_ports
+            if gained_ports:
+                plus[switch_id] = gained_ports
+        dirty_ports = sum(len(v) for v in minus.values()) + sum(
+            len(v) for v in plus.values()
+        )
+        if minus or plus:
+            self._coalesced_subtract(minus)
+            self._coalesced_extend(plus)
+            self.table.touch(tracked=True)
+        elapsed = time.perf_counter() - started
+        self.last_update_s = elapsed
+        stats = UpdateFlushStats(
+            events=events,
+            dirty_switches=len(staged),
+            dirty_ports=dirty_ports,
+            elapsed_s=elapsed,
+        )
+        self.last_flush = stats
+        return stats
+
+    def _coalesced_subtract(self, minus: Dict[str, Dict[int, int]]) -> None:
+        """One table scan removing every lost slice along each path."""
+        bdd = self.hs.bdd
+        empty = self.hs.empty
+
+        def removed_for(hops: Tuple[Hop, ...]) -> int:
+            terms = []
+            for hop in hops:
+                ports = minus.get(hop.switch)
+                if ports is not None:
+                    lost = ports.get(hop.out_port)
+                    if lost is not None:
+                        terms.append(lost)
+            if not terms:
+                return empty
+            return bdd.or_many(terms)
+
+        for inport, outport, entry in list(self.table.all_entries()):
+            lost = removed_for(entry.hops)
+            if lost == empty:
+                continue
+            trimmed = bdd.diff(entry.headers, lost)
+            if trimmed != entry.headers:
+                entry.headers = trimmed
+                self.table.note_dirty(inport, outport)
+        self.table.remove_empty(self.hs)
+
+        for records in self.builder.reach_index.values():
+            kept = []
+            for record in records:
+                lost = removed_for(record.hops)
+                if lost != empty:
+                    record.headers = bdd.diff(record.headers, lost)
+                if record.headers != empty:
+                    kept.append(record)
+            records[:] = kept
+
+    def _coalesced_extend(self, plus: Dict[str, Dict[int, int]]) -> None:
+        """Re-traverse each gained slice from the records reaching its switch."""
+        bdd = self.hs.bdd
+        empty = self.hs.empty
+        for switch_id in sorted(plus):
+            gained_ports = plus[switch_id]
+            for record in list(self.builder.reach_index.get(switch_id, ())):
+                transfer: Optional[Dict[int, int]] = None
+                for to_port in sorted(gained_ports):
+                    h = bdd.and_(record.headers, gained_ports[to_port])
+                    if h == empty:
+                        continue
+                    if transfer is None:
+                        transfer = self.provider.transfer_map(
+                            switch_id, record.in_port
+                        )
+                    h = bdd.and_(h, transfer.get(to_port, empty))
+                    if h == empty:
+                        continue
+                    self._extend_slice(record, to_port, h)
 
     def add_inbound_deny(self, switch_id: str, in_port: int, pred: int) -> float:
         """Install an inbound-ACL deny entry and update incrementally.
@@ -445,6 +618,8 @@ class IncrementalPathTable:
         egress port ``y``, the slice ``Δ ∧ P_y`` moves ``y -> ⊥`` for paths
         entering the switch at ``in_port``.
         """
+        if self._pending_events:
+            self.flush_updates()
         started = time.perf_counter()
         delta = self.provider.add_inbound_deny(switch_id, in_port, pred)
         self._apply_acl_delta(switch_id, in_port, delta, deny=True)
@@ -453,6 +628,8 @@ class IncrementalPathTable:
 
     def remove_inbound_deny(self, switch_id: str, in_port: int, pred: int) -> float:
         """Remove an inbound-ACL deny entry and update incrementally."""
+        if self._pending_events:
+            self.flush_updates()
         started = time.perf_counter()
         delta = self.provider.remove_inbound_deny(switch_id, in_port, pred)
         self._apply_acl_delta(switch_id, in_port, delta, deny=False)
@@ -484,7 +661,13 @@ class IncrementalPathTable:
             )
 
     def rebuild(self) -> PathTable:
-        """Full Algorithm 2 rebuild (the baseline Figure 14 compares against)."""
+        """Full Algorithm 2 rebuild (the baseline Figure 14 compares against).
+
+        Staged provider mutations are already live in the predicates, so a
+        rebuild absorbs them; the staging bookkeeping is simply cleared.
+        """
+        self._pending_events = 0
+        self._staged_preds = {}
         self.table = self.builder.build()
         return self.table
 
@@ -498,8 +681,10 @@ class IncrementalPathTable:
         # Both phases mutate entry header sets in place (invisible to the
         # table's own mutators), so bump the version for flow caches and
         # pair fast-indexes; per-entry compiled matchers self-heal via
-        # their source-id check.
-        self.table.touch()
+        # their source-id check.  Every mutated pair was noted in the dirty
+        # journal, so delta consumers need not treat the bump as a full
+        # invalidation.
+        self.table.touch(tracked=True)
 
     def _subtract_phase(self, delta: RuleDelta) -> None:
         """Remove ``Δ`` from paths (and reach records) through ``<S, from>``."""
@@ -515,9 +700,12 @@ class IncrementalPathTable:
                 for hop in hops
             )
 
-        for _, _, entry in list(self.table.all_entries()):
+        for inport, outport, entry in list(self.table.all_entries()):
             if diverts(entry.hops):
-                entry.headers = bdd.diff(entry.headers, delta.delta)
+                trimmed = bdd.diff(entry.headers, delta.delta)
+                if trimmed != entry.headers:
+                    entry.headers = trimmed
+                    self.table.note_dirty(inport, outport)
         self.table.remove_empty(self.hs)
 
         for records in self.builder.reach_index.values():
@@ -549,22 +737,27 @@ class IncrementalPathTable:
             h = bdd.and_(h, allowed)
             if h == self.hs.empty:
                 continue
-            hop = Hop(record.in_port, switch_id, to_port)
-            hops = record.hops + (hop,)
-            tag = self.scheme.add(record.tag, hop)
-            egress = PortRef(switch_id, to_port)
-            visited = {PortRef(h_.switch, h_.in_port) for h_ in record.hops}
-            visited.add(PortRef(switch_id, record.in_port))
-            if to_port == DROP_PORT or self.topo.is_edge_port(egress):
-                self._merge_entry(record.inport, egress, h, hops, tag)
-                continue
-            peer = self.topo.link(egress)
-            if peer is None:
-                self._merge_entry(record.inport, egress, h, hops, tag)
-                continue
-            self._continue_traverse(
-                record.inport, peer, h, hops, tag, frozenset(visited)
-            )
+            self._extend_slice(record, to_port, h)
+
+    def _extend_slice(self, record: ReachRecord, to_port: int, headers: int) -> None:
+        """Push one re-traversed slice out of ``to_port`` at the record's switch."""
+        switch_id = record.switch
+        hop = Hop(record.in_port, switch_id, to_port)
+        hops = record.hops + (hop,)
+        tag = self.scheme.add(record.tag, hop)
+        egress = PortRef(switch_id, to_port)
+        visited = {PortRef(h_.switch, h_.in_port) for h_ in record.hops}
+        visited.add(PortRef(switch_id, record.in_port))
+        if to_port == DROP_PORT or self.topo.is_edge_port(egress):
+            self._merge_entry(record.inport, egress, headers, hops, tag)
+            return
+        peer = self.topo.link(egress)
+        if peer is None:
+            self._merge_entry(record.inport, egress, headers, hops, tag)
+            return
+        self._continue_traverse(
+            record.inport, peer, headers, hops, tag, frozenset(visited)
+        )
 
     def _continue_traverse(
         self,
@@ -622,6 +815,9 @@ class IncrementalPathTable:
         bdd = self.hs.bdd
         for entry in self.table.lookup(inport, outport):
             if entry.hops == hops:
-                entry.headers = bdd.or_(entry.headers, headers)
+                merged = bdd.or_(entry.headers, headers)
+                if merged != entry.headers:
+                    entry.headers = merged
+                    self.table.note_dirty(inport, outport)
                 return
         self.table.add(inport, outport, PathEntry(headers, hops, tag))

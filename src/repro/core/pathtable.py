@@ -22,6 +22,9 @@ switch without rebuilding the table.
 
 from __future__ import annotations
 
+import itertools
+import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Protocol, Tuple
@@ -52,6 +55,17 @@ __all__ = [
 #: Pairs with more entries than this skip the pairwise-disjointness probe
 #: (it is quadratic in the entry count); they use the exact list-order scan.
 _DISJOINT_PROBE_LIMIT = 32
+
+#: Dirty-pair log bound.  Past this the log collapses to an "everything
+#: dirty" epoch bump — delta consumers then do one full resync, which for a
+#: mutation burst this large is cheaper than shipping the delta anyway.
+_DIRTY_LOG_CAP = 4096
+
+#: Process-wide dirty-epoch allocator.  Epochs are unique across *all*
+#: PathTable instances so a token minted against one table can never
+#: accidentally validate against another (e.g. after refresh_if_dirty swaps
+#: the table object out from under a delta consumer).
+_DIRTY_EPOCHS = itertools.count(1)
 
 
 @dataclass
@@ -236,18 +250,66 @@ class PathTable:
     def __init__(self) -> None:
         self._entries: Dict[Tuple[PortRef, PortRef], List[PathEntry]] = {}
         self.build_time_s: float = 0.0
+        self.build_workers: int = 1
         self.version: int = 0
         self._fast_cache: Dict[Tuple[PortRef, PortRef], PairFastIndex] = {}
         self._fast_version: int = -1
+        self._fast_token: Optional[Tuple[int, int]] = None
+        self._stats_cache: Optional[Tuple[Tuple[int, float], PathTableStats]] = None
+        # Dirty-pair journal: every structural/in-place mutation notes the
+        # affected (inport, outport) pair so delta consumers (fast-index
+        # cache, sharded-daemon replica resync) can update just those pairs
+        # instead of recompiling the whole table.
+        self._dirty_log: List[Tuple[PortRef, PortRef]] = []
+        self._dirty_epoch: int = next(_DIRTY_EPOCHS)
 
     def add(self, inport: PortRef, outport: PortRef, entry: PathEntry) -> None:
         """Append a path for an (inport, outport) pair."""
         self._entries.setdefault((inport, outport), []).append(entry)
+        self.note_dirty(inport, outport)
         self.version += 1
 
-    def touch(self) -> None:
-        """Record an out-of-band mutation (in-place entry edits)."""
+    def touch(self, tracked: bool = False) -> None:
+        """Record an out-of-band mutation (in-place entry edits).
+
+        ``tracked=True`` promises every mutated pair was already reported
+        via :meth:`note_dirty`; otherwise the whole table is conservatively
+        marked dirty (legacy callers that edit entries directly).
+        """
         self.version += 1
+        if not tracked:
+            self._mark_all_dirty()
+
+    # -- dirty-pair journal (table deltas) -----------------------------------
+
+    def note_dirty(self, inport: PortRef, outport: PortRef) -> None:
+        """Report that the pair's entry list (or an entry in it) changed."""
+        log = self._dirty_log
+        log.append((inport, outport))
+        if len(log) > _DIRTY_LOG_CAP:
+            self._mark_all_dirty()
+
+    def _mark_all_dirty(self) -> None:
+        self._dirty_epoch = next(_DIRTY_EPOCHS)
+        self._dirty_log.clear()
+
+    def dirty_token(self) -> Tuple[int, int]:
+        """Opaque cursor over the dirty journal, positioned at "now"."""
+        return (self._dirty_epoch, len(self._dirty_log))
+
+    def dirty_since(
+        self, token: Optional[Tuple[int, int]]
+    ) -> Tuple[Tuple[int, int], Optional[List[Tuple[PortRef, PortRef]]]]:
+        """Pairs mutated since ``token`` plus a fresh cursor.
+
+        Returns ``(new_token, pairs)`` where ``pairs`` is ``None`` when the
+        journal overflowed (or the caller never synced): everything must be
+        treated as dirty.  Pairs are deduplicated, first-mutation order.
+        """
+        current = (self._dirty_epoch, len(self._dirty_log))
+        if token is None or token[0] != self._dirty_epoch:
+            return current, None
+        return current, list(dict.fromkeys(self._dirty_log[token[1] :]))
 
     def lookup(self, inport: PortRef, outport: PortRef) -> Tuple[PathEntry, ...]:
         """All paths for the pair (empty tuple if the pair is unknown).
@@ -266,11 +328,20 @@ class PathTable:
     ) -> Optional[PairFastIndex]:
         """The pair's :class:`PairFastIndex`, or ``None`` for unknown pairs.
 
-        Indexes are built lazily per pair and dropped wholesale whenever the
-        table version moves, so they can never serve stale membership.
+        Indexes are built lazily per pair.  When the table version moves the
+        dirty-pair journal says exactly which pairs changed, so only those
+        indexes are dropped; a journal overflow (or untracked mutation)
+        falls back to dropping everything.  Either way stale membership is
+        impossible.
         """
         if self._fast_version != self.version:
-            self._fast_cache.clear()
+            token, dirty = self.dirty_since(self._fast_token)
+            if dirty is None:
+                self._fast_cache.clear()
+            else:
+                for dirty_key in dirty:
+                    self._fast_cache.pop(dirty_key, None)
+            self._fast_token = token
             self._fast_version = self.version
         key = (inport, outport)
         index = self._fast_cache.get(key)
@@ -311,7 +382,10 @@ class PathTable:
         removed = 0
         for key in list(self._entries):
             entries = [e for e in self._entries[key] if e.headers != hs.empty]
-            removed += len(self._entries[key]) - len(entries)
+            dropped = len(self._entries[key]) - len(entries)
+            if dropped:
+                removed += dropped
+                self.note_dirty(*key)
             if entries:
                 self._entries[key] = entries
             else:
@@ -329,17 +403,28 @@ class PathTable:
         return [len(entries) for entries in self._entries.values()]
 
     def stats(self) -> PathTableStats:
-        """The Table 2 row for this table."""
+        """The Table 2 row for this table.
+
+        Memoized per (version, build time): metrics callbacks scrape this on
+        every /metrics hit, and without the memo each scrape re-walked every
+        entry of the table.
+        """
+        cache_key = (self.version, self.build_time_s)
+        cached = self._stats_cache
+        if cached is not None and cached[0] == cache_key:
+            return cached[1]
         num_paths = self.num_paths()
         total_hops = sum(
             entry.path_length() for _, _, entry in self.all_entries()
         )
-        return PathTableStats(
+        result = PathTableStats(
             num_pairs=len(self._entries),
             num_paths=num_paths,
             avg_path_length=(total_hops / num_paths) if num_paths else 0.0,
             build_time_s=self.build_time_s,
         )
+        self._stats_cache = (cache_key, result)
+        return result
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -373,6 +458,55 @@ class PathTable:
         return "\n".join(lines)
 
 
+def _partition_worker(
+    builder: "PathTableBuilder",
+    ports: List[PortRef],
+    indices: List[int],
+    base: int,
+    conn,
+) -> None:
+    """Forked child of :meth:`PathTableBuilder._build_parallel`.
+
+    Builds the assigned entry ports' partition against the inherited BDD
+    manager (every node it allocates lands at id >= ``base``) and ships back
+    plain tuples: per-port path entries, per-port reach records, and the
+    private node-table suffix.  ``PathEntry.compiled`` matchers are never
+    shipped — the parent recompiles lazily against merged ids.
+    """
+    try:
+        results = []
+        for idx in indices:
+            table = PathTable()
+            builder.reach_index = {}
+            builder._traverse_from(table, ports[idx])
+            entries = [
+                (
+                    outport,
+                    entry.headers,
+                    entry.hops,
+                    entry.tag,
+                    entry.exit_headers,
+                    entry.rewrites,
+                )
+                for (_inport, outport), port_entries in table._entries.items()
+                for entry in port_entries
+            ]
+            reach = [
+                (record.switch, record.in_port, record.headers, record.hops, record.tag)
+                for records in builder.reach_index.values()
+                for record in records
+            ]
+            results.append((idx, entries, reach))
+        conn.send((results, builder.hs.bdd.export_nodes_since(base), None))
+    except BaseException as exc:  # ship the failure; parent falls back serial
+        try:
+            conn.send((None, None, repr(exc)))
+        except (OSError, ValueError):
+            pass
+    finally:
+        conn.close()
+
+
 class PathTableBuilder:
     """Algorithm 2: exhaustive symbolic traversal from every edge port."""
 
@@ -401,24 +535,180 @@ class PathTableBuilder:
             return list(self._entry_ports)
         return self.topo.edge_ports()
 
-    def build(self) -> PathTable:
-        """Run the traversal from every entry port and assemble the table."""
+    def build(self, workers: Optional[int] = None) -> PathTable:
+        """Run the traversal from every entry port and assemble the table.
+
+        ``workers > 1`` partitions the entry ports across a fork-based
+        ``multiprocessing`` pool (see :meth:`_build_parallel`); ``None``
+        reads ``REPRO_BUILD_WORKERS`` (``0`` = one per CPU) and defaults to
+        serial.  ``REPRO_SERIAL_BUILD=1`` force-disables the pool, as do
+        platforms without the fork start method — the result is identical
+        either way (asserted by fingerprint-parity tests), only wall-clock
+        differs.
+        """
+        resolved = self._resolve_workers(workers)
+        if resolved > 1:
+            table = self._build_parallel(resolved)
+            if table is not None:
+                return table
+        return self._build_serial()
+
+    @staticmethod
+    def _resolve_workers(workers: Optional[int]) -> int:
+        if os.environ.get("REPRO_SERIAL_BUILD") == "1":
+            return 1
+        if workers is None:
+            raw = os.environ.get("REPRO_BUILD_WORKERS", "").strip()
+            if not raw:
+                return 1
+            workers = int(raw)
+        if workers == 0:  # auto: one worker per usable CPU
+            try:
+                workers = len(os.sched_getaffinity(0))
+            except (AttributeError, OSError):
+                workers = os.cpu_count() or 1
+        return max(1, workers)
+
+    def _build_serial(self) -> PathTable:
         table = PathTable()
         self.reach_index = {}
         started = time.perf_counter()
         for inport in self.entry_ports():
-            self._traverse(
-                table,
-                inport=inport,
-                current=inport,
-                headers=self.hs.all_match,
-                transformed=self.hs.all_match,
-                chain=(),
-                hops=(),
-                tag=self.scheme.empty_tag,
-                visited=frozenset(),
-            )
+            self._traverse_from(table, inport)
         table.build_time_s = time.perf_counter() - started
+        return table
+
+    def _traverse_from(self, table: PathTable, inport: PortRef) -> None:
+        """Inject the all-match set at one entry port and traverse."""
+        self._traverse(
+            table,
+            inport=inport,
+            current=inport,
+            headers=self.hs.all_match,
+            transformed=self.hs.all_match,
+            chain=(),
+            hops=(),
+            tag=self.scheme.empty_tag,
+            visited=frozenset(),
+        )
+
+    def _build_parallel(self, workers: int) -> Optional[PathTable]:
+        """Partitioned build: entry ports striped across forked workers.
+
+        Each worker inherits the parent's BDD node table (copy-on-write via
+        fork), builds its ports' paths in its private suffix, and ships back
+        ``export_nodes_since(base)`` plus plain-tuple path entries and reach
+        records.  The parent grafts each suffix with
+        :meth:`BDD.import_nodes` — identity below ``base``, hash-consed
+        remap above it, so duplicate functions from different workers
+        collapse to one node — then reassembles entries in entry-port order,
+        making the result deterministic and id-compatible with serial.
+
+        Returns ``None`` (caller falls back to serial) if fork is
+        unavailable or any worker fails.
+        """
+        ports = self.entry_ports()
+        workers = min(workers, len(ports))
+        if workers <= 1:
+            return None
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            return None
+        started = time.perf_counter()
+        base = self.hs.bdd.num_nodes()
+        procs: List = []
+        conns: List = []
+        for w in range(workers):
+            indices = list(range(w, len(ports), workers))
+            recv, send = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_partition_worker,
+                args=(self, ports, indices, base, send),
+                daemon=True,
+            )
+            proc.start()
+            send.close()
+            procs.append(proc)
+            conns.append(recv)
+        payloads = []
+        failed = False
+        for recv, proc in zip(conns, procs):
+            try:
+                payload = recv.recv()
+            except (EOFError, OSError):
+                payload = (None, None, "worker pipe closed")
+            finally:
+                recv.close()
+            proc.join()
+            if payload[2] is not None or proc.exitcode != 0:
+                failed = True
+            else:
+                payloads.append(payload)
+        if failed:
+            return None
+        # Graft each worker's node suffix; remap shipped ids through it.
+        # Identity below base, hash-consed merge above, so functions built
+        # by two workers independently land on one canonical node.
+        bdd = self.hs.bdd
+        per_port_entries: List[Optional[List[Tuple]]] = [None] * len(ports)
+        per_port_reach: List[Optional[List[Tuple]]] = [None] * len(ports)
+        for results, nodes, _err in payloads:
+            remap = bdd.import_nodes(base, *nodes)
+
+            def local(node: int) -> int:
+                return node if node < base else remap[node - base]
+
+            for idx, entries, reach in results:
+                per_port_entries[idx] = [
+                    (
+                        outport,
+                        local(headers),
+                        hops,
+                        tag,
+                        None if exit_headers is None else local(exit_headers),
+                        rewrites,
+                    )
+                    for outport, headers, hops, tag, exit_headers, rewrites in entries
+                ]
+                per_port_reach[idx] = [
+                    (switch, in_port, local(headers), hops, tag)
+                    for switch, in_port, headers, hops, tag in reach
+                ]
+        # Reassemble in entry-port order: entry insertion order (and reach
+        # record order per switch) comes out identical to a serial build.
+        table = PathTable()
+        self.reach_index = {}
+        for idx, inport in enumerate(ports):
+            entries = per_port_entries[idx]
+            if entries is None:  # a worker silently skipped a port
+                return None
+            for outport, headers, hops, tag, exit_headers, rewrites in entries:
+                table.add(
+                    inport,
+                    outport,
+                    PathEntry(
+                        headers=headers,
+                        hops=hops,
+                        tag=tag,
+                        exit_headers=exit_headers,
+                        rewrites=rewrites,
+                    ),
+                )
+            if self.record_reach:
+                for switch, in_port, headers, hops, tag in per_port_reach[idx]:
+                    self.reach_index.setdefault(switch, []).append(
+                        ReachRecord(
+                            inport=inport,
+                            switch=switch,
+                            in_port=in_port,
+                            headers=headers,
+                            hops=hops,
+                            tag=tag,
+                        )
+                    )
+        table.build_time_s = time.perf_counter() - started
+        table.build_workers = workers
         return table
 
     def _actions_at(self, switch_id: str, in_port: int) -> List[TransferAction]:

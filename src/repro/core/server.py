@@ -14,6 +14,7 @@ The server sits beside the controller.  It
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -68,6 +69,8 @@ class VeriDPServer:
         fsync: str = "interval",
         snapshot_every: Optional[int] = None,
         snapshot_retain: int = 3,
+        build_workers: Optional[int] = None,
+        coalesce_ms: float = 0.0,
     ) -> None:
         self.topo = topo
         self.obs = obs or Observability()
@@ -80,6 +83,14 @@ class VeriDPServer:
         self.boot_source: Optional[str] = None
         self.snapshot_every = snapshot_every
         self._rules_since_snapshot = 0
+        #: ``> 0`` enables the coalescing window (durable mode): rule
+        #: updates are WAL-logged and staged immediately, but the path
+        #: table recomputes once per window instead of once per event.
+        self.coalesce_ms = coalesce_ms
+        self.build_workers = build_workers
+        self._flush_deadline: Optional[float] = None
+        self.update_flushes = 0
+        self.update_flush_events = 0
         if state_dir is not None:
             # Durable mode: the snapshot owns the BDD node table, so the
             # HeaderSpace must be ours to create.
@@ -96,7 +107,10 @@ class VeriDPServer:
                 obs=self.obs,
             )
             boot = self.persist.boot(
-                topo, scheme=self.scheme, max_path_length=max_path_length
+                topo,
+                scheme=self.scheme,
+                max_path_length=max_path_length,
+                build_workers=build_workers,
             )
             self.hs = boot.hs
             self.updater = boot.updater
@@ -115,7 +129,7 @@ class VeriDPServer:
                 provider=self._provider,
                 max_path_length=max_path_length,
             )
-            self.table = self.builder.build()
+            self.table = self.builder.build(workers=build_workers)
             self.state_version = 0
         if fast_path:
             self.table.compile_matchers(self.hs)
@@ -232,6 +246,76 @@ class VeriDPServer:
             "Distinct configured paths in the path table.",
             callback=lambda: self.table.stats().num_paths,
         )
+        reg.gauge(
+            "veridp_build_last_seconds",
+            "Wall-clock seconds of the most recent full path-table build.",
+            callback=lambda: self.table.build_time_s,
+        )
+        reg.gauge(
+            "veridp_build_workers",
+            "Worker processes the most recent full build ran on (1 = serial).",
+            callback=lambda: getattr(self.table, "build_workers", 1),
+        )
+        reg.gauge(
+            "veridp_update_last_seconds",
+            "Seconds of the most recent incremental update or flush.",
+            callback=lambda: (
+                0.0 if self.updater is None else self.updater.last_update_s
+            ),
+        )
+        reg.gauge(
+            "veridp_update_pending",
+            "Rule events staged in the coalescing window, awaiting flush.",
+            callback=lambda: (
+                0 if self.updater is None else self.updater.pending_updates
+            ),
+        )
+        reg.counter(
+            "veridp_update_flushes_total",
+            "Coalesced flushes applied to the path table.",
+            callback=lambda: self.update_flushes,
+        )
+        reg.counter(
+            "veridp_update_flush_events_total",
+            "Rule events applied through coalesced flushes.",
+            callback=lambda: self.update_flush_events,
+        )
+        reg.gauge(
+            "veridp_update_dirty_switches",
+            "Switches the most recent coalesced flush recomputed.",
+            callback=lambda: self._last_flush_stat("dirty_switches"),
+        )
+        reg.gauge(
+            "veridp_update_dirty_ports",
+            "(switch, port) predicates the most recent flush found changed.",
+            callback=lambda: self._last_flush_stat("dirty_ports"),
+        )
+        reg.counter(
+            "veridp_bdd_cache_hits_total",
+            "BDD operation-cache hits (ite/not/apply memo).",
+            callback=lambda: self.hs.bdd.cache_hits,
+        )
+        reg.counter(
+            "veridp_bdd_cache_misses_total",
+            "BDD operation-cache misses.",
+            callback=lambda: self.hs.bdd.cache_misses,
+        )
+        reg.counter(
+            "veridp_bdd_cache_evictions_total",
+            "Entries evicted from the bounded BDD operation caches.",
+            callback=lambda: self.hs.bdd.cache_evictions,
+        )
+        reg.gauge(
+            "veridp_bdd_nodes",
+            "Live nodes in the shared BDD manager.",
+            callback=lambda: self.hs.bdd.num_nodes(),
+        )
+
+    def _last_flush_stat(self, field_name: str) -> int:
+        updater = self.updater
+        if updater is None or updater.last_flush is None:
+            return 0
+        return getattr(updater.last_flush, field_name)
 
     # -- control-plane synchronisation ---------------------------------
 
@@ -255,7 +339,7 @@ class VeriDPServer:
         if not self._dirty:
             return False
         self._provider.refresh(self.topo, self.hs)
-        self.table = self.builder.build()
+        self.table = self.builder.build(workers=self.build_workers)
         if self.fast_path:
             self.table.compile_matchers(self.hs)
         # Swap the table under the existing verifier: its counters are part
@@ -297,12 +381,25 @@ class VeriDPServer:
         policy) before the table changes, so a crash between the two replays
         the event at boot instead of losing it.  Returns the update's
         elapsed seconds (the Figure 14 metric).
+
+        With ``coalesce_ms > 0`` the event is WAL-logged and *staged*
+        (prefix-tree mutation now, path-table recompute deferred); the
+        table catches up at :meth:`flush_pending_updates`, triggered when
+        the window expires, before any verification, snapshot or close.
+        Reports verified strictly inside the window see the pre-batch
+        table — the window bounds that staleness.
         """
         persist = self._require_durable()
         from ..persist.wal import ControlEvent
 
         persist.log_control(ControlEvent("add", switch, prefix, out_port))
-        elapsed = self.updater.add_rule(switch, prefix, out_port)
+        if self.coalesce_ms > 0:
+            started = time.perf_counter()
+            self.updater.stage_add_rule(switch, prefix, out_port)
+            elapsed = time.perf_counter() - started
+            self._note_rule_staged()
+        else:
+            elapsed = self.updater.add_rule(switch, prefix, out_port)
         self._note_rule_applied()
         return elapsed
 
@@ -312,9 +409,52 @@ class VeriDPServer:
         from ..persist.wal import ControlEvent
 
         persist.log_control(ControlEvent("delete", switch, prefix))
-        elapsed = self.updater.delete_rule(switch, prefix)
+        if self.coalesce_ms > 0:
+            started = time.perf_counter()
+            self.updater.stage_delete_rule(switch, prefix)
+            elapsed = time.perf_counter() - started
+            self._note_rule_staged()
+        else:
+            elapsed = self.updater.delete_rule(switch, prefix)
         self._note_rule_applied()
         return elapsed
+
+    def _note_rule_staged(self) -> None:
+        # Arm the window on the batch's first event; flush when it expires.
+        now = time.monotonic()
+        if self._flush_deadline is None:
+            self._flush_deadline = now + self.coalesce_ms / 1000.0
+        elif now >= self._flush_deadline:
+            self.flush_pending_updates()
+
+    def maybe_flush_updates(self):
+        """Flush the coalescing window iff it has expired.
+
+        There is no timer thread: report arrival is the tick that expires
+        the window, on the direct path (:meth:`receive_report`) and the
+        sharded daemon's ``submit`` alike.  Cheap when no window is armed.
+        """
+        if (
+            self._flush_deadline is not None
+            and time.monotonic() >= self._flush_deadline
+        ):
+            return self.flush_pending_updates()
+        return None
+
+    def flush_pending_updates(self):
+        """Apply every staged (coalesced) rule update to the path table now.
+
+        Returns the updater's :class:`~repro.core.incremental.UpdateFlushStats`
+        (``None`` when nothing was staged).  Safe to call at any time; the
+        verification, snapshot and close paths call it implicitly.
+        """
+        self._flush_deadline = None
+        if self.updater is None or not self.updater.pending_updates:
+            return None
+        stats = self.updater.flush_updates()
+        self.update_flushes += 1
+        self.update_flush_events += stats.events
+        return stats
 
     def _note_rule_applied(self) -> None:
         # The path table mutated in place; its version bump already
@@ -333,6 +473,9 @@ class VeriDPServer:
     def snapshot_now(self) -> str:
         """Checkpoint the current state; returns the snapshot path."""
         persist = self._require_durable()
+        # A snapshot must capture a fully-applied table: staged events are
+        # already in the WAL, but capture_state reads the path table.
+        self.flush_pending_updates()
         path = persist.snapshot(
             self.topo, self.hs, self.updater, self.state_version
         )
@@ -342,6 +485,7 @@ class VeriDPServer:
     def close(self) -> None:
         """Flush and close durable state (no-op without ``state_dir``)."""
         if self.persist is not None:
+            self.flush_pending_updates()
             self.persist.close()
 
     # -- report ingestion ------------------------------------------------------
@@ -386,6 +530,7 @@ class VeriDPServer:
     def receive_report(self, report: TagReport) -> Incident:
         """Verify one report; on failure, localize.  Always returns a record
         (with a PASS verdict when nothing is wrong)."""
+        self.maybe_flush_updates()
         self.refresh_if_dirty()
         with self.obs.span("verify") as span:
             verification = self.verifier.verify(report)
@@ -472,6 +617,15 @@ class VeriDPServer:
             "fast_path_ratio": verifier.fast_path_ratio,
             "state_version": self.state_version,
             "durable": self.persist is not None,
+            "build_time_s": self.table.build_time_s,
+            "build_workers": getattr(self.table, "build_workers", 1),
+            "coalesce_ms": self.coalesce_ms,
+            "pending_updates": (
+                0 if self.updater is None else self.updater.pending_updates
+            ),
+            "update_flushes": self.update_flushes,
+            "update_flush_events": self.update_flush_events,
+            "bdd_cache": self.hs.bdd.cache_counters(),
         }
         if self.persist is not None:
             out["boot_source"] = self.boot_source

@@ -26,6 +26,7 @@ from .recovery import (
     capture_state,
     lpm_rules_from_topology,
     restore_state,
+    stage_control_event,
 )
 from .replay import ReplayIncident, ReplayResult, incident_key, replay
 from .snapshot import (
@@ -34,6 +35,7 @@ from .snapshot import (
     SnapshotStore,
     bdd_fingerprint,
     read_snapshot,
+    table_fingerprint,
     write_snapshot,
 )
 from .wal import (
@@ -60,7 +62,9 @@ __all__ = [
     "write_snapshot",
     "read_snapshot",
     "bdd_fingerprint",
+    "table_fingerprint",
     "PersistentState",
+    "stage_control_event",
     "BootResult",
     "RecoveryError",
     "capture_state",

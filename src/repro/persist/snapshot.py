@@ -35,6 +35,7 @@ __all__ = [
     "read_snapshot",
     "SnapshotStore",
     "bdd_fingerprint",
+    "table_fingerprint",
 ]
 
 SNAP_MAGIC = b"VDPSNAP1"
@@ -227,3 +228,30 @@ def bdd_fingerprint(bdd, node: int) -> Tuple:
         return got
 
     return walk(node)
+
+
+def table_fingerprint(table, bdd) -> str:
+    """Manager-independent digest of a whole path table.
+
+    Two tables digest equal iff every ``(inport, outport)`` pair holds the
+    same set of paths with semantically equal header-set and exit-header-set
+    BDDs — regardless of node ids, entry order, or which manager built
+    them.  This is the parity oracle for the parallel/coalesced build
+    paths: serial build, parallel build, per-event updates and coalesced
+    flushes must all land on the same fingerprint.
+    """
+    import hashlib
+
+    digest = hashlib.sha1()
+    for inport, outport in sorted(table.pairs(), key=repr):
+        entries = sorted(
+            (
+                entry.hops,
+                entry.tag,
+                bdd_fingerprint(bdd, entry.headers),
+                bdd_fingerprint(bdd, entry.exit_header_set()),
+            )
+            for entry in table.lookup(inport, outport)
+        )
+        digest.update(repr((inport, outport, entries)).encode())
+    return digest.hexdigest()
