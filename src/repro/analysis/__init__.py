@@ -35,8 +35,11 @@ from .timing import (
     VerificationTimingResult,
     measure_update_times,
     check_fastpath_parity,
+    check_vector_wire_parity,
     measure_verification_time,
+    measure_vector_verification_time,
     reports_from_table,
+    wire_payloads_from_table,
 )
 
 __all__ = [
@@ -64,8 +67,11 @@ __all__ = [
     "distribution_cdf",
     "VerificationTimingResult",
     "check_fastpath_parity",
+    "check_vector_wire_parity",
     "measure_verification_time",
+    "measure_vector_verification_time",
     "UpdateTimingResult",
     "measure_update_times",
     "reports_from_table",
+    "wire_payloads_from_table",
 ]

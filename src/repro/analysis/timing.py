@@ -26,7 +26,10 @@ from ..topologies.base import Scenario
 __all__ = [
     "VerificationTimingResult",
     "measure_verification_time",
+    "measure_vector_verification_time",
     "check_fastpath_parity",
+    "check_vector_wire_parity",
+    "wire_payloads_from_table",
     "UpdateTimingResult",
     "measure_update_times",
 ]
@@ -126,6 +129,149 @@ def measure_verification_time(
         p99_us=ranked[min(len(ranked) - 1, int(0.99 * len(ranked)))],
         throughput_per_s=1e6 / mean_us if mean_us else 0.0,
     )
+
+
+def wire_payloads_from_table(
+    builder: PathTableBuilder, table: PathTable, tamper: bool = True
+):
+    """Wire report payloads for every table path, plus a codec to decode.
+
+    With ``tamper=True`` the healthy payloads are followed by mutated
+    copies — flipped tags, swapped port pairs, rewritten header bytes — so
+    verification sweeps exercise every verdict class, not just PASS.
+    """
+    from ..core.reports import PortCodec, pack_report
+
+    codec = PortCodec()
+    for inport, outport in table.pairs():
+        codec.register(inport.switch)
+        codec.register(outport.switch)
+    reports = reports_from_table(builder, table)
+    payloads = [pack_report(report, codec) for report in reports]
+    if tamper:
+        for payload in list(payloads):
+            bad_tag = bytearray(payload)
+            bad_tag[13] ^= 0x5A  # last tag byte: guaranteed tag mismatch
+            payloads.append(bytes(bad_tag))
+            bad_pair = bytearray(payload)
+            bad_pair[2:4], bad_pair[4:6] = payload[4:6], payload[2:4]
+            payloads.append(bytes(bad_pair))
+            bad_header = bytearray(payload)
+            bad_header[14:18] = b"\xde\xad\xbe\xef"  # reroute src_ip
+            payloads.append(bytes(bad_header))
+    return payloads, codec
+
+
+def measure_vector_verification_time(
+    builder: PathTableBuilder,
+    table: PathTable,
+    label: str,
+    batch_rows: int = 32768,
+    repeats: int = 5,
+) -> VerificationTimingResult:
+    """Wire-level vector-kernel throughput (the Figure 13 ``vector`` row).
+
+    Replays the fig13 report set as wire payloads through a single shard
+    replica compiled into the :class:`~repro.core.vector.WireBatchVerifier`
+    — the exact code path a sharded-daemon worker runs per dispatch batch.
+    One warm-up batch pays kernel compilation; each repeat then verifies a
+    ``batch_rows``-payload batch and the statistics are per-report times
+    across repeats.
+    """
+    from ..core import vector as vec
+    from ..core.daemon import build_shard_specs, wire_packing
+
+    if not vec.HAVE_NUMPY:
+        raise RuntimeError("the vector timing harness requires numpy")
+    if batch_rows <= 0 or repeats <= 0:
+        raise ValueError("batch_rows and repeats must be positive")
+    hs = builder.hs
+    table.compile_matchers(hs)
+    payloads, codec = wire_payloads_from_table(builder, table, tamper=False)
+    if not payloads:
+        raise ValueError("path table produced no reports to verify")
+    pairs = build_shard_specs(table, hs, codec, 1)[0]
+    wirev = vec.WireBatchVerifier(pairs, wire_packing(hs.layout))
+    batch = (payloads * (batch_rows // len(payloads) + 1))[:batch_rows]
+    frame = b"".join(batch)  # daemon dispatch ships one concatenated frame
+    wirev.verify_frame(frame)  # warm-up: compiles every pair kernel
+    per_report_us: List[float] = []
+    import time as _time
+
+    for _ in range(repeats):
+        started = _time.perf_counter()
+        wirev.verify_frame(frame)
+        per_report_us.append((_time.perf_counter() - started) / batch_rows * 1e6)
+    mean_us = statistics.fmean(per_report_us)
+    ranked = sorted(per_report_us)
+    return VerificationTimingResult(
+        label=label,
+        reports=len(payloads),
+        repeats=repeats,
+        mean_us=mean_us,
+        median_us=ranked[len(ranked) // 2],
+        p99_us=ranked[min(len(ranked) - 1, int(0.99 * len(ranked)))],
+        throughput_per_s=1e6 / mean_us if mean_us else 0.0,
+    )
+
+
+def check_vector_wire_parity(
+    builder: PathTableBuilder,
+    table: PathTable,
+    payloads: Optional[Sequence[bytes]] = None,
+) -> List[Tuple[bytes, str, str]]:
+    """Compare the wire vector kernel against ``_verify_wire`` per payload.
+
+    Returns mismatches as ``(payload, vector_verdict, scalar_verdict)``;
+    an empty list certifies verdict parity on this payload set (tampered
+    and malformed payloads included when the default set is used).
+    """
+    from ..core import vector as vec
+    from ..core.daemon import _verify_wire, build_shard_specs, wire_packing
+
+    if not vec.HAVE_NUMPY:
+        return []
+    hs = builder.hs
+    table.compile_matchers(hs)
+    if payloads is None:
+        payloads, codec = wire_payloads_from_table(builder, table, tamper=True)
+        payloads = list(payloads)
+        payloads.append(payloads[0][:11])  # truncated
+        bad_version = bytearray(payloads[0])
+        bad_version[0] = 99
+        payloads.append(bytes(bad_version))
+    else:
+        _, codec = wire_payloads_from_table(builder, table, tamper=False)
+    pairs = build_shard_specs(table, hs, codec, 1)[0]
+    packing = wire_packing(hs.layout)
+    wirev = vec.WireBatchVerifier(pairs, packing)
+    codes = wirev.verify(list(payloads)).tolist()
+    sized = [p for p in payloads if len(p) == wirev.report_size]
+    if sized:
+        frame_codes = wirev.verify_frame(b"".join(sized)).tolist()
+        list_codes = wirev.verify(sized).tolist()
+        if frame_codes != list_codes:
+            for payload, fcode, lcode in zip(sized, frame_codes, list_codes):
+                if fcode != lcode:
+                    mismatch = (payload, f"frame-code-{fcode}", f"list-code-{lcode}")
+                    return [mismatch]
+    value_of = {
+        vec.VPASS: "pass",
+        vec.VMISMATCH: "fail-tag-mismatch",
+        vec.VNOPATH: "fail-no-path",
+        vec.VUNKNOWN: "fail-unknown-pair",
+        vec.VMALFORMED: "malformed",
+    }
+    mismatches: List[Tuple[bytes, str, str]] = []
+    for payload, code in zip(payloads, codes):
+        scalar = _verify_wire(pairs, packing, payload)
+        scalar_value = "malformed" if scalar is None else scalar
+        if code == vec.VSCALAR:
+            continue  # the kernel defers to the scalar path: parity by construction
+        vector_value = value_of.get(code, f"code-{code}")
+        if vector_value != scalar_value:
+            mismatches.append((payload, vector_value, scalar_value))
+    return mismatches
 
 
 def check_fastpath_parity(

@@ -75,7 +75,7 @@ class FlatBDD:
     as each shard's path-table replica.
     """
 
-    __slots__ = ("source", "root", "shifts", "low", "high")
+    __slots__ = ("source", "root", "shifts", "low", "high", "_np")
 
     def __init__(
         self,
@@ -90,6 +90,27 @@ class FlatBDD:
         self.shifts = list(shifts)
         self.low = list(low)
         self.high = list(high)
+        self._np = None
+
+    def arrays(self):
+        """Node arrays as numpy ``int32`` for the vector kernel.
+
+        Returns ``(shifts, children)`` where ``children`` interleaves the
+        low/high child of each node (``children[2i]`` / ``children[2i+1]``),
+        the layout the gather-based batch descent consumes.  Cached per
+        instance; ``None`` when numpy is unavailable.
+        """
+        if self._np is None:
+            try:
+                import numpy as np
+            except Exception:  # pragma: no cover - no-numpy fallback
+                return None
+            shifts = np.asarray(self.shifts, dtype=np.int32)
+            children = np.empty(2 * len(self.low), dtype=np.int32)
+            children[0::2] = self.low
+            children[1::2] = self.high
+            self._np = (shifts, children)
+        return self._np
 
     def evaluate_value(self, value: int) -> bool:
         """Evaluate against a header packed into one integer (level 0 = MSB)."""
@@ -109,6 +130,7 @@ class FlatBDD:
 
     def __setstate__(self, state) -> None:
         self.source, self.root, self.shifts, self.low, self.high = state
+        self._np = None
 
 
 class BDD:

@@ -86,6 +86,13 @@ from .resilience import (
     WorkerSupervisor,
 )
 from .server import Incident, VeriDPServer
+from .vector import (
+    HAVE_NUMPY as _HAVE_VECTOR,
+    MIN_BATCH as _VECTOR_MIN_BATCH,
+    VMALFORMED as _VCODE_MALFORMED,
+    VSCALAR as _VCODE_SCALAR,
+    WireBatchVerifier,
+)
 from .verifier import Verdict, Verifier
 
 __all__ = [
@@ -96,6 +103,7 @@ __all__ = [
     "build_shard_specs",
     "build_one_shard_spec",
     "replica_digest",
+    "wire_packing",
 ]
 
 _STOP = object()
@@ -553,10 +561,56 @@ _FAIL_UNKNOWN = Verdict.FAIL_UNKNOWN_PAIR.value
 #: Knuth multiplicative hash constant for spreading (inport, outport) keys.
 _HASH_MULT = 2654435761
 
+#: Vector verdict code -> wire verdict value string (codes VPASS..VUNKNOWN).
+_VCODE_TO_VALUE = (_PASS, _FAIL_MISMATCH, _FAIL_NO_PATH, _FAIL_UNKNOWN)
+
 
 def _shard_of(pair_key: int, workers: int) -> int:
     """Shard index for a 32-bit packed ``(inport << 16) | outport`` key."""
     return ((pair_key * _HASH_MULT) >> 16) % workers
+
+
+def _frame_batch(payloads: List[bytes]) -> Tuple[bytes, List[bytes]]:
+    """Concatenate well-sized payloads into one frame; return oddballs apart.
+
+    The worker protocol ships each batch as ``(frame, oddballs)``: one
+    ``bytes`` object instead of hundreds keeps queue pickling cheap, and
+    the fixed ``REPORT_SIZE`` stride lets the vector kernel skip the
+    per-payload length screen entirely.  Wrong-sized payloads ride along
+    as a (normally empty) list and take the scalar malformed path.
+    """
+    odd = [p for p in payloads if len(p) != REPORT_SIZE]
+    if not odd:
+        return b"".join(payloads), odd
+    return b"".join(p for p in payloads if len(p) == REPORT_SIZE), odd
+
+
+def _unframe_batch(frame: bytes, odd: List[bytes]) -> List[bytes]:
+    """Invert :func:`_frame_batch` (queue salvage, scalar fallbacks)."""
+    payloads = [
+        frame[start : start + REPORT_SIZE]
+        for start in range(0, len(frame), REPORT_SIZE)
+    ]
+    payloads.extend(odd)
+    return payloads
+
+
+def wire_packing(layout) -> Tuple[Tuple[int, int], ...]:
+    """``(wire_field_pos, width)`` per layout field, in layout order.
+
+    The worker-side header packing recipe: raises when the layout carries a
+    field the wire report format has no slot for.
+    """
+    packing = []
+    for field in layout.fields:
+        pos = _WIRE_FIELD_POS.get(field.name)
+        if pos is None:
+            raise ValueError(
+                f"sharded daemon needs the wire 5-tuple layout; "
+                f"field {field.name!r} is not on the wire"
+            )
+        packing.append((pos, field.width))
+    return tuple(packing)
 
 
 def build_pair_spec(table: PathTable, hs, inport, outport) -> Optional[tuple]:
@@ -688,12 +742,14 @@ def _shard_worker_main(
     hb_queue,
     pairs: Dict[Tuple[int, int], tuple],
     packing: Tuple[Tuple[int, int], ...],
+    vector: bool = False,
 ) -> None:
     """One shard worker process: verify batches, report deltas on flush.
 
     Message protocol (parent -> worker on ``in_queue``)::
 
-        ("batch", [payload, ...])   verify each payload
+        ("batch", frame, [odd])     verify a concatenated payload frame
+                                    (+ wrong-sized oddballs, normally [])
         ("flush", token)            reply deltas on out_queue, reset them
         ("ping", seq)               reply ("pong", worker_id, seq) on hb_queue
         ("reload", pairs)           swap the compiled replica in place
@@ -753,28 +809,95 @@ def _shard_worker_main(
         "Shard-worker verdicts, by verdict and shard.",
         ("shard", "verdict"),
     )
+    vector_reports_counter = registry.counter(
+        "veridp_shard_vector_reports_total",
+        "Payloads this shard worker verified through the vector kernel.",
+        ("shard",),
+    ).labels(shard)
+    vector_fallback_family = registry.counter(
+        "veridp_shard_vector_fallback_total",
+        "Vector-path downgrades to the scalar matcher, by kind: a whole "
+        "batch (kernel error), a single row (irregular pair), or a batch "
+        "below the crossover size.",
+        ("shard", "kind"),
+    )
+    # The compiled wire kernel; None = this worker verifies scalar-only
+    # (vector disabled, numpy missing, or the layout cannot be packed).
+    wirev = None
+    if vector and _HAVE_VECTOR:
+        try:
+            wirev = WireBatchVerifier(pairs, packing)
+        except Exception:
+            wirev = None
+
+    def verify_scalar(payload: bytes) -> None:
+        nonlocal processed, malformed
+        try:
+            verdict = _verify_wire(pairs, packing, payload)
+        except Exception as exc:
+            crashed.append((payload, f"{type(exc).__name__}: {exc}"))
+            return
+        if verdict is None:
+            malformed += 1
+            if len(malformed_sample) < _MALFORMED_SAMPLE:
+                malformed_sample.append(payload)
+            return
+        processed += 1
+        counters[verdict] += 1
+        if verdict != _PASS:
+            failures.append((payload, verdict))
+
     while True:
         message = in_queue.get()
         kind = message[0]
         if kind == "batch":
             batch_started = time.perf_counter()
-            for payload in message[1]:
-                try:
-                    verdict = _verify_wire(pairs, packing, payload)
-                except Exception as exc:
-                    crashed.append(
-                        (payload, f"{type(exc).__name__}: {exc}")
-                    )
-                    continue
-                if verdict is None:
-                    malformed += 1
-                    if len(malformed_sample) < _MALFORMED_SAMPLE:
-                        malformed_sample.append(payload)
-                    continue
-                processed += 1
-                counters[verdict] += 1
-                if verdict != _PASS:
-                    failures.append((payload, verdict))
+            frame = message[1]
+            odd = message[2]
+            n = len(frame) // REPORT_SIZE
+            codes = None
+            if wirev is not None and n:
+                if n < _VECTOR_MIN_BATCH:
+                    vector_fallback_family.labels(shard, "small").inc()
+                else:
+                    try:
+                        codes = wirev.verify_frame(frame)
+                    except Exception:
+                        # Never let a kernel bug change a verdict: redo the
+                        # whole batch with the scalar matcher.
+                        vector_fallback_family.labels(shard, "batch").inc()
+                        codes = None
+            if codes is None:
+                for start in range(0, len(frame), REPORT_SIZE):
+                    verify_scalar(frame[start : start + REPORT_SIZE])
+            else:
+                # Healthy rows (code 0 == PASS) are accounted in bulk —
+                # only exceptional rows materialize their payload slice
+                # and touch Python.
+                flagged = codes.nonzero()[0]
+                pass_rows = n - flagged.shape[0]
+                processed += pass_rows
+                counters[_PASS] += pass_rows
+                vector_rows = pass_rows
+                for i in flagged.tolist():
+                    code = int(codes[i])
+                    payload = frame[i * REPORT_SIZE : (i + 1) * REPORT_SIZE]
+                    if code == _VCODE_SCALAR:
+                        vector_fallback_family.labels(shard, "row").inc()
+                        verify_scalar(payload)
+                    elif code == _VCODE_MALFORMED:
+                        malformed += 1
+                        if len(malformed_sample) < _MALFORMED_SAMPLE:
+                            malformed_sample.append(payload)
+                    else:
+                        vector_rows += 1
+                        processed += 1
+                        verdict = _VCODE_TO_VALUE[code]
+                        counters[verdict] += 1
+                        failures.append((payload, verdict))
+                vector_reports_counter.inc(vector_rows)
+            for payload in odd:
+                verify_scalar(payload)
             batch_hist.observe(time.perf_counter() - batch_started)
             batches_counter.inc()
         elif kind == "flush":
@@ -811,12 +934,18 @@ def _shard_worker_main(
             hb_queue.put(("pong", worker_id, message[1]))
         elif kind == "reload":
             pairs = message[1]
+            if wirev is not None:
+                wirev.reload(pairs)
         elif kind == "patch":
             for key, spec in message[1].items():
                 if spec is None:
                     pairs.pop(key, None)
                 else:
                     pairs[key] = spec
+            if wirev is not None:
+                # Delta invalidation: only the patched pair kernels
+                # recompile; untouched pairs keep their compiled arrays.
+                wirev.invalidate(message[1].keys())
         elif kind == "digest":
             out_queue.put(("digest", worker_id, message[1], replica_digest(pairs)))
         elif kind == "crash":  # pragma: no cover - exercised via subprocess
@@ -834,7 +963,11 @@ class ShardedVeriDPDaemon:
     The parent peeks the two wire port ids out of each payload (bytes 2-6),
     hashes them to a shard, and ships payloads to that shard's worker in
     batches; each worker verifies against its own compiled path-table
-    replica with no shared state, sidestepping the GIL entirely.  Failed
+    replica with no shared state, sidestepping the GIL entirely.  With
+    numpy present each worker additionally compiles its replica into the
+    vector batch kernel (:mod:`repro.core.vector`) and verifies whole
+    dispatch batches as array operations (``vector=False`` opts out;
+    verdicts are identical either way, scalar fallback is automatic).  Failed
     payloads come back over the result queue and are re-ingested through
     :meth:`VeriDPServer.receive_report_bytes` on the parent, so
     localization, the localization cache and the incident log behave
@@ -862,6 +995,7 @@ class ShardedVeriDPDaemon:
         server: VeriDPServer,
         workers: int = 2,
         batch_size: int = 256,
+        vector: Optional[bool] = None,
         overflow: "OverflowPolicy | str" = OverflowPolicy.BLOCK,
         max_pending_batches: int = 64,
         supervise: bool = True,
@@ -895,6 +1029,10 @@ class ShardedVeriDPDaemon:
         self.obs = obs or server.obs
         self.workers = workers
         self.batch_size = batch_size
+        # Vector dispatch is the default wherever numpy exists; requesting
+        # it without numpy downgrades silently (the worker falls back to
+        # the scalar matcher either way, so verdicts never change).
+        self.vector = _HAVE_VECTOR if vector is None else bool(vector) and _HAVE_VECTOR
         self.max_pending_batches = max_pending_batches
         self.fallback_workers = fallback_workers
         self.submitted = 0
@@ -1129,16 +1267,7 @@ class ShardedVeriDPDaemon:
 
     @staticmethod
     def _packing_for(server: VeriDPServer) -> Tuple[Tuple[int, int], ...]:
-        packing = []
-        for field in server.hs.layout.fields:
-            pos = _WIRE_FIELD_POS.get(field.name)
-            if pos is None:
-                raise ValueError(
-                    f"sharded daemon needs the wire 5-tuple layout; "
-                    f"field {field.name!r} is not on the wire"
-                )
-            packing.append((pos, field.width))
-        return tuple(packing)
+        return wire_packing(server.hs.layout)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -1191,6 +1320,7 @@ class ShardedVeriDPDaemon:
                 hb_queue,
                 spec,
                 self._packing,
+                self.vector,
             ),
             name=f"veridp-shard-{worker_id}-gen{self._generations[worker_id]}",
             daemon=True,
@@ -1320,6 +1450,7 @@ class ShardedVeriDPDaemon:
         persist = self.server.persist
         if persist is not None and self.record_reports:
             persist.log_report_batch(batch)
+        framed = None
         while True:
             fallback = self._fallback
             if fallback is not None:  # degraded mid-dispatch
@@ -1328,11 +1459,13 @@ class ShardedVeriDPDaemon:
                     ok = fallback.submit(payload) and ok
                 return ok
             in_queue = self._in_queues[shard]
+            if framed is None:
+                framed = _frame_batch(batch)
             try:
                 if self.overflow is OverflowPolicy.BLOCK:
-                    in_queue.put(("batch", batch), timeout=0.2)
+                    in_queue.put(("batch",) + framed, timeout=0.2)
                 else:
-                    in_queue.put_nowait(("batch", batch))
+                    in_queue.put_nowait(("batch",) + framed)
             except queue.Full:
                 if self.overflow is not OverflowPolicy.BLOCK:
                     with self._merge_lock:
@@ -1549,7 +1682,7 @@ class ShardedVeriDPDaemon:
         # (idempotent for the successor) if the table moved under the fleet.
         self.resync_replicas()
         if recovered:
-            self._in_queues[shard].put(("batch", recovered))
+            self._in_queues[shard].put(("batch",) + _frame_batch(recovered))
 
     # -- replica resync --------------------------------------------------------
 
@@ -1669,7 +1802,7 @@ class ShardedVeriDPDaemon:
             except (queue.Empty, OSError):
                 break
             if message[0] == "batch":
-                recovered.extend(message[1])
+                recovered.extend(_unframe_batch(message[1], message[2]))
         while True:
             try:
                 message = old_out.get(timeout=0.05)
@@ -1800,6 +1933,7 @@ class ShardedVeriDPDaemon:
             "dropped": dropped,
             "lost_in_restart": lost,
             "degraded": int(self.degraded),
+            "vector": self.vector,
         }
         if self._supervisor is not None:
             stats.update(self._supervisor.stats())

@@ -30,12 +30,41 @@ from .bloom import BloomTagScheme
 from .pathtable import PathTableBuilder
 from .reports import TagReport
 
+try:  # pragma: no cover - exercised via the scalar fallback test
+    from .vector import HAVE_NUMPY as _HAVE_NUMPY
+    from .vector import bloom_first_miss as _bloom_first_miss
+except Exception:  # pragma: no cover
+    _HAVE_NUMPY = False
+    _bloom_first_miss = None
+
 __all__ = [
     "LocalizationResult",
     "CandidatePath",
     "PathInferLocalizer",
     "StrawmanLocalizer",
+    "first_bloom_miss",
 ]
+
+#: Paths shorter than this test hop-by-hop: the numpy call's fixed cost
+#: exceeds the whole scalar walk on the typical 2-5 hop path.
+_VECTOR_MIN_HOPS = 8
+
+
+def first_bloom_miss(scheme: BloomTagScheme, tag: int, hops: Sequence[Hop]) -> int:
+    """Index of the first hop failing the tag's Bloom test (``-1`` = none).
+
+    The localization walks' inner loop.  Long candidate paths are tested
+    with one vectorized AND/compare sweep (``core.vector.bloom_first_miss``
+    over the per-hop filters, which are memoised per scheme); short paths
+    and numpy-free hosts take the scalar hop-by-hop walk — the results are
+    identical.
+    """
+    if _HAVE_NUMPY and len(hops) >= _VECTOR_MIN_HOPS:
+        return _bloom_first_miss(tag, [scheme.hop_filter(hop) for hop in hops])
+    for index, hop in enumerate(hops):
+        if not scheme.may_contain(tag, hop):
+            return index
+    return -1
 
 
 @dataclass
@@ -103,12 +132,11 @@ class StrawmanLocalizer:
         result = LocalizationResult(report=report)
         header = report.header.as_dict()
         correct = self.builder.expected_path(report.inport, header)
-        for hop in correct:
-            if not self.scheme.may_contain(report.tag, hop):
-                result.candidates.append(
-                    CandidatePath(hops=tuple(), blamed_switch=hop.switch)
-                )
-                return result
+        miss = first_bloom_miss(self.scheme, report.tag, correct)
+        if miss >= 0:
+            result.candidates.append(
+                CandidatePath(hops=tuple(), blamed_switch=correct[miss].switch)
+            )
         # Every hop passed the test: the strawman has nothing to blame.
         return result
 
@@ -142,11 +170,10 @@ class PathInferLocalizer:
         # the tag (Algorithm 4 lines 2-7).  com_path keeps the hop at which
         # the path may deviate on top.
         correct = self.builder.expected_path(report.inport, header)
-        com_path: List[Hop] = []
-        for hop in correct:
-            com_path.append(hop)
-            if not self.scheme.may_contain(tag, hop):
-                break  # the real path deviates at (or before) this hop
+        miss = first_bloom_miss(self.scheme, tag, correct)
+        # com_path keeps the hop at which the path may deviate on top: the
+        # prefix up to (and including) the first tag-inconsistent hop.
+        com_path: List[Hop] = list(correct[: miss + 1] if miss >= 0 else correct)
 
         # Phase 2: backtrack, enumerating deviations (lines 8-22).
         while com_path:
@@ -169,9 +196,11 @@ class PathInferLocalizer:
                     continue
                 # Chase downstream flow tables (GetPath from the next hop).
                 downstream = self.builder.expected_path(peer, header)
-                for hop in downstream:
-                    if not self.scheme.may_contain(tag, hop):
-                        break  # dismiss this deviation
+                down_miss = first_bloom_miss(self.scheme, tag, downstream)
+                consistent = (
+                    downstream[:down_miss] if down_miss >= 0 else downstream
+                )
+                for hop in consistent:
                     dev_path.append(hop)
                     if self._hop_reaches(hop, report.outport):
                         self._accept(result, com_path, dev_path)

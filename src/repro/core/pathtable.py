@@ -50,7 +50,13 @@ __all__ = [
     "PredicateProvider",
     "SnapshotProvider",
     "PathTableBuilder",
+    "BUILD_STATS",
 ]
+
+#: Process-wide build telemetry, exported by the obs registry
+#: (``veridp_build_parallel_fallback``): counts parallel builds downgraded
+#: to serial by the small-host crossover in :meth:`PathTableBuilder.build`.
+BUILD_STATS = {"parallel_fallback": 0}
 
 #: Pairs with more entries than this skip the pairwise-disjointness probe
 #: (it is quadratic in the entry count); they use the exact list-order scan.
@@ -255,6 +261,14 @@ class PathTable:
         self._fast_cache: Dict[Tuple[PortRef, PortRef], PairFastIndex] = {}
         self._fast_version: int = -1
         self._fast_token: Optional[Tuple[int, int]] = None
+        # Vector-kernel cache (core.vector): per-pair compiled kernels plus
+        # the assembled batch kernel, both invalidated through the same
+        # dirty-pair journal as the fast indexes.
+        self._vector_cache: Dict[Tuple[PortRef, PortRef], object] = {}
+        self._vector_version: int = -1
+        self._vector_token: Optional[Tuple[int, int]] = None
+        self._vector_kernel: Optional[object] = None
+        self.vector_kernel_compiles: int = 0
         self._stats_cache: Optional[Tuple[Tuple[int, float], PathTableStats]] = None
         # Dirty-pair journal: every structural/in-place mutation notes the
         # affected (inport, outport) pair so delta consumers (fast-index
@@ -352,6 +366,33 @@ class PathTable:
             index = _build_pair_index(tuple(entries), hs)
             self._fast_cache[key] = index
         return index
+
+    def vector_kernel(self, hs: HeaderSpace):
+        """The table compiled for batch verification (``core.vector``).
+
+        Returns a :class:`~repro.core.vector.TableKernel` or ``None`` when
+        the vector path is unavailable (no numpy, unsupported layout).
+        Mirrors :meth:`fast_index`'s journal sync: when the table version
+        moves, only the dirty pairs' compiled kernels are dropped, so a
+        delta resync recompiles just the touched pair kernels (counted on
+        ``vector_kernel_compiles``); the cheap assembly concatenation is
+        redone either way.
+        """
+        from .vector import build_table_kernel
+
+        if self._vector_version != self.version:
+            token, dirty = self.dirty_since(self._vector_token)
+            if dirty is None:
+                self._vector_cache.clear()
+            else:
+                for dirty_key in dirty:
+                    self._vector_cache.pop(dirty_key, None)
+            self._vector_token = token
+            self._vector_version = self.version
+            self._vector_kernel = None
+        if self._vector_kernel is None:
+            self._vector_kernel = build_table_kernel(self, hs, self._vector_cache)
+        return self._vector_kernel
 
     def compile_matchers(self, hs: HeaderSpace) -> int:
         """Eagerly build every pair's fast index (and compiled matchers).
@@ -545,13 +586,36 @@ class PathTableBuilder:
         platforms without the fork start method — the result is identical
         either way (asserted by fingerprint-parity tests), only wall-clock
         differs.
+
+        Hosts with fewer CPUs than ``REPRO_BUILD_MIN_CPUS`` (default 2)
+        never fork: process setup plus node-table merge costs more than the
+        traversal saves when the workers just time-slice one core
+        (BENCH_build.json measured a 0.466x "speedup" on 1 CPU).  Each such
+        downgrade increments ``BUILD_STATS["parallel_fallback"]``, exported
+        as ``veridp_build_parallel_fallback``.
         """
         resolved = self._resolve_workers(workers)
+        if resolved > 1 and self._below_parallel_crossover():
+            BUILD_STATS["parallel_fallback"] += 1
+            resolved = 1
         if resolved > 1:
             table = self._build_parallel(resolved)
             if table is not None:
                 return table
         return self._build_serial()
+
+    @staticmethod
+    def _below_parallel_crossover() -> bool:
+        """True when this host has too few CPUs for a fork-based build."""
+        try:
+            min_cpus = int(os.environ.get("REPRO_BUILD_MIN_CPUS", "").strip() or 2)
+        except ValueError:
+            min_cpus = 2
+        try:
+            cpus = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            cpus = os.cpu_count() or 1
+        return cpus < min_cpus
 
     @staticmethod
     def _resolve_workers(workers: Optional[int]) -> int:

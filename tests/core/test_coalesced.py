@@ -114,7 +114,10 @@ class TestCoalescedParity:
 
 
 class TestParallelBuildParity:
-    def test_parallel_build_matches_serial(self):
+    def test_parallel_build_matches_serial(self, monkeypatch):
+        # Hosts below the CPU crossover silently build serially; force the
+        # pool on so the parity comparison is not serial-vs-serial.
+        monkeypatch.setenv("REPRO_BUILD_MIN_CPUS", "1")
         scenario = build_internet2(prefixes_per_pop=1)
         hs_serial = HeaderSpace()
         serial = PathTableBuilder(scenario.topo, hs_serial).build()
@@ -126,7 +129,8 @@ class TestParallelBuildParity:
             serial, hs_serial.bdd
         )
 
-    def test_parallel_reach_index_matches_serial(self):
+    def test_parallel_reach_index_matches_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BUILD_MIN_CPUS", "1")
         scenario = build_internet2(prefixes_per_pop=1)
 
         def reach_signature(builder, workers):
@@ -149,6 +153,18 @@ class TestParallelBuildParity:
         scenario = build_linear(3)
         table = PathTableBuilder(scenario.topo, HeaderSpace()).build(workers=4)
         assert table.build_workers == 1
+
+    def test_small_host_crossover_falls_back_and_counts(self, monkeypatch):
+        """A host below ``REPRO_BUILD_MIN_CPUS`` builds serially and the
+        downgrade lands on ``BUILD_STATS["parallel_fallback"]``."""
+        from repro.core.pathtable import BUILD_STATS
+
+        monkeypatch.setenv("REPRO_BUILD_MIN_CPUS", "1024")
+        before = BUILD_STATS["parallel_fallback"]
+        scenario = build_linear(3)
+        table = PathTableBuilder(scenario.topo, HeaderSpace()).build(workers=4)
+        assert table.build_workers == 1
+        assert BUILD_STATS["parallel_fallback"] == before + 1
 
 
 class TestDirtyJournal:

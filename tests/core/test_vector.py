@@ -1,0 +1,323 @@
+"""Tests for the vectorized batch verification kernel (``core.vector``).
+
+Four layers are pinned to their scalar references:
+
+* cube/descent entry evaluation against ``FlatBDD.evaluate_value`` on
+  randomized predicates and headers (hypothesis),
+* ``Verifier.verify_batch(vector=True)`` against the scalar batch path —
+  verdicts, counts, failures, matched entries and counters,
+* the wire-level :class:`WireBatchVerifier` against the shard worker's
+  scalar ``_verify_wire`` (tampered, truncated and bad-version payloads
+  included), plus frame/list API equivalence,
+* the vectorized Bloom helpers against ``BloomTagScheme.may_contain``.
+
+Plus the operational properties: per-pair kernel invalidation rides the
+dirty-pair journal (delta resyncs recompile only touched pairs), and every
+degraded mode — no numpy, tiny batches — falls back to the scalar loop
+with the fallback counted.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.analysis.timing import (
+    check_vector_wire_parity,
+    reports_from_table,
+    wire_payloads_from_table,
+)
+from repro.bdd.headerspace import HeaderSpace
+from repro.core import vector as vec
+from repro.core.daemon import _verify_wire, build_shard_specs, wire_packing
+from repro.core.incremental import IncrementalPathTable
+from repro.core.pathtable import PathTableBuilder
+from repro.core.reports import TagReport
+from repro.core.verifier import Verdict, Verifier
+from repro.netmodel.packet import Header
+from repro.netmodel.topology import PortRef
+from repro.topologies import build_figure5, build_linear
+
+headers = st.builds(
+    Header,
+    src_ip=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    dst_ip=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    proto=st.integers(min_value=0, max_value=255),
+    src_port=st.integers(min_value=0, max_value=65535),
+    dst_port=st.integers(min_value=0, max_value=65535),
+)
+
+
+def predicate_from(hs, spec):
+    """Build a BDD predicate from a hypothesis-drawn spec tree."""
+    kind = spec[0]
+    if kind == "prefix":
+        _, field, base, length = spec
+        return hs.prefix(field, base, length)
+    if kind == "exact":
+        _, field, value = spec
+        return hs.exact(field, value)
+    if kind == "range":
+        _, field, lo, hi = spec
+        return hs.range_(field, min(lo, hi), max(lo, hi))
+    if kind == "not":
+        return hs.bdd.not_(predicate_from(hs, spec[1]))
+    op = hs.bdd.and_ if kind == "and" else hs.bdd.or_
+    return op(predicate_from(hs, spec[1]), predicate_from(hs, spec[2]))
+
+
+predicates = st.recursive(
+    st.one_of(
+        st.tuples(
+            st.just("prefix"),
+            st.sampled_from(["src_ip", "dst_ip"]),
+            st.integers(min_value=0, max_value=(1 << 32) - 1),
+            st.integers(min_value=0, max_value=32),
+        ),
+        st.tuples(
+            st.just("exact"),
+            st.just("proto"),
+            st.integers(min_value=0, max_value=255),
+        ),
+        st.tuples(
+            st.just("range"),
+            st.sampled_from(["src_port", "dst_port"]),
+            st.integers(min_value=0, max_value=65535),
+            st.integers(min_value=0, max_value=65535),
+        ),
+    ),
+    lambda children: st.one_of(
+        st.tuples(st.just("not"), children),
+        st.tuples(st.just("and"), children, children),
+        st.tuples(st.just("or"), children, children),
+    ),
+    max_leaves=6,
+)
+
+
+def assemble_single(hs, flat, cube_cap):
+    """One-entry assembly for ``flat`` (``cube_cap=0`` forces descent)."""
+    kern = vec.compile_pair_kernel(
+        [0], [flat], {0: (0,)}, True, hs.layout.total_bits, cube_cap=cube_cap
+    )
+    assert kern is not None
+    return vec.KernelAssembly([kern], hs.layout.total_bits)
+
+
+def marshal(hs, header_dicts):
+    pack = vec.layout_pack_struct(hs.layout)
+    names = hs.layout.field_names()
+    parts = [pack.pack(*(d[name] for name in names)) for d in header_dicts]
+    n = len(parts)
+    hdr = np.frombuffer(b"".join(parts), dtype=np.uint8).reshape(n, -1)
+    lane0, lane1 = vec.lanes_from_bytes(hdr)
+    return hdr, lane0, lane1
+
+
+class TestEntryEvaluation:
+    @given(spec=predicates, batch=st.lists(headers, min_size=1, max_size=16))
+    @settings(max_examples=100, deadline=None)
+    def test_cube_and_descent_tiers_match_scalar_evaluate(self, spec, batch):
+        """Both evaluation tiers agree with ``FlatBDD.evaluate_value`` on
+        random predicates and random header batches."""
+        hs = HeaderSpace()
+        flat = hs.bdd.compile_flat(predicate_from(hs, spec))
+        dicts = [h.as_dict() for h in batch]
+        expected = [flat.evaluate_value(hs.header_value(d)) for d in dicts]
+        hdr, lane0, lane1 = marshal(hs, dicts)
+        rows = np.arange(len(batch), dtype=np.int64)
+        gidx = np.zeros(len(batch), dtype=np.int64)
+        for cube_cap in (vec.CUBE_CAP, 0):  # cube tier, then forced descent
+            assembly = assemble_single(hs, flat, cube_cap)
+            got = assembly._eval_entries(rows, gidx, lane0, lane1, hdr)
+            assert got.tolist() == expected
+
+    def test_descent_forced_when_cap_zero(self):
+        hs = HeaderSpace()
+        flat = hs.bdd.compile_flat(hs.prefix("dst_ip", 0x0A000000, 8))
+        assembly = assemble_single(hs, flat, 0)
+        assert (assembly.ent_bucket == -1).all()  # no cube buckets
+        assembly = assemble_single(hs, flat, vec.CUBE_CAP)
+        assert (assembly.ent_bucket >= 0).all()
+
+
+@pytest.fixture(scope="module")
+def figure5():
+    scenario = build_figure5()
+    hs = HeaderSpace()
+    builder = PathTableBuilder(scenario.topo, hs)
+    table = builder.build()
+    table.compile_matchers(hs)
+    return scenario, hs, builder, table
+
+
+def oracle_reports(builder, table, min_size=96):
+    """A batch covering every verdict class, tiled past ``MIN_BATCH``."""
+    base = reports_from_table(builder, table)
+    assert base
+    reports = list(base)
+    for r in base:
+        reports.append(TagReport(r.inport, r.outport, r.header, r.tag ^ 0x2A))
+        reports.append(
+            TagReport(PortRef("ghost", 1), r.outport, r.header, r.tag)
+        )
+    while len(reports) < min_size:
+        reports += reports
+    return reports
+
+
+class TestVerifierOracle:
+    def test_vector_batch_identical_to_scalar_batch(self, figure5):
+        """The tentpole's oracle gate: ``verify_batch(vector=True)`` is
+        verdict-for-verdict identical to the scalar batch path — including
+        failures, matched entries and expected tags."""
+        _, hs, builder, table = figure5
+        reports = oracle_reports(builder, table)
+        vector = Verifier(table, hs)
+        scalar = Verifier(table, hs)
+        vres = vector.verify_batch(reports, vector=True)
+        sres = scalar.verify_batch(reports)
+        assert vector.vector_batches == 1
+        assert vector.vector_fallbacks == 0
+        assert vres.verdicts == sres.verdicts
+        assert vres.counts == sres.counts
+        assert vector.counters == scalar.counters
+        assert len(vres.failures) == len(sres.failures)
+        for vf, sf in zip(vres.failures, sres.failures):
+            assert vf.verdict is sf.verdict
+            assert vf.report is sf.report
+            assert vf.matched_entry is sf.matched_entry
+            assert vf.expected_tag == sf.expected_tag
+
+    def test_all_verdict_classes_exercised(self, figure5):
+        _, hs, builder, table = figure5
+        reports = oracle_reports(builder, table)
+        result = Verifier(table, hs).verify_batch(reports, vector=True)
+        seen = set(result.counts)
+        assert Verdict.PASS in seen
+        assert Verdict.FAIL_TAG_MISMATCH in seen
+        assert Verdict.FAIL_UNKNOWN_PAIR in seen
+
+    def test_small_batch_falls_back_to_scalar(self, figure5):
+        _, hs, builder, table = figure5
+        reports = reports_from_table(builder, table)[: vec.MIN_BATCH - 1]
+        verifier = Verifier(table, hs)
+        result = verifier.verify_batch(reports, vector=True)
+        assert verifier.vector_fallbacks == 1
+        assert verifier.vector_batches == 0
+        assert result.verdicts == [Verdict.PASS] * len(reports)
+
+    def test_no_numpy_falls_back_to_scalar(self, figure5, monkeypatch):
+        _, hs, builder, table = figure5
+        monkeypatch.setattr(vec, "HAVE_NUMPY", False)
+        reports = oracle_reports(builder, table)
+        verifier = Verifier(table, hs)
+        result = verifier.verify_batch(reports, vector=True)
+        assert verifier.vector_fallbacks == 1
+        assert result.verdicts == Verifier(table, hs).verify_batch(reports).verdicts
+        with pytest.raises(RuntimeError):
+            vec.WireBatchVerifier({}, None)
+
+
+class TestWireParity:
+    def test_wire_kernel_matches_scalar_wire_path(self, figure5):
+        """Default payload set: healthy + tampered + truncated + bad
+        version, vector codes vs ``_verify_wire`` one by one."""
+        _, hs, builder, table = figure5
+        assert check_vector_wire_parity(builder, table) == []
+
+    def test_frame_and_list_apis_agree(self, figure5):
+        _, hs, builder, table = figure5
+        payloads, codec = wire_payloads_from_table(builder, table, tamper=True)
+        pairs = build_shard_specs(table, hs, codec, 1)[0]
+        wirev = vec.WireBatchVerifier(pairs, wire_packing(hs.layout))
+        list_codes = wirev.verify(list(payloads)).tolist()
+        frame_codes = wirev.verify_frame(b"".join(payloads)).tolist()
+        assert list_codes == frame_codes
+        assert vec.VPASS in frame_codes and vec.VMISMATCH in frame_codes
+
+    def test_frame_rejects_trailing_bytes(self, figure5):
+        _, hs, builder, table = figure5
+        payloads, codec = wire_payloads_from_table(builder, table, tamper=False)
+        pairs = build_shard_specs(table, hs, codec, 1)[0]
+        wirev = vec.WireBatchVerifier(pairs, wire_packing(hs.layout))
+        with pytest.raises(ValueError):
+            wirev.verify_frame(payloads[0] + b"\x00")
+        assert wirev.verify_frame(b"").shape[0] == 0
+
+
+class TestInvalidation:
+    def test_delta_update_recompiles_only_touched_pairs(self):
+        """The dirty-pair journal drives kernel invalidation: a rule churn
+        recompiles exactly the pairs it dirtied, and the refreshed kernel
+        stays verdict-identical to the scalar path."""
+        scenario = build_linear(4)
+        hs = HeaderSpace()
+        inc = IncrementalPathTable(scenario.topo, hs)
+        table = inc.table
+        builder = PathTableBuilder(scenario.topo, hs, provider=inc.provider)
+        assert table.vector_kernel(hs) is not None
+        baseline = table.vector_kernel_compiles
+        assert baseline == len(table.pairs())
+        token, _ = table.dirty_since(None)
+
+        inc.add_rule("S2", "10.99.0.0/16", 2)
+        inc.delete_rule("S2", "10.99.0.0/16")
+        _, dirty = table.dirty_since(token)
+        assert dirty  # the churn touched some pairs...
+        touched = {key for key in dirty if key in dict.fromkeys(table.pairs())}
+
+        assert table.vector_kernel(hs) is not None
+        delta = table.vector_kernel_compiles - baseline
+        assert delta == len(touched)  # ...and only those recompiled
+        assert delta < len(table.pairs())
+
+        reports = oracle_reports(builder, table)
+        vres = Verifier(table, hs).verify_batch(reports, vector=True)
+        sres = Verifier(table, hs).verify_batch(reports)
+        assert vres.verdicts == sres.verdicts
+
+
+class TestBloomHelpers:
+    @given(
+        tags=st.lists(
+            st.integers(min_value=0, max_value=(1 << 16) - 1),
+            min_size=1,
+            max_size=32,
+        ),
+        filters=st.lists(
+            st.integers(min_value=0, max_value=(1 << 16) - 1),
+            min_size=0,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_vectorized_membership_matches_scalar(self, tags, filters):
+        for hf in filters:
+            got = vec.bloom_member_batch(tags, hf).tolist()
+            assert got == [(t & hf) == hf for t in tags]
+        for tag in tags:
+            miss = vec.bloom_first_miss(tag, filters)
+            scalar = -1
+            for i, hf in enumerate(filters):
+                if (hf & tag) != hf:
+                    scalar = i
+                    break
+            assert miss == scalar
+
+    def test_localization_walk_vector_equals_scalar(self, monkeypatch):
+        """``first_bloom_miss`` gives the same index with and without the
+        vectorized sweep on real scheme-generated hop filters."""
+        from repro.core import localization as loc
+        from repro.core.bloom import BloomTagScheme
+        from repro.netmodel.hops import Hop
+
+        scheme = BloomTagScheme()
+        hops = [Hop(1, f"S{i}", 2) for i in range(12)]
+        tag = scheme.tag_of_path(hops[:7])  # hops 7.. untagged
+        vector_miss = loc.first_bloom_miss(scheme, tag, hops)
+        monkeypatch.setattr(loc, "_HAVE_NUMPY", False)
+        scalar_miss = loc.first_bloom_miss(scheme, tag, hops)
+        assert vector_miss == scalar_miss
+        full = scheme.tag_of_path(hops)
+        assert loc.first_bloom_miss(scheme, full, hops) == -1

@@ -168,6 +168,53 @@ class TestChaosCampaign:
         assert stats["dead_lettered"] == 0
         assert server.incidents == []
 
+    def test_vector_dispatch_survives_the_campaign(self):
+        """ISSUE 6 satellite: the campaign with the numpy vector kernel
+        explicitly enabled must reconcile the submission ledger exactly —
+        the kernel's bulk accounting (frame transport, per-code row
+        resolution) cannot lose or double-count a single payload."""
+        pytest.importorskip("numpy")
+        scenario, server, net = make_rig()
+        payloads = healthy_payloads(scenario, net, TOTAL_REPORTS // 2)
+
+        injection = ReportStreamFaultInjector(
+            campaign_faults(), seed=CHAOS_SEED
+        ).run(payloads)
+        stream = injection.payloads
+        kill_at = len(stream) // 3
+
+        with ShardedVeriDPDaemon(
+            server,
+            workers=2,
+            batch_size=64,
+            vector=True,
+            overflow="block",
+            restart_budget=3,
+            poll_interval=0.02,
+            backoff=RestartBackoff(base=0.01, cap=0.05),
+        ) as daemon:
+            for i, payload in enumerate(stream):
+                daemon.submit(payload)
+                if i == kill_at:
+                    WorkerKill(shard=0).apply(daemon)
+            daemon.join(timeout=JOIN_DEADLINE)
+            stats = daemon.stats()
+
+        assert stats["vector"] is True
+        assert stats["restarts"] >= 1
+        assert not stats["degraded"]
+        # Exact ledger reconciliation under vector dispatch.
+        assert (
+            stats["processed"]
+            + stats["malformed"]
+            + stats["verify_errors"]
+            + stats["dropped_full_queue"]
+            + stats["lost_in_restart"]
+            == len(stream)
+        )
+        assert stats["verified"] == stats["processed"]
+        assert stats["failed"] + stats["malformed"] <= injection.corrupted
+
     def test_threaded_daemon_runs_same_campaign(self):
         """The fallback path handles the identical stream (smaller dose)."""
         scenario, server, net = make_rig()
