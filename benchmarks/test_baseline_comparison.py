@@ -232,3 +232,58 @@ def test_monocle_probe_generation_scaling(benchmark, num_rules):
         generation_s=round(prober.generation_time_s, 4),
     )
     assert len(prober.probes) + len(prober.untestable) == num_rules
+
+
+def test_probe_set_sizes(benchmark):
+    """Probes needed: ATPG-style greedy hop cover vs the representative set.
+
+    Both derive headers the same way (``repro.probe.headers``); they differ
+    in what they promise.  ATPG keeps only probes adding new *hop* coverage
+    — fewer packets, but entries sharing their hops with an already-kept
+    probe are never exercised end-to-end.  The representative set keeps one
+    probe per path-table entry: more packets, every configured path pinned.
+    """
+    from repro.probe.headers import plan_table
+
+    def measure():
+        rows = []
+        for name, factory in (
+            ("Figure 5", build_figure5),
+            ("FT(k=4)", lambda: build_fattree(4)),
+            ("Stanford", build_stanford),
+        ):
+            scenario = factory()
+            hs = HeaderSpace()
+            builder = PathTableBuilder(scenario.topo, hs)
+            table = builder.build()
+            atpg = AtpgProber(builder, table)
+            plans = plan_table(table, hs)
+            total_entries = sum(len(v) for v in plans.values())
+            rep_probes = sum(len(v) for v in plans.values())
+            rows.append(
+                (
+                    name,
+                    total_entries,
+                    len(atpg.probes),
+                    rep_probes,
+                    f"{len(atpg.probes) / total_entries:.0%}",
+                    "100%",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "Baseline comparison: probes needed, ATPG-style hop cover vs "
+        "representative set (path coverage = entries exercised end-to-end)",
+        ["setup", "entries", "ATPG probes", "rep. probes",
+         "ATPG path cov", "rep. path cov"],
+        rows,
+        slug="baseline_probe_sets",
+    )
+    for _, entries, atpg_probes, rep_probes, _, _ in rows:
+        # ATPG's hop cover needs no more probes than one-per-entry...
+        assert atpg_probes <= rep_probes == entries
+    # ...and on multipath fabrics it leaves real path-coverage gaps.
+    ft4 = next(r for r in rows if r[0] == "FT(k=4)")
+    assert ft4[2] < ft4[3]

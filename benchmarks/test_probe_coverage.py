@@ -1,0 +1,139 @@
+"""Active coverage bench: probes vs coverage, and the fuzz detection gate.
+
+Passive VeriDP coverage is whatever sampled traffic happens to exercise;
+the active prober (``repro.probe``) closes the rest under a budget.  This
+bench measures the coverage-vs-budget curve on Stanford and FT(k=4) —
+starting from a passive workload that leaves well over 30% of the path
+table dark — and gates on the probe subsystem's two promises:
+
+* an unbounded budget reaches 100% of reachable (inport, outport) pairs,
+* a seeded control-plane state-fuzz campaign detects every exercised
+  desync with a reconciled ledger (zero false positives).
+
+Machine-readable output lands in ``benchmarks/results/BENCH_probe.json``.
+"""
+
+import random
+
+import pytest
+
+from repro.core.server import VeriDPServer
+from repro.dataplane import DataPlaneNetwork
+from repro.probe import ActiveProber, ProbeBudget, run_state_fuzz
+from repro.topologies import build_fattree, build_stanford
+
+from conftest import STANFORD_SUBNETS, print_table, write_json
+
+PASSIVE_FRACTION = 0.1
+BUDGETS = [25, 50, 100, 200, None]
+SEED = 7
+
+
+def _passive_setup(factory):
+    scenario = factory()
+    server = VeriDPServer(scenario.topo, scenario.channel)
+    net = DataPlaneNetwork(
+        scenario.topo, scenario.channel, report_sink=server.receive_report_bytes
+    )
+    rng = random.Random(SEED)
+    pairs = scenario.host_pairs()
+    for src, dst in rng.sample(pairs, max(1, int(len(pairs) * PASSIVE_FRACTION))):
+        net.inject_from_host(src, scenario.header_between(src, dst))
+    return scenario, server, net
+
+
+TOPOS = {
+    "Stanford": lambda: build_stanford(subnets_per_zone=STANFORD_SUBNETS),
+    "FT(k=4)": lambda: build_fattree(4),
+}
+
+
+def test_coverage_vs_budget(benchmark):
+    def sweep():
+        results = {}
+        for name, factory in TOPOS.items():
+            curve = []
+            for budget in BUDGETS:
+                scenario, server, net = _passive_setup(factory)
+                before = server.coverage.report()
+                prober = ActiveProber(
+                    server, net, budget=ProbeBudget(max_probes=budget)
+                )
+                run = prober.run()
+                after = server.coverage.report()
+                curve.append(
+                    {
+                        "budget": budget,
+                        "sent": run.sent,
+                        "passive_dark_fraction": 1.0 - before.path_coverage,
+                        "path_coverage": after.path_coverage,
+                        "pair_coverage": after.pair_coverage,
+                        "converged": run.converged,
+                    }
+                )
+            results[name] = curve
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for name, curve in results.items():
+        for point in curve:
+            rows.append(
+                (
+                    name,
+                    point["budget"] if point["budget"] is not None else "inf",
+                    point["sent"],
+                    f"{point['path_coverage']:.0%}",
+                    f"{point['pair_coverage']:.0%}",
+                    "yes" if point["converged"] else "no",
+                )
+            )
+    print_table(
+        f"Active coverage vs probe budget ({PASSIVE_FRACTION:.0%} of host "
+        f"pairs carry passive traffic)",
+        ["setup", "budget", "sent", "paths", "pairs", "converged"],
+        rows,
+        slug="probe_coverage",
+    )
+    write_json("BENCH_probe", {"coverage_vs_budget": results})
+
+    for name, curve in results.items():
+        # The passive workload must leave a real gap for probing to close.
+        assert curve[0]["passive_dark_fraction"] >= 0.30, name
+        unlimited = curve[-1]
+        # Acceptance gate: unbounded budget reaches every reachable pair.
+        assert unlimited["pair_coverage"] == 1.0, name
+        assert unlimited["converged"], name
+        # Monotone: more budget never yields less coverage.
+        coverages = [p["path_coverage"] for p in curve]
+        assert coverages == sorted(coverages), name
+
+
+def test_state_fuzz_detection_gate(benchmark):
+    def campaign():
+        report = run_state_fuzz(
+            lambda: build_fattree(4, install_routes=False), rounds=8, seed=SEED
+        )
+        report.reconcile()
+        return report
+
+    report = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    print_table(
+        f"State-fuzz campaign on FT(k=4), seed {SEED}",
+        ["mutation", "rounds", "probes", "incidents", "detected", "blamed"],
+        report.rows(),
+        slug="probe_fuzz",
+    )
+    payload = {
+        "seed": SEED,
+        "rounds": len(report.rounds),
+        "desync_rounds": len(report.desync_rounds),
+        "detection_rate": report.detection_rate,
+        "blame_rate": report.blame_rate,
+        "final_coverage": report.final_coverage,
+    }
+    write_json("BENCH_probe_fuzz", payload)
+    assert report.detection_rate == 1.0
+    assert report.blame_rate >= 0.5
+    assert report.final_coverage == 1.0

@@ -8,9 +8,11 @@ bypassed, TE split collapsed) still counts as a pass.
 
 Implementation notes:
 
-* probe generation samples one concrete header per deliverable path-table
-  entry, then greedily drops probes that add no new hop coverage — a
-  faithful miniature of ATPG's rule-covering test packet selection,
+* probe generation derives one *representative* header per deliverable
+  path-table entry (:func:`repro.probe.headers.representative_header`, the
+  same deterministic cube-extraction the active prober uses), then greedily
+  drops probes that add no new hop coverage — a faithful miniature of
+  ATPG's rule-covering test packet selection,
 * :meth:`AtpgProber.run` injects every probe and compares only the
   delivery status and exit port against expectation.
 """
@@ -69,13 +71,15 @@ class AtpgProber:
 
     def _generate(self) -> List[Probe]:
         """Greedy hop-covering probe selection from the path table."""
+        from ..probe.headers import representative_header
+
         started = time.perf_counter()
         hs = self.builder.hs
         candidates: List[Probe] = []
         for inport, outport, entry in self.table.all_entries():
             if outport.port == DROP_PORT:
                 continue  # ATPG probes test reachability, not drops
-            header = hs.sample_header(entry.headers)
+            header = representative_header(hs, entry.headers)
             if header is None:
                 continue
             candidates.append(

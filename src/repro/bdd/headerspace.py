@@ -331,6 +331,24 @@ class HeaderSpace:
             value = (value << field.width) | v
         return value
 
+    def header_from_value(self, value: int) -> Dict[str, int]:
+        """Unpack :meth:`header_value`'s integer back into a field mapping.
+
+        The inverse the active prober needs: compiled-matcher witness
+        extraction (:func:`repro.core.vector.witness_cube`) produces packed
+        values, and packet synthesis needs concrete fields.
+        """
+        if value < 0 or value >> self.layout.total_bits:
+            raise ValueError(
+                f"packed value {value} does not fit the "
+                f"{self.layout.total_bits}-bit layout"
+            )
+        header: Dict[str, int] = {}
+        for field in reversed(self.layout.fields):
+            header[field.name] = value & field.max_value
+            value >>= field.width
+        return {field.name: header[field.name] for field in self.layout.fields}
+
     def sample_header(self, header_set: int) -> Optional[Dict[str, int]]:
         """One concrete header in ``header_set``, or ``None`` if empty.
 

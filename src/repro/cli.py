@@ -13,6 +13,8 @@ Usage::
     python -m repro demo
     python -m repro tradeoff --intervals 0.5 1 2
     python -m repro paths --topo ft4
+    python -m repro probe --topo ft4 --passive 0.1 --max-probes 500
+    python -m repro probe --topo ft4 --fuzz 12 --seed 0
     python -m repro report
     python -m repro serve --topo ft4 --metrics-port 9090
     python -m repro serve --topo ft4 --state-dir state/ --reports 100
@@ -454,6 +456,102 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_probe(args: argparse.Namespace) -> int:
+    from .probe import ActiveProber, ProbeBudget
+
+    budget = ProbeBudget(
+        max_probes=args.max_probes,
+        max_seconds=args.max_seconds,
+        rate_per_s=args.rate,
+    )
+
+    if args.fuzz:
+        from .probe import run_state_fuzz
+        from .topologies import (
+            build_fattree,
+            build_internet2,
+            build_linear,
+            build_stanford,
+        )
+
+        factories = {
+            "stanford": lambda: build_stanford(
+                subnets_per_zone=args.scale, install_routes=False,
+                with_acls=False, with_ssh_detours=False,
+            ),
+            "internet2": lambda: build_internet2(
+                prefixes_per_pop=args.scale, install_routes=False
+            ),
+            "ft4": lambda: build_fattree(4, install_routes=False),
+            "ft6": lambda: build_fattree(6, install_routes=False),
+        }
+        report = run_state_fuzz(
+            factories[args.topo],
+            rounds=args.fuzz,
+            seed=args.seed,
+            probe_budget=budget,
+        )
+        print(render_table(
+            f"state fuzz ({args.topo}, seed {args.seed}, "
+            f"{len(report.rounds)} rounds)",
+            ["mutation", "rounds", "probes", "incidents", "detected", "blamed"],
+            report.rows(),
+        ))
+        print(
+            f"detection rate: {report.detection_rate:.0%} over "
+            f"{len(report.desync_rounds)} desync rounds, "
+            f"blame rate: {report.blame_rate:.0%}, final coverage: "
+            f"{report.final_coverage:.0%}"
+        )
+        try:
+            report.reconcile()
+        except AssertionError as exc:
+            print(exc)
+            return 1
+        print("ledger reconciled: all exercised desyncs detected, "
+              "no false positives")
+        return 0
+
+    from .core import VeriDPServer
+    from .dataplane import DataPlaneNetwork
+
+    scenario = _scenario_factories()[args.topo](args)
+    server = VeriDPServer(scenario.topo, scenario.channel)
+    net = DataPlaneNetwork(
+        scenario.topo, scenario.channel, report_sink=server.receive_report_bytes
+    )
+    rng = random.Random(args.seed)
+    pairs = scenario.host_pairs()
+    sampled = rng.sample(pairs, max(1, int(len(pairs) * args.passive)))
+    for src, dst in sampled:
+        net.inject_from_host(src, scenario.header_between(src, dst))
+    before = server.coverage.report()
+    prober = ActiveProber(server, net, budget=budget)
+    run = prober.run(max_rounds=args.rounds)
+    after = server.coverage.report()
+    tiers = prober.derivation
+    print(render_table(
+        f"active coverage ({args.topo}, {len(sampled)} passive flows)",
+        ["stage", "paths", "pairs", "hops", "dark"],
+        [
+            ("passive", f"{before.verified_paths}/{before.total_paths}",
+             f"{before.verified_pairs}/{before.total_pairs}",
+             f"{before.verified_hops}/{before.total_hops}",
+             len(before.dark_paths)),
+            ("probed", f"{after.verified_paths}/{after.total_paths}",
+             f"{after.verified_pairs}/{after.total_pairs}",
+             f"{after.verified_hops}/{after.total_hops}",
+             len(after.dark_paths)),
+        ],
+    ))
+    print(str(run))
+    print(
+        f"witness tiers: {tiers.cube_tier} cube, {tiers.descent_tier} "
+        f"descent, {tiers.empty} empty; {run.slice_probes} slice probes"
+    )
+    return 0 if run.converged else 1
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     import random as _random
 
@@ -577,6 +675,25 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--no-localize", action="store_true",
                         help="skip Algorithm 4 on replayed failures")
 
+    probe = add("probe", "close dark coverage with representative probes")
+    probe.add_argument("--topo", choices=["stanford", "internet2", "ft4", "ft6"],
+                       default="ft4")
+    probe.add_argument("--passive", type=float, default=0.1,
+                       help="fraction of host pairs carrying passive "
+                            "traffic before probing starts")
+    probe.add_argument("--rounds", type=int, default=8,
+                       help="max closed-loop probing rounds")
+    probe.add_argument("--max-probes", type=int, default=None,
+                       help="probe packet budget")
+    probe.add_argument("--max-seconds", type=float, default=None,
+                       help="wall-clock probing budget")
+    probe.add_argument("--rate", type=float, default=None,
+                       help="probe send rate cap (packets/s)")
+    probe.add_argument("--fuzz", type=int, default=0, metavar="ROUNDS",
+                       help="instead of probing a static network, run a "
+                            "seeded control-plane state-fuzz campaign of "
+                            "this many rounds and reconcile the ledger")
+
     add("report", "collate persisted benchmark tables")
     paths = add("paths", "dump a topology's path table")
     paths.add_argument("--topo", choices=["stanford", "internet2", "ft4", "ft6"],
@@ -598,6 +715,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "report": cmd_report,
     "paths": cmd_paths,
     "demo": cmd_demo,
+    "probe": cmd_probe,
     "serve": cmd_serve,
     "replay": cmd_replay,
 }

@@ -393,6 +393,7 @@ class IncrementalPathTable:
         self._pending_events: int = 0
         self._staged_preds: Dict[str, Dict[int, int]] = {}
         self.last_flush: Optional[UpdateFlushStats] = None
+        self._change_feed: List[int] = []
 
     @classmethod
     def restore(
@@ -432,6 +433,7 @@ class IncrementalPathTable:
         inst._pending_events = 0
         inst._staged_preds = {}
         inst.last_flush = None
+        inst._change_feed = []
         return inst
 
     # -- public update API ----------------------------------------------------
@@ -446,6 +448,7 @@ class IncrementalPathTable:
         started = time.perf_counter()
         delta = self.provider.add_rule(switch_id, prefix, out_port)
         self._apply_move(delta)
+        self._record_change(delta)
         self.last_update_s = time.perf_counter() - started
         return self.last_update_s
 
@@ -456,6 +459,7 @@ class IncrementalPathTable:
         started = time.perf_counter()
         delta = self.provider.delete_rule(switch_id, prefix)
         self._apply_move(delta)
+        self._record_change(delta)
         self.last_update_s = time.perf_counter() - started
         return self.last_update_s
 
@@ -494,6 +498,37 @@ class IncrementalPathTable:
                 self.provider.base_port_predicates(switch_id)
             )
 
+    # -- change feed -----------------------------------------------------------
+
+    #: Feed slots kept before old change predicates are OR-collapsed; the
+    #: feed is for an (optional) single consumer, so this only bounds the
+    #: memory of a run that never drains it.
+    CHANGE_FEED_CAP = 64
+
+    def _record_change(self, delta) -> None:
+        if delta.delta == self.hs.empty or delta.from_port == delta.to_port:
+            return
+        self._push_change(delta.delta)
+
+    def _push_change(self, predicate: int) -> None:
+        self._change_feed.append(predicate)
+        if len(self._change_feed) > self.CHANGE_FEED_CAP:
+            self._change_feed = [self.hs.bdd.or_many(self._change_feed)]
+
+    def drain_change_feed(self) -> List[int]:
+        """The header-set predicates every update since the last drain moved.
+
+        Each element is the union, over one update (or one coalesced
+        flush), of the slices that changed egress somewhere — ``lost ∪
+        gained`` across the touched switches.  The dirty-pair journal says
+        *which pairs* to re-examine; this feed says *which headers* within
+        them, letting the prober aim a witness inside the changed slice
+        even when hop-equivalence merged it into a wider entry.  Single
+        consumer: draining empties the feed.
+        """
+        feed, self._change_feed = self._change_feed, []
+        return feed
+
     def flush_updates(self) -> UpdateFlushStats:
         """Fold every staged event into the path table in one pass.
 
@@ -515,6 +550,7 @@ class IncrementalPathTable:
         bdd = self.hs.bdd
         minus: Dict[str, Dict[int, int]] = {}
         plus: Dict[str, Dict[int, int]] = {}
+        changed_terms: List[int] = []
         for switch_id, old_preds in staged.items():
             new_preds = self.provider.base_port_predicates(switch_id)
             lost_ports: Dict[int, int] = {}
@@ -528,8 +564,10 @@ class IncrementalPathTable:
                 gained = bdd.diff(new, old)
                 if lost != empty:
                     lost_ports[port] = lost
+                    changed_terms.append(lost)
                 if gained != empty:
                     gained_ports[port] = gained
+                    changed_terms.append(gained)
             if lost_ports:
                 minus[switch_id] = lost_ports
             if gained_ports:
@@ -541,6 +579,8 @@ class IncrementalPathTable:
             self._coalesced_subtract(minus)
             self._coalesced_extend(plus)
             self.table.touch(tracked=True)
+        if changed_terms:
+            self._push_change(bdd.or_many(changed_terms))
         elapsed = time.perf_counter() - started
         self.last_update_s = elapsed
         stats = UpdateFlushStats(

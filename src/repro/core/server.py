@@ -71,6 +71,7 @@ class VeriDPServer:
         snapshot_retain: int = 3,
         build_workers: Optional[int] = None,
         coalesce_ms: float = 0.0,
+        incremental: bool = False,
     ) -> None:
         self.topo = topo
         self.obs = obs or Observability()
@@ -119,6 +120,26 @@ class VeriDPServer:
             self.table: PathTable = boot.updater.table
             self.state_version = boot.state_version
             self.boot_source = boot.source
+        elif incremental:
+            # Incremental (non-durable) mode: rule changes flow through
+            # apply_rule_update/apply_rule_delete into an in-memory
+            # IncrementalPathTable — the durable update path minus the WAL.
+            # This is what the state fuzzer drives: the staged/coalesced
+            # update machinery with no filesystem dependency.
+            from .incremental import IncrementalPathTable
+
+            self.hs = hs or HeaderSpace()
+            self.updater = IncrementalPathTable(
+                topo,
+                self.hs,
+                scheme=self.scheme,
+                max_path_length=max_path_length,
+                build_workers=build_workers,
+            )
+            self._provider = self.updater.provider
+            self.builder = self.updater.builder
+            self.table = self.updater.table
+            self.state_version = 0
         else:
             self.hs = hs or HeaderSpace()
             self._provider = SnapshotProvider(topo, self.hs)
@@ -134,6 +155,13 @@ class VeriDPServer:
         if fast_path:
             self.table.compile_matchers(self.hs)
         self.verifier = Verifier(self.table, self.hs, fast_path=fast_path)
+        # Runtime import: repro.analysis pulls this module in at package
+        # init, so a top-level import would be circular.
+        from ..analysis.coverage import CoverageTracker
+
+        #: Coverage over the live table, fed by every verification on the
+        #: direct report path; the active prober closes its dark list.
+        self.coverage = CoverageTracker(self.table)
         self.localizer = PathInferLocalizer(self.builder, self.scheme, topo)
         self.incidents: List[Incident] = []
         self.incidents_total = 0  # survives drain_incidents(), unlike len()
@@ -331,6 +359,44 @@ class VeriDPServer:
             "(switch, port) predicates the most recent flush found changed.",
             callback=lambda: self._last_flush_stat("dirty_ports"),
         )
+        # Coverage gauges read the tracker's memoized report: recomputed
+        # only when the table or the observation stream actually changed,
+        # so a metrics scrape costs a dict lookup, not an O(table) walk.
+        reg.gauge(
+            "veridp_coverage_path_ratio",
+            "Fraction of path-table entries verified at least once.",
+            callback=lambda: self.coverage.report().path_coverage,
+        )
+        reg.gauge(
+            "veridp_coverage_pair_ratio",
+            "Fraction of (inport, outport) pairs with every entry verified.",
+            callback=lambda: self.coverage.report().pair_coverage,
+        )
+        reg.gauge(
+            "veridp_coverage_hop_ratio",
+            "Fraction of distinct hops on some verified path.",
+            callback=lambda: self.coverage.report().hop_coverage,
+        )
+        reg.gauge(
+            "veridp_coverage_dark_paths",
+            "Path-table entries no passing verification has exercised.",
+            callback=lambda: len(self.coverage.report().dark_paths),
+        )
+        reg.gauge(
+            "veridp_coverage_dark_pairs",
+            "(inport, outport) pairs with at least one unverified entry.",
+            callback=lambda: len(self.coverage.report().dark_pairs),
+        )
+        reg.counter(
+            "veridp_coverage_observations_total",
+            "Verification results fed to the coverage tracker.",
+            callback=lambda: self.coverage.observations,
+        )
+        reg.counter(
+            "veridp_coverage_invalidated_pairs_total",
+            "Pairs whose coverage the dirty-pair journal invalidated.",
+            callback=lambda: self.coverage.invalidated_pairs,
+        )
         reg.counter(
             "veridp_bdd_cache_hits_total",
             "BDD operation-cache hits (ite/not/apply memo).",
@@ -370,12 +436,12 @@ class VeriDPServer:
     def refresh_if_dirty(self) -> bool:
         """Rebuild the path table if rule changes were observed.
 
-        In durable mode this is a no-op: rule changes flow through
-        :meth:`apply_rule_update`/:meth:`apply_rule_delete`, which log to
-        the WAL and update the table incrementally — a lazy full rebuild
-        would bypass the log and desynchronise recovery.
+        In durable and incremental modes this is a no-op: rule changes flow
+        through :meth:`apply_rule_update`/:meth:`apply_rule_delete`, which
+        update the table incrementally (and, when durable, log to the WAL
+        first) — a lazy full rebuild would bypass both.
         """
-        if self.persist is not None:
+        if self.updater is not None:
             return False
         if not self._dirty:
             return False
@@ -391,16 +457,20 @@ class VeriDPServer:
         # invalidate it exactly like the localization cache below.
         self.verifier.invalidate_fast_path()
         self._localization_cache.clear()
+        # The rebuild replaced every entry object; accumulated coverage
+        # vouched for entries that no longer exist.
+        self.coverage.retarget(self.table)
         self._dirty = False
         self.state_version += 1
         return True
 
     def force_rebuild(self) -> None:
         """Unconditionally rebuild (e.g. after out-of-band topology edits)."""
-        if self.persist is not None:
+        if self.updater is not None:
             raise RuntimeError(
-                "durable servers update incrementally via apply_rule_update/"
-                "apply_rule_delete; full rebuilds would bypass the WAL"
+                "incremental/durable servers update via apply_rule_update/"
+                "apply_rule_delete; full rebuilds would bypass the updater"
+                + (" and the WAL" if self.persist is not None else "")
             )
         self._dirty = True
         self.refresh_if_dirty()
@@ -415,25 +485,36 @@ class VeriDPServer:
             )
         return self.persist
 
+    def _require_updater(self):
+        if self.updater is None:
+            raise RuntimeError(
+                "this server was built without state_dir or incremental=True; "
+                "rule updates must go through the controller channel"
+            )
+        return self.updater
+
     def apply_rule_update(self, switch: str, prefix: str, out_port: int) -> float:
-        """Log, then apply, one LPM rule installation (Section 4.4).
+        """Log (when durable), then apply, one LPM rule installation.
 
         WAL-first ordering: the control record is durable (per the fsync
         policy) before the table changes, so a crash between the two replays
         the event at boot instead of losing it.  Returns the update's
-        elapsed seconds (the Figure 14 metric).
+        elapsed seconds (the Figure 14 metric).  In incremental
+        (non-durable) mode the WAL step is skipped and the update applies
+        in memory only.
 
-        With ``coalesce_ms > 0`` the event is WAL-logged and *staged*
-        (prefix-tree mutation now, path-table recompute deferred); the
-        table catches up at :meth:`flush_pending_updates`, triggered when
-        the window expires, before any verification, snapshot or close.
-        Reports verified strictly inside the window see the pre-batch
-        table — the window bounds that staleness.
+        With ``coalesce_ms > 0`` the event is *staged* (prefix-tree
+        mutation now, path-table recompute deferred); the table catches up
+        at :meth:`flush_pending_updates`, triggered when the window
+        expires, before any verification, snapshot or close.  Reports
+        verified strictly inside the window see the pre-batch table — the
+        window bounds that staleness.
         """
-        persist = self._require_durable()
-        from ..persist.wal import ControlEvent
+        self._require_updater()
+        if self.persist is not None:
+            from ..persist.wal import ControlEvent
 
-        persist.log_control(ControlEvent("add", switch, prefix, out_port))
+            self.persist.log_control(ControlEvent("add", switch, prefix, out_port))
         if self.coalesce_ms > 0:
             started = time.perf_counter()
             self.updater.stage_add_rule(switch, prefix, out_port)
@@ -445,11 +526,13 @@ class VeriDPServer:
         return elapsed
 
     def apply_rule_delete(self, switch: str, prefix: str) -> float:
-        """Log, then apply, one LPM rule removal.  See :meth:`apply_rule_update`."""
-        persist = self._require_durable()
-        from ..persist.wal import ControlEvent
+        """Log (when durable), then apply, one LPM rule removal.
+        See :meth:`apply_rule_update`."""
+        self._require_updater()
+        if self.persist is not None:
+            from ..persist.wal import ControlEvent
 
-        persist.log_control(ControlEvent("delete", switch, prefix))
+            self.persist.log_control(ControlEvent("delete", switch, prefix))
         if self.coalesce_ms > 0:
             started = time.perf_counter()
             self.updater.stage_delete_rule(switch, prefix)
@@ -576,6 +659,7 @@ class VeriDPServer:
         with self.obs.span("verify") as span:
             verification = self.verifier.verify(report)
             span.set("verdict", verification.verdict.value)
+        self.coverage.observe(verification)
         localization = None
         if not verification.passed and self.localize_failures:
             # Localization is best-effort diagnosis: a report exotic enough
@@ -634,6 +718,7 @@ class VeriDPServer:
         """
         table_stats = self.table.stats()
         verifier = self.verifier
+        coverage = self.coverage.report()
         out = {
             "verified": verifier.verified_count,
             "passed": verifier.counters[Verdict.PASS],
@@ -656,8 +741,15 @@ class VeriDPServer:
             "fast_path_verifications": verifier.fast_verifications,
             "slow_path_verifications": verifier.slow_verifications,
             "fast_path_ratio": verifier.fast_path_ratio,
+            "coverage_path_ratio": coverage.path_coverage,
+            "coverage_pair_ratio": coverage.pair_coverage,
+            "coverage_hop_ratio": coverage.hop_coverage,
+            "coverage_dark_paths": len(coverage.dark_paths),
+            "coverage_dark_pairs": len(coverage.dark_pairs),
+            "coverage_observations": self.coverage.observations,
             "state_version": self.state_version,
             "durable": self.persist is not None,
+            "incremental": self.updater is not None,
             "build_time_s": self.table.build_time_s,
             "build_workers": getattr(self.table, "build_workers", 1),
             "coalesce_ms": self.coalesce_ms,

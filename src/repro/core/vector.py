@@ -61,6 +61,7 @@ __all__ = [
     "CUBE_CAP",
     "NODE_CAP",
     "ENTRY_CAP",
+    "witness_cube",
     "VPASS",
     "VMISMATCH",
     "VNOPATH",
@@ -175,6 +176,36 @@ def cubes_of(flat: FlatBDD, cap: int = CUBE_CAP) -> Optional[List[Tuple[int, int
         stack.append((low[u], mask | bit, want))
         stack.append((high[u], mask | bit, want | bit))
     return out
+
+
+def witness_cube(flat: FlatBDD) -> Optional[Tuple[int, int]]:
+    """One satisfying cube ``(mask, want)`` of a matcher, or ``None`` if FALSE.
+
+    The active prober's fallback when :func:`cubes_of` gives up: a single
+    greedy descent to TRUE instead of full path enumeration.  In a reduced
+    OBDD every internal node reaches TRUE (a node reaching only FALSE *is*
+    FALSE), so preferring the high branch whenever it is not FALSE finds a
+    witness in at most one node per level — O(levels), never exponential.
+    ``want`` itself (don't-cares zero-filled) is a satisfying packed header
+    value for :meth:`~repro.bdd.engine.FlatBDD.evaluate_value`.
+    """
+    u = flat.root
+    if u == _FLAT_FALSE:
+        return None
+    shifts = flat.shifts
+    low = flat.low
+    high = flat.high
+    mask = 0
+    want = 0
+    while u != _FLAT_TRUE:
+        bit = 1 << shifts[u]
+        mask |= bit
+        if high[u] != _FLAT_FALSE:
+            want |= bit
+            u = high[u]
+        else:
+            u = low[u]
+    return (mask, want)
 
 
 # ---------------------------------------------------------------------------

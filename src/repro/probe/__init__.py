@@ -1,0 +1,47 @@
+"""Active coverage: representative-header probing and state fuzzing.
+
+Passive VeriDP verifies only the paths sampled traffic happens to take;
+this package closes the gap actively.  :mod:`~repro.probe.headers` derives
+one minimal representative header per path-table entry straight from the
+entry's header-set BDD; :mod:`~repro.probe.prober` drives those probes at
+whatever the coverage tracker reports dark, under an explicit budget, and
+re-plans through the dirty-pair journal after incremental rule updates;
+:mod:`~repro.probe.fuzz_state` mutates the control-plane state itself and
+reconciles VeriDP's incident log against a ground-truth ledger.
+"""
+
+from .headers import (
+    REPRESENTATIVE_CUBE_CAP,
+    DerivationStats,
+    PlannedProbe,
+    plan_pair,
+    plan_table,
+    representative_header,
+    representative_value,
+)
+from .prober import ActiveProber, ProbeBudget, ProbeRunResult
+from .fuzz_state import (
+    FuzzOp,
+    FuzzRoundRecord,
+    StateFuzzCampaign,
+    StateFuzzReport,
+    run_state_fuzz,
+)
+
+__all__ = [
+    "REPRESENTATIVE_CUBE_CAP",
+    "DerivationStats",
+    "PlannedProbe",
+    "plan_pair",
+    "plan_table",
+    "representative_header",
+    "representative_value",
+    "ActiveProber",
+    "ProbeBudget",
+    "ProbeRunResult",
+    "FuzzOp",
+    "FuzzRoundRecord",
+    "StateFuzzCampaign",
+    "StateFuzzReport",
+    "run_state_fuzz",
+]

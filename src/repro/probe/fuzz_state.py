@@ -1,0 +1,581 @@
+"""Control-plane state fuzzing: mutate the network state, check detection.
+
+The PR 2 chaos harness fuzzes the *transport* (lost/duplicated/corrupted
+reports); this campaign fuzzes the *control plane itself*, in the spirit of
+"Consistent SDNs through Network State Fuzzing": a seeded sequence of
+rounds, each applying one mutation class to a live network — through the
+server's coalesced ``stage_add_rule``/``stage_delete_rule`` staging API on
+the control side and the OpenFlow channel / out-of-band fault injectors on
+the data side — then probing the whole table to closure with the
+:class:`~repro.probe.prober.ActiveProber` and reconciling what VeriDP
+reported against a ground-truth ledger.
+
+Mutation classes:
+
+* **consistent** — both planes move together: prefix specializations
+  (overlapping-prefix mutations), consistent drops (ACL-style blackholes),
+  deletes of earlier specializations, and race-y shuffled add/delete
+  interleavings staged through the coalescing window with a mid-update
+  probe burst (whose incidents are *allowed* — bounded staleness — and
+  ledgered separately).  Expectation: **zero** incidents once flushed.
+* **desync** — exactly one plane moves: a shadow rule injected behind the
+  controller's back (priority shuffle), a data-plane rule deleted
+  out-of-band, or a control-plane-only rule staged into the server that no
+  switch ever received.  Expectation: the probe sweep detects it (≥ 1
+  failed verification) and localization blames the mutated switch.
+
+Every desync is constructed on a live forwarding path (picked by walking a
+real packet), so each one is *exercised* by the probe sweep by
+construction; :meth:`StateFuzzReport.reconcile` asserts every exercised
+inconsistency was detected, no consistent round produced an incident, and
+the final healed network probes back to 100% coverage with a clean log.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bdd.headerspace import format_ipv4, parse_prefix
+from ..core.server import VeriDPServer
+from ..dataplane.faults import DeleteRule, InjectRule
+from ..dataplane.network import DataPlaneNetwork, DeliveryResult, DeliveryStatus
+from ..netmodel.rules import DROP_PORT, Drop, FlowRule, Forward, Match
+from ..netmodel.topology import PortRef
+from ..topologies.base import Scenario, lpm_ruleset_for
+from .headers import plan_pair
+from .prober import ActiveProber, ProbeBudget
+
+__all__ = [
+    "FuzzOp",
+    "FuzzRoundRecord",
+    "StateFuzzReport",
+    "StateFuzzCampaign",
+    "run_state_fuzz",
+]
+
+#: Base data-plane priority; adding the prefix length preserves LPM
+#: semantics for overlapping prefixes on the physical tables.
+_PRIO_BASE = 100
+#: Above any LPM rule (base + 32): the injected shadow always wins.
+_PRIO_SHADOW = _PRIO_BASE + 48
+
+CONSISTENT_KINDS = (
+    "consistent-specialize",
+    "consistent-drop",
+    "consistent-delete",
+    "consistent-churn",
+)
+DESYNC_KINDS = (
+    "desync-shadow",
+    "desync-data-delete",
+    "desync-control-only",
+)
+
+
+@dataclass(frozen=True)
+class FuzzOp:
+    """One rule mutation applied during a round."""
+
+    kind: str  # "add" | "delete" | "inject" | "external-delete"
+    switch: str
+    prefix: str
+    out_port: int
+    plane: str  # "both" | "data" | "control"
+
+
+@dataclass
+class FuzzRoundRecord:
+    """Ground truth + observed outcome of one fuzzing round."""
+
+    index: int
+    kind: str
+    ops: List[FuzzOp] = field(default_factory=list)
+    desync: bool = False
+    exercised: bool = False
+    probes_sent: int = 0
+    incidents: int = 0
+    stale_incidents: int = 0  # mid-coalescing-window probe failures (allowed)
+    detected: bool = False
+    expected_blame: Optional[str] = None
+    blamed_ok: bool = False
+    coverage_after: float = 0.0
+
+
+@dataclass
+class StateFuzzReport:
+    """The campaign ledger, reconciled against VeriDP's observations."""
+
+    seed: int
+    rounds: List[FuzzRoundRecord] = field(default_factory=list)
+    final_converged: bool = False
+    final_incidents: int = 0
+    final_coverage: float = 0.0
+
+    @property
+    def desync_rounds(self) -> List[FuzzRoundRecord]:
+        return [r for r in self.rounds if r.desync]
+
+    @property
+    def consistent_rounds(self) -> List[FuzzRoundRecord]:
+        return [r for r in self.rounds if not r.desync]
+
+    @property
+    def missed(self) -> List[FuzzRoundRecord]:
+        """Exercised inconsistencies VeriDP failed to detect."""
+        return [r for r in self.desync_rounds if r.exercised and not r.detected]
+
+    @property
+    def false_positives(self) -> List[FuzzRoundRecord]:
+        """Consistent rounds that nevertheless produced incidents."""
+        return [r for r in self.consistent_rounds if r.incidents]
+
+    @property
+    def detection_rate(self) -> float:
+        exercised = [r for r in self.desync_rounds if r.exercised]
+        if not exercised:
+            return 1.0
+        return sum(1 for r in exercised if r.detected) / len(exercised)
+
+    @property
+    def blame_rate(self) -> float:
+        detected = [r for r in self.desync_rounds if r.detected]
+        if not detected:
+            return 1.0
+        return sum(1 for r in detected if r.blamed_ok) / len(detected)
+
+    def reconcile(self) -> "StateFuzzReport":
+        """Assert the ledger's invariants; raises ``AssertionError``."""
+        problems: List[str] = []
+        for r in self.missed:
+            problems.append(
+                f"round {r.index} ({r.kind}): exercised desync on "
+                f"{r.expected_blame} NOT detected"
+            )
+        for r in self.false_positives:
+            problems.append(
+                f"round {r.index} ({r.kind}): consistent state produced "
+                f"{r.incidents} incidents (false positives)"
+            )
+        if not self.final_converged:
+            problems.append("final healed sweep did not re-close coverage")
+        if self.final_incidents:
+            problems.append(
+                f"final healed sweep produced {self.final_incidents} incidents"
+            )
+        if problems:
+            raise AssertionError(
+                "state-fuzz ledger reconciliation failed:\n  "
+                + "\n  ".join(problems)
+            )
+        return self
+
+    def rows(self) -> List[tuple]:
+        """Per-kind summary rows for the bench table."""
+        by_kind: Dict[str, List[FuzzRoundRecord]] = {}
+        for r in self.rounds:
+            by_kind.setdefault(r.kind, []).append(r)
+        out = []
+        for kind in sorted(by_kind):
+            rs = by_kind[kind]
+            out.append(
+                (
+                    kind,
+                    len(rs),
+                    sum(r.probes_sent for r in rs),
+                    sum(r.incidents for r in rs),
+                    sum(1 for r in rs if r.detected),
+                    sum(1 for r in rs if r.blamed_ok),
+                )
+            )
+        return out
+
+
+class StateFuzzCampaign:
+    """Run seeded control-plane mutations against one live network.
+
+    ``scenario`` must be built with ``install_routes=False``: the campaign
+    installs the base LPM ruleset on *both* planes itself (data plane via
+    the controller channel, control plane via the server's staged rule
+    API), so the two views start provably consistent.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        seed: int = 0,
+        coalesce_ms: float = 25.0,
+        probe_budget: Optional[ProbeBudget] = None,
+        max_probe_rounds: int = 4,
+    ) -> None:
+        if scenario.channel.history:
+            raise ValueError(
+                "scenario already has installed routes; build it with "
+                "install_routes=False — the campaign owns both planes"
+            )
+        self.scenario = scenario
+        self.rng = random.Random(seed)
+        self.server = VeriDPServer(
+            scenario.topo, channel=None, incremental=True, coalesce_ms=coalesce_ms
+        )
+        self.net = DataPlaneNetwork(scenario.topo, scenario.channel)
+        self.prober = ActiveProber(self.server, self.net, budget=probe_budget)
+        self.max_probe_rounds = max_probe_rounds
+        self.report = StateFuzzReport(seed=seed)
+        # (switch, prefix) -> installed data-plane rule / control out_port.
+        self._dp_rules: Dict[Tuple[str, str], FlowRule] = {}
+        self._ctl_rules: Dict[Tuple[str, str], int] = {}
+        # Consistent specializations eligible for later deletion, and the
+        # subnets they specialize (guards the data-delete desync).
+        self._added: List[Tuple[str, str]] = []
+        self._specialized: Dict[Tuple[str, str], int] = {}
+        self._install_base()
+
+    # -- dual-plane rule plumbing ------------------------------------------
+
+    def _install_both(self, switch: str, prefix: str, out_port: int) -> FuzzOp:
+        _, plen = parse_prefix(prefix)
+        action = Drop() if out_port == DROP_PORT else Forward(out_port)
+        rule = FlowRule(
+            priority=_PRIO_BASE + plen, match=Match.build(dst=prefix), action=action
+        )
+        self.scenario.controller.install(switch, rule)
+        self._dp_rules[(switch, prefix)] = rule
+        self.server.apply_rule_update(switch, prefix, out_port)
+        self._ctl_rules[(switch, prefix)] = out_port
+        return FuzzOp("add", switch, prefix, out_port, "both")
+
+    def _delete_both(self, switch: str, prefix: str) -> FuzzOp:
+        rule = self._dp_rules.pop((switch, prefix))
+        self.scenario.controller.remove(switch, rule.rule_id)
+        port = self._ctl_rules.pop((switch, prefix))
+        self.server.apply_rule_delete(switch, prefix)
+        return FuzzOp("delete", switch, prefix, port, "both")
+
+    def _install_base(self) -> None:
+        ruleset = lpm_ruleset_for(self.scenario.topo, self.scenario.subnets)
+        for switch in sorted(ruleset):
+            for prefix, port in ruleset[switch]:
+                self._install_both(switch, prefix, port)
+        self.server.flush_pending_updates()
+
+    # -- probing -----------------------------------------------------------
+
+    def _probe_close(self):
+        """Full sweep: reset coverage, probe to closure, return the run."""
+        self.server.drain_incidents()
+        self.server.coverage.reset()
+        return self.prober.run(max_rounds=self.max_probe_rounds)
+
+    def _burst_probes(self, count: int) -> int:
+        """Mid-coalescing-window probes; returns incidents (allowed stale)."""
+        pairs = self.server.table.pairs()
+        incidents = 0
+        for _ in range(count):
+            inport, outport = self.rng.choice(pairs)
+            probes = plan_pair(self.server.table, self.server.hs, inport, outport)
+            if not probes:
+                continue
+            delivery = self.net.inject(inport, probes[0].header, force_sample=True)
+            for rep in delivery.reports:
+                incident = self.server.receive_report(rep)
+                if not incident.verification.passed:
+                    incidents += 1
+            self.net.drain_reports()
+        self.server.drain_incidents()
+        return incidents
+
+    # -- target selection --------------------------------------------------
+
+    def _pick_path(self) -> Optional[Tuple[str, str, DeliveryResult]]:
+        """A live delivered path: (src_host, dst_host, walk)."""
+        pairs = self.scenario.host_pairs()
+        for _ in range(16):
+            src, dst = self.rng.choice(pairs)
+            delivery = self.net.inject_from_host(
+                src, self.scenario.header_between(src, dst)
+            )
+            self.net.drain_reports()
+            if delivery.status == DeliveryStatus.DELIVERED and delivery.hops:
+                return src, dst, delivery
+        return None
+
+    def _behavior_changed(self, src: str, dst: str, before: DeliveryResult) -> bool:
+        after = self.net.inject_from_host(
+            src, self.scenario.header_between(src, dst)
+        )
+        self.net.drain_reports()
+        return (
+            after.status != before.status
+            or after.exit_port != before.exit_port
+            or after.hops != before.hops
+        )
+
+    def _fresh_subprefix(self, switch: str, subnet: str) -> Optional[str]:
+        value, plen = parse_prefix(subnet)
+        if plen >= 32:
+            return None
+        for _ in range(16):
+            plen2 = plen + self.rng.randint(1, min(4, 32 - plen))
+            extra = self.rng.getrandbits(plen2 - plen)
+            value2 = value | (extra << (32 - plen2))
+            prefix = f"{format_ipv4(value2)}/{plen2}"
+            if (switch, prefix) not in self._ctl_rules:
+                return prefix
+        return None
+
+    def _subnet_switches(self, subnet: str) -> List[str]:
+        return sorted(s for (s, p) in self._ctl_rules if p == subnet)
+
+    # -- round implementations ---------------------------------------------
+
+    def _round_consistent_specialize(
+        self, record: FuzzRoundRecord, drop: bool = False
+    ) -> None:
+        host, subnet = self.rng.choice(sorted(self.scenario.subnets.items()))
+        switches = self._subnet_switches(subnet)
+        if not switches:
+            return
+        switch = self.rng.choice(switches)
+        sub = self._fresh_subprefix(switch, subnet)
+        if sub is None:
+            return
+        port = DROP_PORT if drop else self._ctl_rules[(switch, subnet)]
+        record.ops.append(self._install_both(switch, sub, port))
+        self._added.append((switch, sub))
+        self._specialized[(switch, subnet)] = (
+            self._specialized.get((switch, subnet), 0) + 1
+        )
+        self.server.flush_pending_updates()
+
+    def _round_consistent_delete(self, record: FuzzRoundRecord) -> None:
+        if not self._added:
+            self._round_consistent_specialize(record)
+            return
+        switch, sub = self._added.pop(self.rng.randrange(len(self._added)))
+        record.ops.append(self._delete_both(switch, sub))
+        sub_val, sub_len = parse_prefix(sub)
+        for (s, subnet), count in list(self._specialized.items()):
+            if s != switch or not count:
+                continue
+            value, plen = parse_prefix(subnet)
+            if sub_len >= plen and (sub_val >> (32 - plen)) == (value >> (32 - plen)):
+                self._specialized[(s, subnet)] = count - 1
+        self.server.flush_pending_updates()
+
+    def _round_consistent_churn(self, record: FuzzRoundRecord) -> None:
+        """A shuffled add/delete interleaving with a mid-window probe burst."""
+        ops: List[Tuple[str, str, str, int]] = []
+        for _ in range(self.rng.randint(3, 6)):
+            if self._added and self.rng.random() < 0.4:
+                switch, sub = self._added.pop(self.rng.randrange(len(self._added)))
+                ops.append(("delete", switch, sub, 0))
+            else:
+                host, subnet = self.rng.choice(
+                    sorted(self.scenario.subnets.items())
+                )
+                switches = self._subnet_switches(subnet)
+                if not switches:
+                    continue
+                switch = self.rng.choice(switches)
+                sub = self._fresh_subprefix(switch, subnet)
+                if sub is None:
+                    continue
+                ops.append(("add", switch, sub, self._ctl_rules[(switch, subnet)]))
+        self.rng.shuffle(ops)
+        burst_at = len(ops) // 2
+        for i, (op, switch, sub, port) in enumerate(ops):
+            if i == burst_at:
+                record.stale_incidents += self._burst_probes(3)
+            if op == "add":
+                if (switch, sub) in self._ctl_rules:
+                    continue
+                record.ops.append(self._install_both(switch, sub, port))
+                self._added.append((switch, sub))
+            else:
+                record.ops.append(self._delete_both(switch, sub))
+        self.server.flush_pending_updates()
+
+    def _round_desync_shadow(self, record: FuzzRoundRecord) -> None:
+        """Priority shuffle: a foreign high-priority rule on one switch."""
+        picked = self._pick_path()
+        if picked is None:
+            return
+        src, dst, before = picked
+        hops = [h for h in before.hops if h.out_port != DROP_PORT]
+        hop = self.rng.choice(hops)
+        subnet = self.scenario.subnets[dst]
+        wrong = sorted(self.net.switch(hop.switch).ports - {hop.out_port})
+        if wrong and self.rng.random() < 0.8:
+            action = Forward(self.rng.choice(wrong))
+            port = action.port
+        else:
+            action, port = Drop(), DROP_PORT
+        rule = FlowRule(
+            priority=_PRIO_SHADOW, match=Match.build(dst=subnet), action=action
+        )
+        InjectRule(hop.switch, rule).apply(self.net)
+        record.ops.append(FuzzOp("inject", hop.switch, subnet, port, "data"))
+        record.desync = True
+        record.expected_blame = hop.switch
+        record.exercised = self._behavior_changed(src, dst, before)
+        self._observe(record)
+        self.net.switch(hop.switch).external_delete(rule.rule_id)
+
+    def _round_desync_data_delete(self, record: FuzzRoundRecord) -> None:
+        """A data-plane rule vanishes; the control plane still expects it."""
+        for _ in range(8):
+            picked = self._pick_path()
+            if picked is None:
+                return
+            src, dst, before = picked
+            subnet = self.scenario.subnets[dst]
+            candidates = [
+                h.switch
+                for h in before.hops
+                if (h.switch, subnet) in self._dp_rules
+                and not self._specialized.get((h.switch, subnet))
+            ]
+            if candidates:
+                break
+        else:
+            return
+        switch = self.rng.choice(candidates)
+        rule = self._dp_rules[(switch, subnet)]
+        DeleteRule(switch, rule.rule_id).apply(self.net)
+        record.ops.append(FuzzOp("external-delete", switch, subnet, DROP_PORT, "data"))
+        record.desync = True
+        record.expected_blame = switch
+        record.exercised = self._behavior_changed(src, dst, before)
+        self._observe(record)
+        self.net.switch(switch).external_insert(rule)
+
+    def _round_desync_control_only(self, record: FuzzRoundRecord) -> None:
+        """A rule staged into the server that no switch ever received.
+
+        The divergent slice is diverted to an *edge* port of the chosen
+        switch so the control view keeps a deliverable entry for it: the
+        probe plan then derives a witness inside the slice by construction.
+        (Diverting to a port whose control-side traversal loops or drops
+        would erase the slice from the table — and with it the only probe
+        that could expose the desync; that blind spot is documented in
+        DESIGN.md.)
+        """
+        topo = self.scenario.topo
+        for _ in range(8):
+            picked = self._pick_path()
+            if picked is None:
+                return
+            src, dst, before = picked
+            subnet = self.scenario.subnets[dst]
+            on_path = []
+            for h in before.hops:
+                if (h.switch, subnet) not in self._ctl_rules:
+                    continue
+                current = self._ctl_rules[(h.switch, subnet)]
+                edges = sorted(
+                    p
+                    for p in self.net.switch(h.switch).ports
+                    if p != current and topo.is_edge_port(PortRef(h.switch, p))
+                )
+                if edges:
+                    on_path.append((h, edges))
+            if on_path:
+                break
+        else:
+            return
+        hop, edges = self.rng.choice(on_path)
+        sub = self._fresh_subprefix(hop.switch, subnet)
+        if sub is None:
+            return
+        new_port = self.rng.choice(edges)
+        # Control plane only: staged through the coalescing window, no
+        # FlowMod ever reaches the data plane.
+        self.server.apply_rule_update(hop.switch, sub, new_port)
+        self._ctl_rules[(hop.switch, sub)] = new_port
+        self.server.flush_pending_updates()
+        record.ops.append(FuzzOp("add", hop.switch, sub, new_port, "control"))
+        record.desync = True
+        record.expected_blame = hop.switch
+        # The staged flush re-partitions the pair's entries: the probe plan
+        # derives a witness inside the diverted slice by construction.
+        record.exercised = True
+        self._observe(record)
+        self.server.apply_rule_delete(hop.switch, sub)
+        del self._ctl_rules[(hop.switch, sub)]
+        self.server.flush_pending_updates()
+
+    def _observe(self, record: FuzzRoundRecord) -> None:
+        """Probe the (possibly faulty) network and fill in the verdict."""
+        run = self._probe_close()
+        record.probes_sent += run.sent
+        incidents = self.server.drain_incidents()
+        record.incidents += len(incidents)
+        record.detected = bool(incidents)
+        record.coverage_after = run.path_coverage_after
+        if record.expected_blame is not None:
+            record.blamed_ok = any(
+                record.expected_blame in inc.blamed_switches for inc in incidents
+            )
+
+    # -- the campaign ------------------------------------------------------
+
+    def run_round(self, index: int) -> FuzzRoundRecord:
+        kind = self.rng.choice(CONSISTENT_KINDS + DESYNC_KINDS)
+        record = FuzzRoundRecord(index=index, kind=kind)
+        if kind == "consistent-specialize":
+            self._round_consistent_specialize(record)
+        elif kind == "consistent-drop":
+            self._round_consistent_specialize(record, drop=True)
+        elif kind == "consistent-delete":
+            self._round_consistent_delete(record)
+        elif kind == "consistent-churn":
+            self._round_consistent_churn(record)
+        elif kind == "desync-shadow":
+            self._round_desync_shadow(record)
+        elif kind == "desync-data-delete":
+            self._round_desync_data_delete(record)
+        elif kind == "desync-control-only":
+            self._round_desync_control_only(record)
+        if not record.desync:
+            self._observe(record)
+            record.detected = False  # consistent rounds assert via incidents
+        self.report.rounds.append(record)
+        return record
+
+    def run(self, rounds: int = 12) -> StateFuzzReport:
+        for index in range(rounds):
+            self.run_round(index)
+        # Everything was healed round-by-round: the final sweep must come
+        # back clean and fully covered.
+        final = self._probe_close()
+        self.report.final_converged = final.converged
+        self.report.final_incidents = len(self.server.drain_incidents())
+        self.report.final_coverage = final.path_coverage_after
+        return self.report
+
+
+def run_state_fuzz(
+    scenario_factory=None,
+    rounds: int = 12,
+    seed: int = 0,
+    coalesce_ms: float = 25.0,
+    probe_budget: Optional[ProbeBudget] = None,
+    max_probe_rounds: int = 4,
+) -> StateFuzzReport:
+    """Build a routeless scenario, run the campaign, return the ledger."""
+    if scenario_factory is None:
+        from ..topologies import build_linear
+
+        def scenario_factory():
+            return build_linear(4, install_routes=False)
+
+    campaign = StateFuzzCampaign(
+        scenario_factory(),
+        seed=seed,
+        coalesce_ms=coalesce_ms,
+        probe_budget=probe_budget,
+        max_probe_rounds=max_probe_rounds,
+    )
+    return campaign.run(rounds)

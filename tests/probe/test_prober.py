@@ -1,0 +1,174 @@
+"""ActiveProber: closure, budgets, rate limiting, dirty-pair replanning."""
+
+import pytest
+
+from repro.core.server import VeriDPServer
+from repro.dataplane.faults import InjectRule
+from repro.dataplane.network import DataPlaneNetwork
+from repro.netmodel.rules import Drop, FlowRule, Match
+from repro.probe import ActiveProber, ProbeBudget
+from repro.probe.fuzz_state import StateFuzzCampaign
+from repro.topologies import build_linear
+
+
+class FakeTime:
+    """Deterministic clock that only advances when something sleeps."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+def passive_setup(num_switches=4, passive_flows=1):
+    scenario = build_linear(num_switches)
+    server = VeriDPServer(scenario.topo, scenario.channel)
+    net = DataPlaneNetwork(
+        scenario.topo, scenario.channel, report_sink=server.receive_report_bytes
+    )
+    for src, dst in scenario.host_pairs()[:passive_flows]:
+        net.inject_from_host(src, scenario.header_between(src, dst))
+    return scenario, server, net
+
+
+def test_prober_closes_dark_coverage():
+    _, server, net = passive_setup()
+    before = server.coverage.report()
+    assert before.dark_paths  # passive traffic leaves most paths dark
+    prober = ActiveProber(server, net)
+    run = prober.run()
+    assert run.converged
+    assert run.dark_after == 0 and run.incidents == 0
+    after = server.coverage.report()
+    assert after.path_coverage == 1.0
+    assert after.pair_coverage == 1.0
+    assert run.sent == run.dark_before
+
+
+def test_probe_budget_max_probes():
+    _, server, net = passive_setup(passive_flows=1)
+    prober = ActiveProber(server, net, budget=ProbeBudget(max_probes=5))
+    run = prober.run()
+    assert run.budget_exhausted == "probes"
+    assert run.sent == 5
+    assert not run.converged
+    assert run.dark_after > 0
+
+
+def test_probe_budget_deadline():
+    _, server, net = passive_setup()
+    fake = FakeTime()
+    prober = ActiveProber(
+        server,
+        net,
+        budget=ProbeBudget(max_seconds=0.05, rate_per_s=100.0),
+        clock=fake.clock,
+        sleep=fake.sleep,
+    )
+    run = prober.run()
+    assert run.budget_exhausted == "seconds"
+    assert 0 < run.sent < run.dark_before
+
+
+def test_probe_rate_limiting_spaces_sends():
+    _, server, net = passive_setup()
+    fake = FakeTime()
+    prober = ActiveProber(
+        server,
+        net,
+        budget=ProbeBudget(rate_per_s=50.0),
+        clock=fake.clock,
+        sleep=fake.sleep,
+    )
+    run = prober.run()
+    assert run.converged
+    # First send goes immediately; every later one waits its 20ms slot.
+    assert len(fake.sleeps) == run.sent - 1
+    assert fake.now == pytest.approx((run.sent - 1) * 0.02)
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        ProbeBudget(max_probes=0)
+    with pytest.raises(ValueError):
+        ProbeBudget(rate_per_s=-1.0)
+
+
+def test_replan_after_flush_reprobes_only_dirty_pairs():
+    """Regression: a staged rule flush must not re-probe the whole table."""
+    campaign = StateFuzzCampaign(build_linear(4, install_routes=False), seed=0)
+    prober = campaign.prober
+    first = prober.run()
+    assert first.converged
+    total_entries = first.sent
+    assert total_entries > 0
+    untouched_plans = dict(prober._plans)
+
+    # One consistent change: a /26 of H1's subnet blackholed at S2 on both
+    # planes, staged through the coalescing window.
+    campaign._install_both("S2", "10.0.0.0/26", -1)
+    campaign.server.flush_pending_updates()
+
+    second = prober.run()
+    assert second.converged and second.incidents == 0
+    # Only the pairs whose entries crossed S2 toward H1 went dark again.
+    assert 0 < second.dark_before < total_entries
+    assert prober.pairs_invalidated > 0
+    dirtied = {
+        pair for pair in untouched_plans if pair not in prober._plans
+        or prober._plans[pair] is not untouched_plans[pair]
+    }
+    kept = set(untouched_plans) - dirtied
+    assert kept  # untouched pairs kept their cached plans (same objects)
+    assert second.dark_before <= sum(
+        len(campaign.server.table.lookup(*pair)) for pair in dirtied
+    ) or second.dark_before < total_entries
+
+
+def test_failing_entries_retry_bounded():
+    """A real inconsistency must not spin the loop: attempts are capped."""
+    campaign = StateFuzzCampaign(build_linear(4, install_routes=False), seed=0)
+    run0 = campaign.prober.run()
+    assert run0.converged
+    # Shadow-drop every H1-bound packet at S2, data plane only.
+    rule = FlowRule(priority=200, match=Match.build(dst="10.0.0.0/24"),
+                    action=Drop())
+    InjectRule("S2", rule).apply(campaign.net)
+    campaign.server.coverage.reset()
+    run = campaign.prober.run(max_rounds=10)
+    assert run.incidents > 0
+    assert not run.converged
+    # Bounded: at most max_attempts probes per entry plus slice probes.
+    assert run.sent <= run.dark_before * campaign.prober.max_attempts
+
+
+def test_coverage_stats_and_metrics_exposed():
+    from repro.obs.exposition import render_prometheus
+
+    _, server, net = passive_setup()
+    stats = server.stats()
+    for key in (
+        "coverage_path_ratio",
+        "coverage_pair_ratio",
+        "coverage_hop_ratio",
+        "coverage_dark_paths",
+        "coverage_dark_pairs",
+        "coverage_observations",
+    ):
+        assert key in stats
+    assert 0.0 < stats["coverage_path_ratio"] < 1.0
+
+    prober = ActiveProber(server, net)
+    run = prober.run()
+    assert run.converged
+    text = render_prometheus(server.obs.registry.snapshot())
+    assert "veridp_coverage_path_ratio 1" in text
+    assert "veridp_coverage_dark_paths 0" in text
+    assert f"veridp_probes_sent_total {run.sent}" in text
+    assert 'veridp_probe_derivations_total{tier="cube"}' in text
