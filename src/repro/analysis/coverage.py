@@ -23,7 +23,7 @@ lets the prober re-probe exactly the changed slice of the network.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.pathtable import PathEntry, PathTable
 from ..core.verifier import VerificationResult
@@ -95,6 +95,12 @@ class CoverageTracker:
         self._gen = 0
         self._report_key: Optional[tuple] = None
         self._report_cache: Optional[CoverageReport] = None
+        #: Optional ``(inport, outport, entry) -> tenant name`` hook (see
+        #: :meth:`repro.slice.registry.SliceRegistry.entry_resolver`);
+        #: enables the per-tenant :meth:`dark_paths` filter.
+        self.tenant_resolver: Optional[
+            Callable[[PortRef, PortRef, PathEntry], Optional[str]]
+        ] = None
 
     # -- ingestion ---------------------------------------------------------
 
@@ -213,6 +219,26 @@ class CoverageTracker:
         self._report_key = key
         self._report_cache = result
         return result
+
+    def dark_paths(
+        self, tenant: Optional[str] = None
+    ) -> List[Tuple[PortRef, PortRef, PathEntry]]:
+        """The dark list, optionally filtered to one tenant's slice.
+
+        Without a tenant (or without a :attr:`tenant_resolver`) this is
+        the full :attr:`CoverageReport.dark_paths` list.  With both, only
+        entries the resolver attributes to ``tenant`` are returned — the
+        per-slice probing work list.
+        """
+        dark = self.report().dark_paths
+        if tenant is None or self.tenant_resolver is None:
+            return list(dark)
+        resolve = self.tenant_resolver
+        return [
+            (inport, outport, entry)
+            for inport, outport, entry in dark
+            if resolve(inport, outport, entry) == tenant
+        ]
 
     def dark_switches(self, threshold: float = 0.5) -> List[str]:
         """Switches with less than ``threshold`` of their hops verified."""

@@ -337,6 +337,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"(booted from {server.boot_source}, "
             f"state version {server.state_version}, fsync={args.fsync})"
         )
+    if args.slices is not None:
+        from .slice import SliceRegistry
+
+        try:
+            registry = SliceRegistry.load(args.slices, server.hs, scenario.topo)
+        except (KeyError, ValueError, OSError) as exc:
+            raise SystemExit(f"bad slice config {args.slices}: {exc}")
+        incidents = server.set_slices(registry)
+        print(
+            f"slices: {len(registry.tenants)} tenants "
+            f"({', '.join(sorted(registry.tenants))}); initial isolation "
+            f"check: {len(incidents)} incidents"
+        )
+        for incident in incidents:
+            print(f"  {incident}")
     if args.mode == "sharded":
         daemon = ShardedVeriDPDaemon(
             server,
@@ -552,6 +567,104 @@ def cmd_probe(args: argparse.Namespace) -> int:
     return 0 if run.converged else 1
 
 
+def cmd_slice(args: argparse.Namespace) -> int:
+    """Multi-tenant slices: check a slice config, or fuzz the slice layer.
+
+    With ``--slices FILE`` the command loads the tenant map, attaches it to
+    a live server over the chosen topology, and prints the per-tenant view
+    sizes plus the result of the full cross-tenant isolation sweep — a
+    config linter for slice deployments.  Without it, a seeded tenant-churn
+    fuzz campaign (leaked rules, slice-map churn, noisy neighbors) runs and
+    the ledger is reconciled, mirroring ``probe --fuzz``.
+    """
+    if args.slices is not None:
+        from .core import VeriDPServer
+        from .slice import SliceRegistry
+        from .topologies import build_linear
+
+        factories = _scenario_factories()
+        factories["linear"] = lambda args: build_linear(4)
+        scenario = factories[args.topo](args)
+        server = VeriDPServer(scenario.topo, scenario.channel)
+        try:
+            registry = SliceRegistry.load(args.slices, server.hs, scenario.topo)
+        except (KeyError, ValueError, OSError) as exc:
+            raise SystemExit(f"bad slice config {args.slices}: {exc}")
+        incidents = server.set_slices(registry)
+        stats = server.stats()
+        rows = [
+            (
+                name,
+                len(registry.tenants[name].spec.prefixes),
+                len(registry.tenants[name].edge_ports),
+                stats["tenants"][name]["view_pairs"],
+                stats["tenants"][name]["view_paths"],
+            )
+            for name in sorted(registry.tenants)
+        ]
+        print(render_table(
+            f"slice map ({args.topo}, {len(registry.tenants)} tenants)",
+            ["tenant", "prefixes", "edge ports", "view pairs", "view paths"],
+            rows,
+        ))
+        iso = stats["isolation"]
+        print(
+            f"isolation sweep: {iso['last_table_pairs']} table pairs, "
+            f"{iso['last_tenant_pairs']} tenant-pair proofs, "
+            f"{len(incidents)} incidents"
+        )
+        for incident in incidents:
+            print(f"  {incident}")
+        return 1 if incidents else 0
+
+    from .probe.fuzz_tenants import run_tenant_fuzz
+    from .topologies import (
+        build_fattree,
+        build_internet2,
+        build_linear,
+        build_stanford,
+    )
+
+    factories = {
+        "stanford": lambda: build_stanford(
+            subnets_per_zone=args.scale, install_routes=False,
+            with_acls=False, with_ssh_detours=False,
+        ),
+        "internet2": lambda: build_internet2(
+            prefixes_per_pop=args.scale, install_routes=False
+        ),
+        "ft4": lambda: build_fattree(4, install_routes=False),
+        "ft6": lambda: build_fattree(6, install_routes=False),
+        "linear": lambda: build_linear(4, install_routes=False),
+    }
+    report = run_tenant_fuzz(
+        factories[args.topo],
+        rounds=args.fuzz,
+        seed=args.seed,
+        tenant_count=args.tenants,
+    )
+    print(render_table(
+        f"tenant fuzz ({args.topo}, {args.tenants} tenants, seed "
+        f"{args.seed}, {len(report.rounds)} rounds)",
+        ["round kind", "rounds", "incidents", "detected", "blamed",
+         "pair proofs"],
+        report.rows(),
+    ))
+    print(
+        f"leak detection: {report.detection_rate:.0%} over "
+        f"{len(report.leak_rounds)} injected leaks, blame rate: "
+        f"{report.blame_rate:.0%}"
+    )
+    try:
+        report.reconcile()
+    except AssertionError as exc:
+        print(exc)
+        return 1
+    print("ledger reconciled: all leaks detected and blamed, isolation "
+          "checks stayed incremental, no false incidents")
+    return 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     import random as _random
 
@@ -662,6 +775,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--fsync", choices=["always", "interval", "never"],
                        default="interval",
                        help="WAL durability policy (durable mode)")
+    serve.add_argument("--slices", default=None, metavar="FILE",
+                       help="multi-tenant mode: slices.json tenant map; "
+                            "enables per-tenant metrics, quota queues and "
+                            "the cross-tenant isolation verifier")
 
     replay = add("replay", "re-verify a recorded report stream offline")
     replay.add_argument("state_dir",
@@ -694,6 +811,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "seeded control-plane state-fuzz campaign of "
                             "this many rounds and reconcile the ledger")
 
+    slice_ = add("slice", "multi-tenant slices: config check / isolation fuzz")
+    slice_.add_argument("--topo",
+                        choices=["stanford", "internet2", "ft4", "ft6",
+                                 "linear"],
+                        default="linear")
+    slice_.add_argument("--tenants", type=int, default=2,
+                        help="tenant count for the fuzz campaign (hosts "
+                             "are partitioned round-robin)")
+    slice_.add_argument("--fuzz", type=int, default=12, metavar="ROUNDS",
+                        help="tenant-fuzz campaign length")
+    slice_.add_argument("--slices", default=None, metavar="FILE",
+                        help="check this slices.json against the topology "
+                             "instead of fuzzing (exit 1 on isolation "
+                             "incidents)")
+
     add("report", "collate persisted benchmark tables")
     paths = add("paths", "dump a topology's path table")
     paths.add_argument("--topo", choices=["stanford", "internet2", "ft4", "ft6"],
@@ -716,6 +848,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "paths": cmd_paths,
     "demo": cmd_demo,
     "probe": cmd_probe,
+    "slice": cmd_slice,
     "serve": cmd_serve,
     "replay": cmd_replay,
 }

@@ -82,6 +82,7 @@ from .resilience import (
     OverflowPolicy,
     PolicyQueue,
     RestartBackoff,
+    TenantQuotaQueue,
     WorkerProbe,
     WorkerSupervisor,
 )
@@ -142,6 +143,8 @@ class VeriDPDaemon:
         obs: Optional[Observability] = None,
         metrics_port: Optional[int] = None,
         metrics_host: str = "127.0.0.1",
+        tenant_shares: Optional[Dict[str, float]] = None,
+        tenant_classify=None,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -154,7 +157,26 @@ class VeriDPDaemon:
         self.record_reports = True
         self.obs = obs or server.obs
         self.overflow = OverflowPolicy.coerce(overflow)
-        self._queue = PolicyQueue(queue_size, self.overflow)
+        # Per-tenant queue quotas (multi-tenant deployments): when shares or
+        # a classifier are supplied — or the server carries a slice registry
+        # with queue shares — the ingestion queue enforces per-tenant
+        # occupancy caps so one tenant's report storm cannot consume the
+        # whole buffer (see DESIGN.md §13).
+        if tenant_classify is None and (
+            tenant_shares is not None or getattr(server, "slices", None) is not None
+        ):
+            tenant_classify = self._classify_payload
+        if tenant_classify is not None:
+            if tenant_shares is None and getattr(server, "slices", None) is not None:
+                tenant_shares = server.slices.queue_shares()
+            self._queue: PolicyQueue = TenantQuotaQueue(
+                queue_size,
+                self.overflow,
+                classify=tenant_classify,
+                shares=tenant_shares,
+            )
+        else:
+            self._queue = PolicyQueue(queue_size, self.overflow)
         self._lock = threading.Lock()
         self._threads: List[threading.Thread] = []
         self._worker_verifiers: List[Verifier] = []
@@ -199,6 +221,22 @@ class VeriDPDaemon:
 
     def _health(self) -> Tuple[bool, dict]:
         return self._running, {"mode": "thread", "workers": self.workers}
+
+    def _classify_payload(self, payload: bytes) -> Optional[str]:
+        """Attribute a wire payload to a tenant for queue accounting.
+
+        Decodes just enough to LPM-probe the destination against the
+        server's slice registry; undecodable payloads are unattributed
+        (they will be dead-lettered downstream anyway).
+        """
+        registry = getattr(self.server, "slices", None)
+        if registry is None:
+            return None
+        try:
+            report = unpack_report(payload, self.server.codec)
+        except ReportDecodeError:
+            return None
+        return registry.classify_dst(report.header.dst_ip)
 
     def _register_metrics(self) -> None:
         """Expose daemon state on the shared registry (callback-sourced).
@@ -250,6 +288,25 @@ class VeriDPDaemon:
                 ("block-timeout",): self._queue.block_timeouts,
             },
         )
+        if isinstance(self._queue, TenantQuotaQueue):
+            reg.gauge(
+                "veridp_tenant_queue_depth",
+                "Report payloads queued, by owning tenant.",
+                ("tenant",),
+                callback=lambda: {
+                    (tenant,): row["queued"]
+                    for tenant, row in self._queue.stats()["tenants"].items()
+                },
+            )
+            reg.counter(
+                "veridp_tenant_queue_dropped_total",
+                "Payloads refused by per-tenant quota or policy, by tenant.",
+                ("tenant",),
+                callback=lambda: {
+                    (tenant,): row["dropped"]
+                    for tenant, row in self._queue.stats()["tenants"].items()
+                },
+            )
         reg.gauge(
             "veridp_workers",
             "Verification workers in the pool.",
@@ -535,6 +592,8 @@ class VeriDPDaemon:
         merged["failed"] = sum(
             v.failure_count for v in self._worker_verifiers
         )
+        if "tenants" in queue_stats:
+            merged["tenants"] = queue_stats["tenants"]
         merged.update(self.dead_letters.stats())
         return merged
 

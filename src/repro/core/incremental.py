@@ -35,6 +35,7 @@ The result is bit-identical to a full rebuild (property-tested in
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -53,6 +54,12 @@ __all__ = [
     "IncrementalPathTable",
     "UpdateFlushStats",
 ]
+
+
+#: Process-wide change-log epoch allocator, mirroring the path table's
+#: dirty-epoch scheme: epochs are unique across all updaters so a cursor
+#: minted against one updater can never validate against another.
+_CHANGE_EPOCHS = itertools.count(1)
 
 
 @dataclass
@@ -394,6 +401,8 @@ class IncrementalPathTable:
         self._staged_preds: Dict[str, Dict[int, int]] = {}
         self.last_flush: Optional[UpdateFlushStats] = None
         self._change_feed: List[int] = []
+        self._change_log: List[int] = []
+        self._change_epoch: int = next(_CHANGE_EPOCHS)
 
     @classmethod
     def restore(
@@ -434,6 +443,8 @@ class IncrementalPathTable:
         inst._staged_preds = {}
         inst.last_flush = None
         inst._change_feed = []
+        inst._change_log = []
+        inst._change_epoch = next(_CHANGE_EPOCHS)
         return inst
 
     # -- public update API ----------------------------------------------------
@@ -505,6 +516,12 @@ class IncrementalPathTable:
     #: memory of a run that never drains it.
     CHANGE_FEED_CAP = 64
 
+    #: Cursor-log bound (multi-consumer API).  Past this the log resets and
+    #: the epoch bumps — every cursor holder then gets ``None`` from
+    #: :meth:`changes_since` and must treat all header space as changed,
+    #: exactly like a dirty-pair journal overflow.
+    CHANGE_LOG_CAP = 256
+
     def _record_change(self, delta) -> None:
         if delta.delta == self.hs.empty or delta.from_port == delta.to_port:
             return
@@ -514,6 +531,39 @@ class IncrementalPathTable:
         self._change_feed.append(predicate)
         if len(self._change_feed) > self.CHANGE_FEED_CAP:
             self._change_feed = [self.hs.bdd.or_many(self._change_feed)]
+        self._change_log.append(predicate)
+        if len(self._change_log) > self.CHANGE_LOG_CAP:
+            self._change_log.clear()
+            self._change_epoch = next(_CHANGE_EPOCHS)
+
+    # -- cursor-based change log (multi-consumer) ------------------------------
+
+    def change_token(self) -> Tuple[int, int]:
+        """Opaque cursor over the change log, positioned at "now".
+
+        Unlike :meth:`drain_change_feed` (single consumer, destructive),
+        any number of consumers can hold independent cursors and call
+        :meth:`changes_since`; the isolation verifier and the prober can
+        therefore both ride rule churn without stealing each other's
+        updates.
+        """
+        return (self._change_epoch, len(self._change_log))
+
+    def changes_since(
+        self, token: Optional[Tuple[int, int]]
+    ) -> Tuple[Tuple[int, int], Optional[List[int]]]:
+        """Changed-header predicates since ``token`` plus a fresh cursor.
+
+        Returns ``(new_token, predicates)`` where ``predicates`` is ``None``
+        when the log overflowed since the token was minted (or the caller
+        never synced): the consumer must then treat the whole header space
+        as potentially changed.  Mirrors
+        :meth:`repro.core.pathtable.PathTable.dirty_since`.
+        """
+        current = (self._change_epoch, len(self._change_log))
+        if token is None or token[0] != self._change_epoch:
+            return current, None
+        return current, list(self._change_log[token[1] :])
 
     def drain_change_feed(self) -> List[int]:
         """The header-set predicates every update since the last drain moved.

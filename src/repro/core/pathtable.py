@@ -325,6 +325,39 @@ class PathTable:
             return current, None
         return current, list(dict.fromkeys(self._dirty_log[token[1] :]))
 
+    def replace_pair(
+        self, inport: PortRef, outport: PortRef, entries: List[PathEntry]
+    ) -> bool:
+        """Swap one pair's entry list wholesale; returns True if it changed.
+
+        The tenant views (:mod:`repro.slice.views`) resync a dirty pair by
+        re-slicing the shared table's entries and replacing their private
+        copy in one step.  An empty ``entries`` removes the pair.  A
+        replacement that would be a no-op (same headers/hops/tags in the
+        same order) is skipped entirely, so the view's *own* dirty journal
+        and version only move when its slice really changed.
+        """
+        key = (inport, outport)
+        current = self._entries.get(key)
+        if not entries:
+            if current is None:
+                return False
+            del self._entries[key]
+        else:
+            if current is not None and len(current) == len(entries):
+                if all(
+                    old.headers == new.headers
+                    and old.hops == new.hops
+                    and old.tag == new.tag
+                    and old.exit_headers == new.exit_headers
+                    for old, new in zip(current, entries)
+                ):
+                    return False
+            self._entries[key] = list(entries)
+        self.note_dirty(inport, outport)
+        self.version += 1
+        return True
+
     def lookup(self, inport: PortRef, outport: PortRef) -> Tuple[PathEntry, ...]:
         """All paths for the pair (empty tuple if the pair is unknown).
 

@@ -35,6 +35,7 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 __all__ = [
     "OverflowPolicy",
     "PolicyQueue",
+    "TenantQuotaQueue",
     "QueueStopped",
     "DeadLetter",
     "DeadLetterQueue",
@@ -250,6 +251,163 @@ class PolicyQueue:
                     self.dropped_new + self.dropped_oldest + self.block_timeouts
                 ),
             }
+
+
+class _TenantItem:
+    """A queued payload stamped with the tenant it was attributed to."""
+
+    __slots__ = ("tenant", "payload")
+
+    def __init__(self, tenant: Optional[str], payload: object) -> None:
+        self.tenant = tenant
+        self.payload = payload
+
+
+class TenantQuotaQueue(PolicyQueue):
+    """A :class:`PolicyQueue` with per-tenant occupancy quotas.
+
+    One noisy tenant flooding the ingest queue must degrade only itself:
+    each admitted item is attributed to a tenant (``classify(item)``,
+    ``None`` for unattributed traffic) and every tenant's share of the
+    queue is capped at ``ceil(share * maxsize)``.  A tenant at its cap is
+    refused admission *regardless of the global policy* — even ``BLOCK``
+    never lets an over-quota tenant stall the others — and the refusal is
+    counted against that tenant (:attr:`tenant_dropped`) as well as in the
+    global ``dropped_new`` ledger.
+
+    Consumers are oblivious: :meth:`get` unstamps the payload (releasing
+    the tenant's occupancy slot), and the stdlib-style ``task_done`` /
+    ``join`` / ``close`` semantics are inherited unchanged.  Force-puts
+    (stop sentinels) bypass attribution entirely, exactly as they bypass
+    the bound.
+    """
+
+    def __init__(
+        self,
+        maxsize: int,
+        policy: "OverflowPolicy | str" = OverflowPolicy.DROP_NEW,
+        classify: Optional[Callable[[object], Optional[str]]] = None,
+        shares: Optional[Dict[str, float]] = None,
+        default_share: float = 1.0,
+    ) -> None:
+        super().__init__(maxsize, policy)
+        self._classify = classify or (lambda item: None)
+        if not 0 < default_share <= 1:
+            raise ValueError(
+                f"default_share must be in (0, 1], got {default_share}"
+            )
+        for tenant, share in (shares or {}).items():
+            if not 0 < share <= 1:
+                raise ValueError(
+                    f"tenant {tenant!r}: share must be in (0, 1], got {share}"
+                )
+        self._caps: Dict[str, int] = {
+            tenant: max(1, int(share * maxsize))
+            for tenant, share in (shares or {}).items()
+        }
+        self._default_cap = max(1, int(default_share * maxsize))
+        self._occupancy: Dict[Optional[str], int] = {}
+        self.tenant_puts: Dict[Optional[str], int] = {}
+        self.tenant_dropped: Dict[Optional[str], int] = {}
+
+    def cap_of(self, tenant: Optional[str]) -> int:
+        """The occupancy cap (in queue slots) for one tenant."""
+        if tenant is None:
+            return self._default_cap
+        return self._caps.get(tenant, self._default_cap)
+
+    def put(
+        self,
+        item: object,
+        timeout: Optional[float] = None,
+        force: bool = False,
+    ) -> bool:
+        """Admit ``item`` under both the global bound and its tenant's quota."""
+        if force:
+            return super().put(item, timeout=timeout, force=True)
+        tenant = self._classify(item)
+        with self._mutex:
+            self.puts += 1
+            self.tenant_puts[tenant] = self.tenant_puts.get(tenant, 0) + 1
+            if self._occupancy.get(tenant, 0) >= self.cap_of(tenant):
+                self._drop(tenant, new=True)
+                return False
+            if len(self._items) < self.maxsize:
+                self._admit_stamped(tenant, item)
+                return True
+            if self.policy is OverflowPolicy.DROP_NEW:
+                self._drop(tenant, new=True)
+                return False
+            if self.policy is OverflowPolicy.DROP_OLDEST:
+                victim = self._items.popleft()
+                self.dropped_oldest += 1
+                if isinstance(victim, _TenantItem):
+                    self._occupancy[victim.tenant] -= 1
+                    self.tenant_dropped[victim.tenant] = (
+                        self.tenant_dropped.get(victim.tenant, 0) + 1
+                    )
+                self._mark_done()
+                self._admit_stamped(tenant, item)
+                return True
+            # BLOCK: the *global* bound may be waited out (the tenant is
+            # under quota here, so the wait is legitimate backpressure).
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while len(self._items) >= self.maxsize:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    self.block_timeouts += 1
+                    self.tenant_dropped[tenant] = (
+                        self.tenant_dropped.get(tenant, 0) + 1
+                    )
+                    return False
+                self._not_full.wait(remaining)
+            self._admit_stamped(tenant, item)
+            return True
+
+    def _drop(self, tenant: Optional[str], new: bool) -> None:
+        if new:
+            self.dropped_new += 1
+        self.tenant_dropped[tenant] = self.tenant_dropped.get(tenant, 0) + 1
+
+    def _admit_stamped(self, tenant: Optional[str], payload: object) -> None:
+        self._occupancy[tenant] = self._occupancy.get(tenant, 0) + 1
+        self._admit(_TenantItem(tenant, payload))
+
+    def _unstamp(self, item: object) -> object:
+        if isinstance(item, _TenantItem):
+            with self._mutex:
+                self._occupancy[item.tenant] -= 1
+            return item.payload
+        return item  # force-put sentinel, never stamped
+
+    def get(self, timeout: Optional[float] = None) -> object:
+        return self._unstamp(super().get(timeout))
+
+    def get_nowait(self) -> object:
+        return self._unstamp(super().get_nowait())
+
+    def stats(self) -> Dict[str, object]:
+        """Global admission counters plus the per-tenant breakdown."""
+        out: Dict[str, object] = super().stats()
+        with self._mutex:
+            tenants = sorted(
+                set(self.tenant_puts)
+                | set(self.tenant_dropped)
+                | set(self._occupancy),
+                key=lambda t: (t is None, t),
+            )
+            out["tenants"] = {
+                (tenant if tenant is not None else ""): {
+                    "queued": self._occupancy.get(tenant, 0),
+                    "cap": self.cap_of(tenant),
+                    "puts": self.tenant_puts.get(tenant, 0),
+                    "dropped": self.tenant_dropped.get(tenant, 0),
+                }
+                for tenant in tenants
+            }
+        return out
 
 
 # ---------------------------------------------------------------------------

@@ -72,6 +72,7 @@ class VeriDPServer:
         build_workers: Optional[int] = None,
         coalesce_ms: float = 0.0,
         incremental: bool = False,
+        slices=None,
     ) -> None:
         self.topo = topo
         self.obs = obs or Observability()
@@ -177,9 +178,81 @@ class VeriDPServer:
         )
         self.localization_cache_hits = 0
         self.localization_cache_max = 4096
+        # -- multi-tenant slicing (repro.slice) -----------------------------
+        #: The :class:`~repro.slice.registry.SliceRegistry`, when sliced.
+        self.slices = None
+        #: tenant name -> :class:`~repro.slice.views.TenantPathTable`.
+        self.tenant_views: Dict[str, object] = {}
+        #: The :class:`~repro.slice.isolation.IsolationVerifier`, when sliced.
+        self.isolation = None
+        self.isolation_incidents: List[object] = []
+        self.isolation_incidents_total = 0
+        #: Per-tenant report attribution counts ("" = unattributed).
+        self.tenant_reports: Dict[str, int] = {}
+        self._tenant_cov_cache: Optional[tuple] = None
+        if slices is not None:
+            self.set_slices(slices)
         self._register_metrics()
         if channel is not None:
             channel.subscribe(self._on_message)
+
+    # -- multi-tenant slicing -------------------------------------------------
+
+    def set_slices(self, registry):
+        """Configure (or reconfigure) the tenant slice layer.
+
+        Builds one journal-synced :class:`~repro.slice.views.TenantPathTable`
+        per tenant over the live table, wires the coverage tracker's tenant
+        resolver, and runs a full cross-tenant isolation sweep — whose
+        incidents are logged and returned.  Safe to call again after tenant
+        churn (the fuzz campaign's add/remove rounds do exactly that).
+        """
+        from ..slice.isolation import IsolationVerifier
+        from ..slice.views import TenantPathTable
+
+        if registry.hs is not self.hs:
+            raise ValueError(
+                "slice registry must be compiled on the server's HeaderSpace "
+                "(footprints share the node store)"
+            )
+        self.slices = registry
+        self.tenant_views = {
+            tenant.name: TenantPathTable(self.table, self.hs, tenant)
+            for tenant in registry
+        }
+        self.coverage.tenant_resolver = registry.entry_resolver()
+        self._tenant_cov_cache = None
+        self.isolation = IsolationVerifier(
+            registry,
+            self.table,
+            self.hs,
+            provider=self._provider,
+            updater=self.updater,
+        )
+        incidents = self.isolation.check_full()
+        self._log_isolation(incidents)
+        return incidents
+
+    def _log_isolation(self, incidents) -> None:
+        if incidents:
+            self.isolation_incidents.extend(incidents)
+            self.isolation_incidents_total += len(incidents)
+
+    def _recheck_isolation(self):
+        """Incremental isolation re-proof + tenant-view resync after churn."""
+        if self.isolation is None:
+            return []
+        incidents = self.isolation.recheck()
+        self._log_isolation(incidents)
+        for view in self.tenant_views.values():
+            view.sync()
+        return incidents
+
+    def drain_isolation_incidents(self):
+        """Return and clear the cross-tenant isolation incident log."""
+        incidents = self.isolation_incidents
+        self.isolation_incidents = []
+        return incidents
 
     def _register_metrics(self) -> None:
         """Expose server state on the shared registry, at zero hot-path cost.
@@ -397,6 +470,72 @@ class VeriDPServer:
             "Pairs whose coverage the dirty-pair journal invalidated.",
             callback=lambda: self.coverage.invalidated_pairs,
         )
+        # Tenant-slice instruments: label-per-tenant callbacks over the
+        # slice layer's counters; all of them collapse to empty series on
+        # an unsliced server, so registration is unconditional.
+        reg.counter(
+            "veridp_tenant_reports_total",
+            "Tag reports attributed to each tenant's footprint "
+            "(tenant=\"\" = unattributed).",
+            ("tenant",),
+            callback=lambda: {
+                (tenant,): n for tenant, n in self.tenant_reports.items()
+            },
+        )
+        reg.gauge(
+            "veridp_tenant_view_paths",
+            "Path entries in each tenant's sliced view of the table.",
+            ("tenant",),
+            callback=lambda: {
+                (name,): view.num_paths()
+                for name, view in self.tenant_views.items()
+            },
+        )
+        reg.gauge(
+            "veridp_coverage_tenant_dark_paths",
+            "Unverified path-table entries attributed to each tenant.",
+            ("tenant",),
+            callback=lambda: {
+                (tenant,): dark
+                for tenant, (dark, _total) in self._tenant_coverage().items()
+            },
+        )
+        reg.gauge(
+            "veridp_coverage_tenant_path_ratio",
+            "Fraction of each tenant's attributed entries verified.",
+            ("tenant",),
+            callback=lambda: {
+                (tenant,): ((total - dark) / total if total else 0.0)
+                for tenant, (dark, total) in self._tenant_coverage().items()
+            },
+        )
+        reg.counter(
+            "veridp_isolation_incidents_total",
+            "Cross-tenant isolation violations detected (drain-proof).",
+            callback=lambda: self.isolation_incidents_total,
+        )
+        reg.gauge(
+            "veridp_isolation_incident_log_size",
+            "Isolation incidents currently waiting in the operator log.",
+            callback=lambda: len(self.isolation_incidents),
+        )
+        reg.counter(
+            "veridp_isolation_checks_total",
+            "Cumulative (table pair, tenant) isolation proofs performed.",
+            callback=lambda: (
+                0 if self.isolation is None else self.isolation.checks_total
+            ),
+        )
+        reg.gauge(
+            "veridp_isolation_last_tenant_pairs",
+            "(pair, tenant) proofs the most recent isolation run needed "
+            "(incremental rechecks stay near the churned slice's size).",
+            callback=lambda: (
+                0
+                if self.isolation is None
+                else self.isolation.last_tenant_pairs
+            ),
+        )
         reg.counter(
             "veridp_bdd_cache_hits_total",
             "BDD operation-cache hits (ite/not/apply memo).",
@@ -417,6 +556,39 @@ class VeriDPServer:
             "Live nodes in the shared BDD manager.",
             callback=lambda: self.hs.bdd.num_nodes(),
         )
+
+    def _tenant_coverage(self) -> Dict[str, tuple]:
+        """``tenant -> (dark entries, total entries)`` attribution.
+
+        Walks the coverage report's table once per report generation
+        (memoized on the report object): metric scrapes between state
+        changes cost a dict lookup.
+        """
+        if self.slices is None:
+            return {}
+        report = self.coverage.report()
+        cached = self._tenant_cov_cache
+        if cached is not None and cached[0] is report:
+            return cached[1]
+        resolve = self.coverage.tenant_resolver
+        counts: Dict[str, list] = {
+            tenant.name: [0, 0] for tenant in self.slices
+        }
+        dark_ids = {
+            id(entry) for _, _, entry in report.dark_paths
+        }
+        for inport, outport, entry in self.coverage.table.all_entries():
+            tenant = resolve(inport, outport, entry)
+            if tenant is None or tenant not in counts:
+                continue
+            counts[tenant][1] += 1
+            if id(entry) in dark_ids:
+                counts[tenant][0] += 1
+        result = {
+            tenant: (dark, total) for tenant, (dark, total) in counts.items()
+        }
+        self._tenant_cov_cache = (report, result)
+        return result
 
     def _last_flush_stat(self, field_name: str) -> int:
         updater = self.updater
@@ -460,6 +632,14 @@ class VeriDPServer:
         # The rebuild replaced every entry object; accumulated coverage
         # vouched for entries that no longer exist.
         self.coverage.retarget(self.table)
+        self._tenant_cov_cache = None
+        # The rebuild swapped the table object: tenant views and the
+        # isolation verifier must re-anchor (and re-prove from scratch —
+        # their journal cursors died with the old table).
+        if self.isolation is not None:
+            for view in self.tenant_views.values():
+                view.retarget(self.table)
+            self._log_isolation(self.isolation.retarget(self.table))
         self._dirty = False
         self.state_version += 1
         return True
@@ -578,6 +758,9 @@ class VeriDPServer:
         stats = self.updater.flush_updates()
         self.update_flushes += 1
         self.update_flush_events += stats.events
+        # The flush is the moment the table (and the change feed) moved:
+        # re-prove isolation for exactly the dirty slices.
+        self._recheck_isolation()
         return stats
 
     def _note_rule_applied(self) -> None:
@@ -585,6 +768,10 @@ class VeriDPServer:
         # invalidates the verifier's flow cache and compiled-matcher index.
         # Localization results are keyed on reports, not table versions, so
         # that cache needs an explicit flush.
+        if self.coalesce_ms <= 0:
+            # Immediate-apply mode: the table just changed, so isolation
+            # re-proves now.  (Coalesced mode rechecks at the flush.)
+            self._recheck_isolation()
         self.state_version += 1
         self._localization_cache.clear()
         self._rules_since_snapshot += 1
@@ -656,6 +843,11 @@ class VeriDPServer:
         (with a PASS verdict when nothing is wrong)."""
         self.maybe_flush_updates()
         self.refresh_if_dirty()
+        if self.slices is not None:
+            # Tenant attribution is a few integer masks (LPM dict), so the
+            # sliced hot path stays tenant-count-independent.
+            tenant = self.slices.classify_dst(report.header.dst_ip) or ""
+            self.tenant_reports[tenant] = self.tenant_reports.get(tenant, 0) + 1
         with self.obs.span("verify") as span:
             verification = self.verifier.verify(report)
             span.set("verdict", verification.verdict.value)
@@ -760,6 +952,26 @@ class VeriDPServer:
             "update_flush_events": self.update_flush_events,
             "bdd_cache": self.hs.bdd.cache_counters(),
         }
+        if self.slices is not None:
+            out["tenants"] = {
+                name: {
+                    "view_pairs": len(view),
+                    "view_paths": view.num_paths(),
+                    "reports": self.tenant_reports.get(name, 0),
+                    "pair_syncs": view.pair_syncs,
+                }
+                for name, view in self.tenant_views.items()
+            }
+            iso = self.isolation
+            out["isolation"] = {
+                "incidents": len(self.isolation_incidents),
+                "incidents_total": self.isolation_incidents_total,
+                "checks_total": iso.checks_total,
+                "full_checks": iso.full_checks,
+                "incremental_checks": iso.incremental_checks,
+                "last_table_pairs": iso.last_table_pairs,
+                "last_tenant_pairs": iso.last_tenant_pairs,
+            }
         if self.persist is not None:
             out["boot_source"] = self.boot_source
             out.update(self.persist.stats())

@@ -7,7 +7,9 @@ entry's header-set BDD; :mod:`~repro.probe.prober` drives those probes at
 whatever the coverage tracker reports dark, under an explicit budget, and
 re-plans through the dirty-pair journal after incremental rule updates;
 :mod:`~repro.probe.fuzz_state` mutates the control-plane state itself and
-reconciles VeriDP's incident log against a ground-truth ledger.
+reconciles VeriDP's incident log against a ground-truth ledger;
+:mod:`~repro.probe.fuzz_tenants` does the same for the multi-tenant slice
+layer (leaked rules, slice-map churn, noisy neighbors).
 """
 
 from .headers import (
@@ -27,6 +29,12 @@ from .fuzz_state import (
     StateFuzzReport,
     run_state_fuzz,
 )
+from .fuzz_tenants import (
+    TenantFuzzCampaign,
+    TenantFuzzReport,
+    TenantFuzzRound,
+    run_tenant_fuzz,
+)
 
 __all__ = [
     "REPRESENTATIVE_CUBE_CAP",
@@ -44,4 +52,8 @@ __all__ = [
     "StateFuzzCampaign",
     "StateFuzzReport",
     "run_state_fuzz",
+    "TenantFuzzCampaign",
+    "TenantFuzzReport",
+    "TenantFuzzRound",
+    "run_tenant_fuzz",
 ]

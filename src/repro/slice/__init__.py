@@ -1,0 +1,36 @@
+"""Multi-tenant slicing over the VeriDP core.
+
+Real SDN fabrics are sliced: many virtual operators share one physical
+network.  This package layers tenancy on top of the existing verification
+machinery:
+
+* :class:`~repro.slice.registry.SliceRegistry` — tenant definitions: each
+  tenant owns a destination-prefix *footprint* (compiled to a BDD on the
+  shared :class:`~repro.bdd.headerspace.HeaderSpace`, so footprints share
+  the hash-consed node store) and a set of edge ports (derived from its
+  hosts).
+* :class:`~repro.slice.views.TenantPathTable` — a per-tenant view of the
+  shared path table, resynced lazily off the shared dirty-pair journal.
+* :class:`~repro.slice.isolation.IsolationVerifier` — proves, for every
+  tenant pair (A, B), that no header in A's footprint is deliverable at an
+  edge port owned by B; runs incrementally off the updater's change feed
+  so rule churn re-checks only dirty slices, and emits blamed
+  :class:`~repro.slice.isolation.IsolationIncident` records.
+
+The server integrates all three via ``VeriDPServer(slices=...)``; the
+tenant-churn fuzz campaign (:mod:`repro.probe.fuzz_tenants`) exercises the
+whole layer with ledger reconciliation.
+"""
+
+from .isolation import IsolationIncident, IsolationVerifier
+from .registry import SliceRegistry, Tenant, TenantSpec
+from .views import TenantPathTable
+
+__all__ = [
+    "SliceRegistry",
+    "Tenant",
+    "TenantSpec",
+    "TenantPathTable",
+    "IsolationVerifier",
+    "IsolationIncident",
+]

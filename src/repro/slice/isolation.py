@@ -1,0 +1,248 @@
+"""Cross-tenant isolation verification.
+
+The isolation property: **no header in tenant A's footprint may be
+deliverable at an edge port owned by tenant B ≠ A**.  Rule-level
+consistency (the paper's property) cannot see this fault class — a rule
+routing a slice of A's address space to B's port can be installed on both
+planes and verify PASS forever — so this is a genuinely new check, in the
+spirit of SDNsec's per-path forwarding accountability.
+
+For each path-table pair whose outport is tenant-owned, the verifier
+computes ``exit_headers(entry) ∧ footprint(A)`` for every other tenant A;
+a non-empty intersection is a leak, reported as an
+:class:`IsolationIncident` carrying the tenant pair, the offending path, a
+concrete witness header inside the leaked slice, and — when an LPM
+provider is available — the governing rule at the exit switch (blame).
+
+Two entry points:
+
+* :meth:`IsolationVerifier.check_full` — the all-pairs sweep (O(pairs ×
+  tenants)), run at slice configuration time.
+* :meth:`IsolationVerifier.recheck` — incremental: reads the path table's
+  dirty-pair journal to know *which pairs* to re-examine, and the
+  updater's change feed to know *which headers* moved — only tenants whose
+  footprint intersects a changed slice can newly leak, so only those
+  tenant pairs are re-proved.  The accounting fields
+  (:attr:`last_table_pairs`, :attr:`last_tenant_pairs`,
+  :attr:`last_victims`) let callers assert exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..bdd.headerspace import HeaderSpace, format_ipv4
+from ..core.pathtable import PathTable
+from ..netmodel.hops import Hop
+from ..netmodel.topology import PortRef
+from .registry import SliceRegistry
+
+__all__ = ["IsolationIncident", "IsolationVerifier"]
+
+
+@dataclass(frozen=True)
+class IsolationIncident:
+    """One proven cross-tenant leak: rule -> tenant pair -> offending path.
+
+    ``src_tenant`` owns the leaked header space (the victim whose
+    footprint escapes); ``dst_tenant`` owns the edge port the headers are
+    deliverable at.  ``leaked_rule`` is the governing LPM rule at the exit
+    switch as ``(switch, prefix, out_port)``, when a provider could
+    resolve it.
+    """
+
+    src_tenant: str
+    dst_tenant: str
+    inport: PortRef
+    outport: PortRef
+    hops: Tuple[Hop, ...]
+    witness: Optional[Dict[str, int]]
+    leaked_rule: Optional[Tuple[str, str, int]] = None
+
+    def __str__(self) -> str:
+        rule = (
+            f" via rule {self.leaked_rule[1]} -> port {self.leaked_rule[2]} "
+            f"on {self.leaked_rule[0]}"
+            if self.leaked_rule
+            else ""
+        )
+        dst = (
+            format_ipv4(self.witness["dst_ip"])
+            if self.witness
+            else "?"
+        )
+        return (
+            f"ISOLATION {self.src_tenant} -> {self.dst_tenant}: headers for "
+            f"{dst} deliverable at {self.outport}{rule}"
+        )
+
+
+class IsolationVerifier:
+    """Prove pairwise tenant isolation over one shared path table."""
+
+    def __init__(
+        self,
+        registry: SliceRegistry,
+        table: PathTable,
+        hs: HeaderSpace,
+        provider=None,
+        updater=None,
+    ) -> None:
+        self.registry = registry
+        self.table = table
+        self.hs = hs
+        #: An :class:`~repro.core.incremental.LpmProvider` (or anything with
+        #: prefix ``trees``) for blame resolution; optional.
+        self.provider = provider if hasattr(provider, "trees") else None
+        #: The updater whose change feed scopes incremental rechecks.
+        self.updater = updater
+        self._dirty_token: Optional[Tuple[int, int]] = None
+        self._change_token: Optional[Tuple[int, int]] = None
+        # -- accounting (read by tests, the fuzz ledger, and /metrics) ------
+        self.full_checks = 0
+        self.incremental_checks = 0
+        self.checks_total = 0  # cumulative (table pair, tenant) proofs
+        self.incidents_total = 0
+        self.last_table_pairs = 0  # table pairs examined by the last run
+        self.last_tenant_pairs = 0  # (pair, tenant) proofs by the last run
+        self.last_incidents = 0
+        #: Tenants the last recheck considered as possible leak sources;
+        #: ``None`` means all (full check, or change-feed overflow).
+        self.last_victims: Optional[Set[str]] = None
+
+    # -- entry points ------------------------------------------------------
+
+    def check_full(self) -> List[IsolationIncident]:
+        """Prove isolation for every tenant pair over the whole table."""
+        self.full_checks += 1
+        self._dirty_token = self.table.dirty_token()
+        if self.updater is not None:
+            self._change_token = self.updater.change_token()
+        self.last_victims = None
+        return self._check_pairs(self.table.pairs(), victims=None)
+
+    def recheck(self) -> List[IsolationIncident]:
+        """Re-prove only what rule churn since the last check can break.
+
+        Scope = (pairs the dirty journal reports mutated) × (tenants whose
+        footprint intersects a changed-header predicate from the change
+        feed).  Either journal overflowing degrades that axis to "all".
+        """
+        self.incremental_checks += 1
+        token, dirty = self.table.dirty_since(self._dirty_token)
+        self._dirty_token = token
+        victims: Optional[Set[str]] = None
+        if self.updater is not None:
+            change_token, changes = self.updater.changes_since(
+                self._change_token
+            )
+            self._change_token = change_token
+            if changes is not None:
+                bdd = self.hs.bdd
+                victims = set()
+                for predicate in changes:
+                    for tenant in self.registry:
+                        if tenant.name in victims:
+                            continue
+                        if (
+                            bdd.and_(predicate, tenant.footprint)
+                            != self.hs.empty
+                        ):
+                            victims.add(tenant.name)
+        self.last_victims = victims
+        if dirty is None:
+            return self._check_pairs(self.table.pairs(), victims)
+        if not dirty or victims == set():
+            self.last_table_pairs = 0
+            self.last_tenant_pairs = 0
+            self.last_incidents = 0
+            return []
+        return self._check_pairs(dirty, victims)
+
+    def retarget(self, table: PathTable) -> List[IsolationIncident]:
+        """Point at a replacement table and re-prove everything."""
+        self.table = table
+        return self.check_full()
+
+    # -- the proof ---------------------------------------------------------
+
+    def _check_pairs(
+        self,
+        pairs: Sequence[Tuple[PortRef, PortRef]],
+        victims: Optional[Set[str]],
+    ) -> List[IsolationIncident]:
+        bdd = self.hs.bdd
+        empty = self.hs.empty
+        found: List[IsolationIncident] = []
+        table_pairs = 0
+        tenant_pairs = 0
+        for inport, outport in pairs:
+            owner = self.registry.port_owner.get(outport)
+            if owner is None:
+                # Unowned delivery target (or the drop port): headers
+                # arriving there leave no tenant's traffic in another's
+                # hands.  Documented blind spot: a leak to an *unowned*
+                # edge port is out of scope of the pairwise property.
+                continue
+            entries = self.table.lookup(inport, outport)
+            if not entries:
+                continue
+            table_pairs += 1
+            for tenant in self.registry:
+                if tenant.name == owner:
+                    continue
+                if victims is not None and tenant.name not in victims:
+                    continue
+                tenant_pairs += 1
+                for entry in entries:
+                    leak = bdd.and_(entry.exit_header_set(), tenant.footprint)
+                    if leak == empty:
+                        continue
+                    witness = self.hs.sample_header(leak)
+                    found.append(
+                        IsolationIncident(
+                            src_tenant=tenant.name,
+                            dst_tenant=owner,
+                            inport=inport,
+                            outport=outport,
+                            hops=entry.hops,
+                            witness=witness,
+                            leaked_rule=self._blame(outport, witness),
+                        )
+                    )
+        self.checks_total += tenant_pairs
+        self.last_table_pairs = table_pairs
+        self.last_tenant_pairs = tenant_pairs
+        self.last_incidents = len(found)
+        self.incidents_total += len(found)
+        return found
+
+    def _blame(
+        self, outport: PortRef, witness: Optional[Dict[str, int]]
+    ) -> Optional[Tuple[str, str, int]]:
+        """The LPM rule governing the witness at the exit switch."""
+        if self.provider is None or witness is None:
+            return None
+        tree = self.provider.trees.get(outport.switch)
+        if tree is None:
+            return None
+        value = witness["dst_ip"]
+        node = tree.root
+        best = None
+        while True:
+            for child in node.children:
+                if child.contains((value, 32)):
+                    node = child
+                    best = child
+                    break
+            else:
+                break
+        if best is None:
+            return None
+        prefix_value, plen = best.prefix
+        return (
+            outport.switch,
+            f"{format_ipv4(prefix_value)}/{plen}",
+            best.out_port,
+        )

@@ -1,0 +1,116 @@
+"""IsolationVerifier: full sweep, leak detection/blame, incremental scope."""
+
+from repro.bdd.headerspace import parse_prefix
+from repro.slice.isolation import IsolationVerifier
+
+
+def _verifier(server, registry):
+    server.refresh_if_dirty()
+    return IsolationVerifier(
+        registry,
+        server.table,
+        server.hs,
+        provider=server._provider,
+        updater=server.updater,
+    )
+
+
+def _leak(server, registry, scenario, hosts):
+    """Route a /26 of red's first subnet to blue's first edge port."""
+    victim_subnet = scenario.subnets[hosts[0]]
+    blue_port = registry.tenants["blue"].edge_ports[0]
+    sub = victim_subnet.rsplit("/", 1)[0] + "/26"
+    server.apply_rule_update(blue_port.switch, sub, blue_port.port)
+    return sub, blue_port
+
+
+def test_full_check_clean_fabric(server, registry):
+    iso = _verifier(server, registry)
+    assert iso.check_full() == []
+    assert iso.full_checks == 1
+    assert iso.last_victims is None  # full sweep: all tenants in scope
+    assert iso.last_table_pairs > 0
+    assert iso.last_tenant_pairs > 0
+    assert iso.checks_total == iso.last_tenant_pairs
+
+
+def test_leak_detected_with_blame(server, registry, scenario, hosts):
+    iso = _verifier(server, registry)
+    iso.check_full()
+    sub, blue_port = _leak(server, registry, scenario, hosts)
+    incidents = iso.recheck()
+    assert incidents
+    value, plen = parse_prefix(sub)
+    for inc in incidents:
+        assert inc.src_tenant == "red"
+        assert inc.dst_tenant == "blue"
+        assert inc.outport == blue_port
+        assert inc.witness is not None
+        # The witness lies inside the leaked /26.
+        assert inc.witness["dst_ip"] >> (32 - plen) == value >> (32 - plen)
+        assert inc.leaked_rule == (blue_port.switch, sub, blue_port.port)
+        assert "ISOLATION red -> blue" in str(inc)
+    # Heal: delete the rule, the next recheck comes back clean.
+    server.apply_rule_delete(blue_port.switch, sub)
+    assert iso.recheck() == []
+
+
+def test_recheck_scopes_to_dirty_pairs_and_victims(server, registry, scenario, hosts):
+    iso = _verifier(server, registry)
+    iso.check_full()
+    full_pairs = iso.last_table_pairs
+    sub, blue_port = _leak(server, registry, scenario, hosts)
+    iso.recheck()
+    # The change feed names red (its footprint moved), not blue.
+    assert iso.last_victims == {"red"}
+    # Only the dirty pairs were re-examined — strictly fewer than a sweep.
+    assert 0 < iso.last_table_pairs < full_pairs
+    server.apply_rule_delete(blue_port.switch, sub)
+    iso.recheck()
+    assert iso.last_victims == {"red"}
+
+
+def test_recheck_noop_when_nothing_changed(server, registry):
+    iso = _verifier(server, registry)
+    iso.check_full()
+    assert iso.recheck() == []
+    assert iso.last_table_pairs == 0
+    assert iso.last_tenant_pairs == 0
+
+
+def test_recheck_degrades_to_full_on_journal_overflow(server, registry):
+    iso = _verifier(server, registry)
+    iso.check_full()
+    full_pairs = iso.last_table_pairs
+    # Blow the dirty journal: more notes than its cap.
+    from repro.core.pathtable import _DIRTY_LOG_CAP as cap
+
+    pair = server.table.pairs()[0]
+    for _ in range(cap + 1):
+        server.table.note_dirty(*pair)
+    iso.recheck()
+    assert iso.last_table_pairs == full_pairs  # whole table re-proved
+
+
+def test_unowned_outports_are_out_of_scope(server, scenario, hosts):
+    """The documented blind spot: leaks to unowned edge ports don't count."""
+    from tests.slice.conftest import two_tenant_registry
+
+    registry = two_tenant_registry(server, scenario, hosts)
+    # Deregister blue: its ports become unowned, red's space routed there
+    # is no longer anyone's property.
+    blue_port = registry.tenants["blue"].edge_ports[0]
+    registry.remove("blue")
+    iso = _verifier(server, registry)
+    iso.check_full()
+    sub = scenario.subnets[hosts[0]].rsplit("/", 1)[0] + "/26"
+    server.apply_rule_update(blue_port.switch, sub, blue_port.port)
+    assert iso.recheck() == []
+
+
+def test_retarget_reproves_everything(server, registry):
+    iso = _verifier(server, registry)
+    iso.check_full()
+    incidents = iso.retarget(server.table)
+    assert incidents == []
+    assert iso.full_checks == 2

@@ -1,0 +1,106 @@
+"""TenantQuotaQueue: per-tenant occupancy caps under every policy."""
+
+import pytest
+
+from repro.core.resilience import OverflowPolicy, TenantQuotaQueue
+
+
+def make_queue(policy=OverflowPolicy.DROP_NEW, maxsize=8, **kwargs):
+    owners = {}
+    queue = TenantQuotaQueue(
+        maxsize, policy, classify=owners.get, **kwargs
+    )
+    return queue, owners
+
+
+def test_caps_derived_from_shares():
+    queue, _ = make_queue(shares={"a": 0.25, "b": 0.5})
+    assert queue.cap_of("a") == 2
+    assert queue.cap_of("b") == 4
+    assert queue.cap_of("c") == 8  # default share 1.0
+    assert queue.cap_of(None) == 8
+
+
+def test_share_validation():
+    with pytest.raises(ValueError):
+        TenantQuotaQueue(8, shares={"a": 0.0})
+    with pytest.raises(ValueError):
+        TenantQuotaQueue(8, shares={"a": 2.0})
+    with pytest.raises(ValueError):
+        TenantQuotaQueue(8, default_share=0.0)
+
+
+def test_over_quota_refused_under_drop_new():
+    queue, owners = make_queue(shares={"noisy": 0.25})
+    for i in range(4):
+        owners[f"n{i}"] = "noisy"
+    assert queue.put("n0") and queue.put("n1")
+    assert not queue.put("n2")  # cap 2 reached
+    assert not queue.put("n3")
+    assert queue.tenant_dropped["noisy"] == 2
+    assert queue.stats()["dropped_new"] == 2
+
+
+def test_quiet_tenant_unharmed_by_flood():
+    queue, owners = make_queue(
+        policy=OverflowPolicy.DROP_OLDEST, shares={"noisy": 0.5, "quiet": 0.5}
+    )
+    for i in range(16):
+        owners[f"n{i}"] = "noisy"
+        queue.put(f"n{i}")
+    for i in range(4):
+        owners[f"q{i}"] = "quiet"
+        assert queue.put(f"q{i}")
+    stats = queue.stats()
+    assert stats["tenants"]["quiet"]["dropped"] == 0
+    assert stats["tenants"]["noisy"]["dropped"] > 0
+    drained = [queue.get_nowait() for _ in range(queue.qsize())]
+    assert [p for p in drained if p.startswith("q")] == [
+        "q0", "q1", "q2", "q3"
+    ]
+
+
+def test_block_policy_never_stalls_on_over_quota():
+    """An over-quota tenant is refused immediately, not blocked."""
+    queue, owners = make_queue(
+        policy=OverflowPolicy.BLOCK, shares={"noisy": 0.25}
+    )
+    for i in range(3):
+        owners[f"n{i}"] = "noisy"
+    assert queue.put("n0") and queue.put("n1")
+    # Cap reached: returns False without waiting (no timeout needed).
+    assert not queue.put("n2")
+
+
+def test_get_releases_occupancy():
+    queue, owners = make_queue(shares={"a": 0.25})
+    owners.update({"x1": "a", "x2": "a", "x3": "a"})
+    assert queue.put("x1") and queue.put("x2")
+    assert not queue.put("x3")
+    assert queue.get() == "x1"
+    queue.task_done()
+    assert queue.put("x3")  # slot released by the get
+
+
+def test_force_put_bypasses_attribution():
+    queue, owners = make_queue(maxsize=2)
+    sentinel = object()
+    owners["p"] = "a"
+    assert queue.put("p")
+    assert queue.put(sentinel, force=True)
+    assert queue.get() == "p"
+    assert queue.get() is sentinel
+
+
+def test_stats_shape():
+    queue, owners = make_queue(shares={"a": 0.5})
+    owners["p"] = "a"
+    owners["u"] = None
+    queue.put("p")
+    queue.put("u")
+    stats = queue.stats()
+    assert stats["queued"] == 2
+    assert stats["tenants"]["a"] == {
+        "queued": 1, "cap": 4, "puts": 1, "dropped": 0
+    }
+    assert stats["tenants"][""]["queued"] == 1  # unattributed bucket

@@ -1,0 +1,63 @@
+"""TenantSamplerMux: per-tenant sampling budgets."""
+
+from repro.core.sampling import TenantSamplerMux
+
+
+def mux(**kwargs):
+    owners = {}
+    return TenantSamplerMux(owners.get, **kwargs), owners
+
+
+def test_per_tenant_intervals():
+    sampler, owners = mux(default_interval=1.0, intervals={"fast": 0.1})
+    owners.update({"f": "fast", "s": "slow"})
+    assert sampler.should_sample("f", 0.0)  # first packet always sampled
+    assert sampler.should_sample("s", 0.0)
+    # 0.5s later: only the fast tenant's interval (0.1) has elapsed.
+    assert sampler.should_sample("f", 0.5)
+    assert not sampler.should_sample("s", 0.5)
+
+
+def test_eviction_pressure_stays_inside_the_slice():
+    sampler, owners = mux(capacity=2)
+    for i in range(8):
+        owners[f"h{i}"] = "heavy"
+    owners["q"] = "quiet"
+    assert sampler.should_sample("q", 0.0)
+    for i in range(8):
+        sampler.should_sample(f"h{i}", 0.0)
+    # The heavy tenant churned its own bounded table; the quiet tenant's
+    # flow state survived, so its next packet is NOT treated as new.
+    assert not sampler.should_sample("q", 0.5)
+    assert sampler.sampler_for("heavy").active_flows == 2
+    assert sampler.sampler_for("quiet").active_flows == 1
+
+
+def test_set_interval_retunes_live_sampler():
+    sampler, owners = mux(default_interval=10.0)
+    owners["f"] = "t"
+    sampler.should_sample("f", 0.0)
+    assert not sampler.should_sample("f", 1.0)
+    sampler.set_interval("t", 0.5)
+    assert sampler.should_sample("f", 1.0)
+
+
+def test_unattributed_flows_share_default_sampler():
+    sampler, owners = mux()
+    sampler.should_sample("unknown-1", 0.0)
+    sampler.should_sample("unknown-2", 0.0)
+    stats = sampler.stats()
+    assert stats[""]["seen"] == 2
+    assert stats[""]["active_flows"] == 2
+
+
+def test_stats_keyed_by_tenant():
+    sampler, owners = mux(intervals={"a": 0.25})
+    owners.update({"x": "a", "y": "b"})
+    sampler.should_sample("x", 0.0)
+    sampler.should_sample("y", 0.0)
+    stats = sampler.stats()
+    assert stats["a"] == {
+        "seen": 1, "sampled": 1, "active_flows": 1, "interval": 0.25
+    }
+    assert stats["b"]["interval"] == 1.0

@@ -1,0 +1,178 @@
+"""Server integration: set_slices, tenant metrics, report attribution."""
+
+import pytest
+
+from repro.core.daemon import VeriDPDaemon
+from repro.core.resilience import TenantQuotaQueue
+from repro.core.server import VeriDPServer
+from repro.dataplane import DataPlaneNetwork
+from repro.obs.exposition import render_prometheus
+from repro.slice.registry import SliceRegistry, TenantSpec
+from repro.topologies import build_linear
+
+
+def routed_setup():
+    scenario = build_linear(4)
+    server = VeriDPServer(scenario.topo, scenario.channel)
+    hosts = sorted(scenario.subnets)
+    registry = SliceRegistry(server.hs, scenario.topo)
+    registry.register(TenantSpec(
+        name="red",
+        prefixes=tuple(scenario.subnets[h] for h in hosts[:2]),
+        hosts=tuple(hosts[:2]),
+        queue_share=0.5,
+    ))
+    registry.register(TenantSpec(
+        name="blue",
+        prefixes=tuple(scenario.subnets[h] for h in hosts[2:]),
+        hosts=tuple(hosts[2:]),
+        queue_share=0.5,
+    ))
+    return scenario, server, registry, hosts
+
+
+def test_set_slices_builds_views_and_checks(server, registry):
+    incidents = server.set_slices(registry)
+    assert incidents == []
+    assert sorted(server.tenant_views) == ["blue", "red"]
+    assert server.isolation is not None
+    assert server.isolation.full_checks == 1
+    for view in server.tenant_views.values():
+        assert view.num_paths() > 0
+
+
+def test_set_slices_rejects_foreign_headerspace(server, scenario):
+    from repro.bdd.headerspace import HeaderSpace
+
+    foreign = SliceRegistry(HeaderSpace())
+    foreign.register(TenantSpec(name="x", prefixes=("10.0.0.0/24",)))
+    with pytest.raises(ValueError, match="HeaderSpace"):
+        server.set_slices(foreign)
+
+
+def test_leak_raises_incident_through_server(server, registry, scenario, hosts):
+    server.set_slices(registry)
+    blue_port = registry.tenants["blue"].edge_ports[0]
+    sub = scenario.subnets[hosts[0]].rsplit("/", 1)[0] + "/26"
+    server.apply_rule_update(blue_port.switch, sub, blue_port.port)
+    incidents = server.drain_isolation_incidents()
+    assert incidents
+    assert server.isolation_incidents_total == len(incidents)
+    assert all(i.src_tenant == "red" for i in incidents)
+    server.apply_rule_delete(blue_port.switch, sub)
+    assert server.drain_isolation_incidents() == []
+
+
+def test_report_attribution_and_tenant_metrics():
+    scenario, server, registry, hosts = routed_setup()
+    server.set_slices(registry)
+    net = DataPlaneNetwork(
+        scenario.topo, scenario.channel,
+        report_sink=server.receive_report_bytes,
+    )
+    for src, dst in scenario.host_pairs():
+        net.inject_from_host(src, scenario.header_between(src, dst))
+    assert set(server.tenant_reports) == {"red", "blue"}
+    assert sum(server.tenant_reports.values()) > 0
+    text = render_prometheus(server.obs.registry.snapshot())
+    assert 'veridp_tenant_reports_total{tenant="red"}' in text
+    assert 'veridp_tenant_view_paths{tenant="blue"}' in text
+    assert 'veridp_coverage_tenant_dark_paths{tenant="red"}' in text
+    assert 'veridp_coverage_tenant_path_ratio{tenant="blue"}' in text
+    assert "veridp_isolation_incidents_total 0" in text
+    assert "veridp_isolation_checks_total" in text
+
+
+def test_per_tenant_dark_paths_filter():
+    scenario, server, registry, hosts = routed_setup()
+    server.set_slices(registry)
+    net = DataPlaneNetwork(
+        scenario.topo, scenario.channel,
+        report_sink=server.receive_report_bytes,
+    )
+    # Drive only red-destined traffic: blue's slice stays dark.
+    for src in hosts:
+        for dst in hosts[:2]:
+            if src != dst:
+                net.inject_from_host(src, scenario.header_between(src, dst))
+    red_dark = server.coverage.dark_paths("red")
+    blue_dark = server.coverage.dark_paths("blue")
+    all_dark = server.coverage.dark_paths()
+    assert len(blue_dark) > 0
+    # Tenant filters carve disjoint subsets of the full dark list (paths
+    # outside any footprint remain in neither tenant's work list).
+    assert len(red_dark) + len(blue_dark) <= len(all_dark)
+    # Every dark path attributed to blue really delivers at blue's ports.
+    blue_ports = set(registry.tenants["blue"].edge_ports)
+    assert all(outport in blue_ports for _, outport, _ in blue_dark)
+
+
+def test_stats_carries_tenant_and_isolation_sections(server, registry):
+    server.set_slices(registry)
+    stats = server.stats()
+    assert set(stats["tenants"]) == {"red", "blue"}
+    for row in stats["tenants"].values():
+        assert {"view_pairs", "view_paths", "reports", "pair_syncs"} <= set(row)
+    iso = stats["isolation"]
+    assert iso["incidents_total"] == 0
+    assert iso["full_checks"] == 1
+
+
+def test_daemon_auto_wires_quota_queue():
+    scenario, server, registry, hosts = routed_setup()
+    server.set_slices(registry)
+    daemon = VeriDPDaemon(server, workers=1, queue_size=64)
+    assert isinstance(daemon._queue, TenantQuotaQueue)
+    assert daemon._queue.cap_of("red") == 32
+    net = DataPlaneNetwork(scenario.topo, scenario.channel)
+    with daemon:
+        sent = 0
+        for src, dst in scenario.host_pairs():
+            result = net.inject_from_host(
+                src, scenario.header_between(src, dst)
+            )
+            for report in result.reports:
+                from repro.core.reports import pack_report
+
+                daemon.submit(pack_report(report, net.codec))
+                sent += 1
+        daemon.join()
+    stats = daemon.stats()
+    assert stats["processed"] == sent
+    assert set(stats["tenants"]) <= {"red", "blue", ""}
+    assert sum(row["puts"] for row in stats["tenants"].values()) == sent
+
+
+def test_daemon_without_slices_keeps_plain_queue(server):
+    daemon = VeriDPDaemon(server, workers=1)
+    assert not isinstance(daemon._queue, TenantQuotaQueue)
+
+
+def test_refresh_retargets_views_and_verifier():
+    scenario, server, registry, hosts = routed_setup()
+    server.set_slices(registry)
+    paths_before = {
+        n: v.num_paths() for n, v in server.tenant_views.items()
+    }
+    full_checks = server.isolation.full_checks
+    # Install through the channel: snapshot provider goes dirty, the next
+    # refresh rebuilds the table and must re-point views + verifier.
+    from repro.netmodel.rules import FlowRule, Forward, Match
+
+    host_port = scenario.topo.host_port(hosts[0])
+    scenario.controller.install(
+        host_port.switch,
+        FlowRule(
+            priority=140,
+            match=Match.build(
+                dst=scenario.subnets[hosts[0]].rsplit("/", 1)[0] + "/26"
+            ),
+            action=Forward(host_port.port),
+        ),
+    )
+    server.refresh_if_dirty()
+    assert server.isolation.full_checks == full_checks + 1
+    for name, view in server.tenant_views.items():
+        assert view.shared is server.table
+        assert view.num_paths() >= paths_before[name] - 1
+    assert server.drain_isolation_incidents() == []
