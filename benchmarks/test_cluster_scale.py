@@ -1,0 +1,172 @@
+"""Cluster scale-out: reports/s and verify latency vs node count.
+
+The same WAL-durable report stream (fat-tree, fsync=interval) is pushed
+through the sharded cluster at 1, 2, and 4 process nodes; the table
+reports end-to-end throughput and the p99 per-batch verify latency read
+from the merged ``veridp_node_batch_seconds`` histogram.
+
+Gate: >=1.6x throughput at 4 nodes over 1.  Scaling out verification
+processes cannot beat a single process on a single core (dispatch +
+pickle overhead with zero added compute), so — exactly like the
+build/update bench — the floor is conditioned on the usable CPU count
+and ``REPRO_BENCH_PARITY_ONLY=1`` skips it entirely; the measured ratio
+is always recorded in ``BENCH_cluster.json`` so a capable machine's run
+is auditable.
+
+Knobs: ``REPRO_CLUSTER_FT_K`` (topology size), ``REPRO_CLUSTER_REPORTS``
+(stream length).
+"""
+
+import os
+import time
+
+from conftest import env_int, print_table, write_json
+
+from repro.cluster import VeriDPCluster
+from repro.core.reports import pack_report
+from repro.core.server import VeriDPServer
+from repro.dataplane import DataPlaneNetwork
+from repro.topologies import build_fattree
+
+
+PARITY_ONLY = os.environ.get("REPRO_BENCH_PARITY_ONLY") == "1"
+FT_K = env_int("REPRO_CLUSTER_FT_K", 4 if PARITY_ONLY else 8)
+TOTAL_REPORTS = env_int("REPRO_CLUSTER_REPORTS", 4_000 if PARITY_ONLY else 20_000)
+NODE_COUNTS = (1, 2, 4)
+THROUGHPUT_FLOOR_AT_4 = 1.6
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def scale_floor(cpus: int) -> float:
+    """The 4-node gate, scaled to what the hardware can deliver."""
+    if cpus >= 4:
+        return THROUGHPUT_FLOOR_AT_4
+    if cpus >= 2:
+        return 1.1
+    return 0.0
+
+
+def payload_stream(scenario, net, count):
+    pairs = scenario.host_pairs()
+    base = []
+    for src, dst in pairs:
+        result = net.inject_from_host(src, scenario.header_between(src, dst))
+        base += [pack_report(r, net.codec) for r in result.reports]
+        if len(base) >= count:
+            break
+    payloads = []
+    while len(payloads) < count:
+        payloads += base
+    return payloads[:count]
+
+
+def histogram_p99(snapshot, name):
+    """p99 upper bound (seconds) across all label series of a histogram."""
+    metric = snapshot.get(name)
+    if metric is None:
+        return None
+    buckets = list(metric["buckets"])
+    totals = [0] * (len(buckets) + 1)
+    for counts, _sum in metric["values"].values():
+        for i, c in enumerate(counts):
+            totals[i] += c
+    count = sum(totals)
+    if count == 0:
+        return None
+    target = 0.99 * count
+    running = 0
+    for i, c in enumerate(totals):
+        running += c
+        if running >= target:
+            return buckets[i] if i < len(buckets) else float("inf")
+    return float("inf")  # pragma: no cover - running always reaches count
+
+
+def run_once(nodes, payloads, scenario, tmp_path):
+    server = VeriDPServer(
+        scenario.topo,
+        scenario.channel,
+        state_dir=str(tmp_path / f"state-{nodes}"),
+        fsync="interval",
+    )
+    try:
+        with VeriDPCluster(
+            server, nodes=nodes, node_mode="process", batch_size=256
+        ) as cluster:
+            started = time.perf_counter()
+            for payload in payloads:
+                cluster.submit(payload)
+            cluster.join(timeout=300)
+            elapsed = time.perf_counter() - started
+            stats = cluster.stats()
+            assert stats["processed"] == len(payloads), stats
+            assert sum(stats["counters"].values()) == stats["processed"]
+            p99 = histogram_p99(
+                cluster.coordinator.registry.snapshot(),
+                "veridp_node_batch_seconds",
+            )
+    finally:
+        server.close()
+    return {
+        "nodes": nodes,
+        "reports_per_s": len(payloads) / elapsed,
+        "elapsed_s": elapsed,
+        "p99_batch_verify_s": p99,
+        "pass": stats["counters"]["pass"],
+    }
+
+
+def test_cluster_scale(tmp_path):
+    scenario = build_fattree(FT_K)
+    net = DataPlaneNetwork(scenario.topo, scenario.channel)
+    payloads = payload_stream(scenario, net, TOTAL_REPORTS)
+
+    rows = []
+    results = []
+    for nodes in NODE_COUNTS:
+        result = run_once(nodes, payloads, scenario, tmp_path)
+        results.append(result)
+        rows.append((
+            result["nodes"],
+            f"{result['reports_per_s']:,.0f}",
+            f"{result['elapsed_s']:.2f}",
+            "-" if result["p99_batch_verify_s"] is None
+            else f"{result['p99_batch_verify_s'] * 1e3:.3f}",
+        ))
+
+    base = results[0]["reports_per_s"]
+    ratio_at_4 = results[-1]["reports_per_s"] / base
+    cpus = usable_cpus()
+    floor = 0.0 if PARITY_ONLY else scale_floor(cpus)
+
+    print_table(
+        f"Cluster scale-out (fat-tree k={FT_K}, {TOTAL_REPORTS} reports, "
+        f"WAL fsync=interval, {cpus} cpus)",
+        ["nodes", "reports/s", "elapsed s", "p99 batch ms"],
+        rows + [
+            ("4v1 ratio", f"{ratio_at_4:.2f}x",
+             f"gate >={floor:.1f}x" if floor else "gate off", ""),
+        ],
+        slug="BENCH_cluster",
+    )
+    write_json("BENCH_cluster", {
+        "ft_k": FT_K,
+        "reports": TOTAL_REPORTS,
+        "cpus": cpus,
+        "parity_only": PARITY_ONLY,
+        "results": results,
+        "ratio_4_over_1": ratio_at_4,
+        "floor": floor,
+    })
+
+    if floor:
+        assert ratio_at_4 >= floor, (
+            f"4-node scale-out {ratio_at_4:.2f}x below the {floor:.1f}x "
+            f"floor on {cpus} cpus"
+        )

@@ -352,6 +352,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         for incident in incidents:
             print(f"  {incident}")
+    if args.cluster > 0:
+        return _serve_cluster(args, scenario, server)
     if args.mode == "sharded":
         daemon = ShardedVeriDPDaemon(
             server,
@@ -417,6 +419,175 @@ def cmd_serve(args: argparse.Namespace) -> int:
     rows += [(f"udp_{k}", v) for k, v in sorted(listener.stats().items())]
     print(render_table(f"serve ({args.mode}) statistics", ["metric", "value"], rows))
     return 0
+
+
+def _serve_cluster(args: argparse.Namespace, scenario, server) -> int:
+    """The ``serve --cluster N`` path: frontend + N nodes + coordinator."""
+    import socket as _socket
+    import time as _time
+
+    from .cluster import VeriDPCluster
+    from .core.reports import pack_report
+    from .dataplane import DataPlaneNetwork
+
+    cluster = VeriDPCluster(
+        server,
+        nodes=args.cluster,
+        node_mode=args.cluster_mode,
+        engine=args.engine,
+        batch_size=args.batch_size,
+        vector=False if args.no_vector else None,
+    )
+    endpoint = None
+    try:
+        cluster.start()
+        address = cluster.listen_udp(args.host, args.port)
+        print(
+            f"cluster: {args.cluster} {args.cluster_mode} nodes, "
+            f"{cluster.ingest.engine} ingest, reports on "
+            f"udp://{address[0]}:{address[1]}"
+        )
+        if args.metrics_port is not None:
+            endpoint = cluster.metrics_endpoint(
+                host=args.metrics_host, port=args.metrics_port
+            )
+            endpoint.start()
+            host, port = endpoint.address
+            print(f"aggregated metrics on http://{host}:{port}/metrics")
+        if args.reports > 0:
+            net = DataPlaneNetwork(scenario.topo, scenario.channel)
+            pairs = scenario.host_pairs()
+            sent = 0
+            client = _socket.socket(_socket.AF_INET, _socket.SOCK_DGRAM)
+            try:
+                for i in range(args.reports):
+                    src, dst = pairs[i % len(pairs)]
+                    result = net.inject_from_host(
+                        src, scenario.header_between(src, dst)
+                    )
+                    for report in result.reports:
+                        client.sendto(pack_report(report, net.codec), address)
+                        sent += 1
+            finally:
+                client.close()
+            deadline = _time.monotonic() + 10.0
+            while (
+                cluster.frontend.submitted < sent
+                and _time.monotonic() < deadline
+            ):
+                _time.sleep(0.02)
+            cluster.join()
+            print(f"self-drive: sent {sent} reports from {args.reports} packets")
+        if args.duration is not None:
+            _time.sleep(args.duration)
+        elif args.reports == 0:
+            while True:  # serve until interrupted
+                cluster.check_nodes()
+                cluster.resync()
+                cluster.flush()
+                _time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        try:
+            cluster.join()
+        except TimeoutError:
+            pass
+        stats = cluster.stats()
+        if endpoint is not None:
+            endpoint.stop()
+        cluster.stop()
+        server.close()
+    rows = []
+    for key in sorted(stats):
+        value = stats[key]
+        if isinstance(value, dict):
+            rows += [(f"{key}.{k}", v) for k, v in sorted(value.items())]
+        else:
+            rows.append((key, value))
+    print(render_table("serve (cluster) statistics", ["metric", "value"], rows))
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Self-driving cluster demo: stream reports through N nodes with one
+    mid-stream node kill + failover and one join + rebalance, then print
+    the reconciled ledger — the ISSUE 9 acceptance scenario as a command.
+    """
+    from .cluster import VeriDPCluster
+    from .core import VeriDPServer
+    from .core.reports import pack_report
+    from .dataplane import DataPlaneNetwork
+    from .topologies.generators import build_linear
+
+    factories = _scenario_factories()
+    factories["linear"] = lambda args: build_linear(4)
+    scenario = factories[args.topo](args)
+    server = VeriDPServer(scenario.topo, scenario.channel)
+    net = DataPlaneNetwork(scenario.topo, scenario.channel)
+    pairs = scenario.host_pairs()
+    payloads = []
+    for src, dst in pairs:
+        result = net.inject_from_host(src, scenario.header_between(src, dst))
+        payloads += [pack_report(r, net.codec) for r in result.reports]
+    while len(payloads) < args.reports:
+        payloads += payloads
+    payloads = payloads[: args.reports]
+
+    with VeriDPCluster(
+        server,
+        nodes=args.nodes,
+        node_mode=args.node_mode,
+        engine=args.engine,
+        batch_size=args.batch_size,
+    ) as cluster:
+        third = max(1, len(payloads) // 3)
+        for i, payload in enumerate(payloads):
+            cluster.submit(payload)
+            if args.churn and i == third:
+                victim = cluster.nodes()[0]
+                cluster.kill_node(victim)
+                print(f"killed {victim} mid-stream")
+            if args.churn and i == 2 * third:
+                dead = cluster.check_nodes()
+                if dead:
+                    print(f"failover: {', '.join(dead)} "
+                          f"({cluster.coordinator.redelivered} redelivered)")
+                joined = cluster.add_node()
+                print(f"joined {joined} mid-stream (rebalanced "
+                      f"{cluster.coordinator.moved_pairs} pairs total)")
+        cluster.check_nodes()
+        cluster.join()
+        stats = cluster.stats()
+        converged = cluster.converged()
+
+    rows = [
+        ("nodes", stats["nodes"]),
+        ("engine", stats["engine"]),
+        ("submitted", stats["frontend"]["submitted"]),
+        ("processed", stats["processed"]),
+        ("malformed", stats["malformed"]),
+        ("failovers", stats["failovers"]),
+        ("redelivered", stats["redelivered"]),
+        ("rebalances", stats["rebalances"]),
+        ("moved_pairs", stats["moved_pairs"]),
+        ("unknown_reingested", stats["unknown_reingested"]),
+        ("replicas_converged", converged),
+    ]
+    rows += [(f"verdict[{k}]", v) for k, v in sorted(stats["counters"].items())]
+    rows += [(f"tenant[{k}]", int(v)) for k, v in sorted(stats["tenants"].items())]
+    print(render_table(
+        f"cluster ({args.topo}, {args.nodes} {args.node_mode} nodes)",
+        ["metric", "value"],
+        rows,
+    ))
+    ok = (
+        stats["processed"] + stats["malformed"]
+        == stats["frontend"]["submitted"] - stats["frontend"]["precheck_rejected"]
+        and converged
+    )
+    print("ledger reconciled" if ok else "LEDGER MISMATCH")
+    return 0 if ok else 1
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -779,6 +950,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="multi-tenant mode: slices.json tenant map; "
                             "enables per-tenant metrics, quota queues and "
                             "the cross-tenant isolation verifier")
+    serve.add_argument("--cluster", type=int, default=0, metavar="N",
+                       help="shard verification across N cluster nodes "
+                            "behind the asyncio ingestion frontend "
+                            "(0 = single-process daemon)")
+    serve.add_argument("--cluster-mode", choices=["thread", "process"],
+                       default="thread",
+                       help="run cluster nodes as threads or processes")
+    serve.add_argument("--engine", choices=["auto", "asyncio", "selectors"],
+                       default="auto",
+                       help="cluster ingestion engine (auto prefers asyncio)")
+    serve.add_argument("--batch-size", type=int, default=256,
+                       help="cluster frontend dispatch batch size")
+
+    cluster = add("cluster", "self-driving sharded-cluster demo with "
+                             "failover and rebalance")
+    cluster.add_argument("--topo",
+                         choices=["stanford", "internet2", "ft4", "ft6",
+                                  "linear"],
+                         default="linear")
+    cluster.add_argument("--nodes", type=int, default=3,
+                         help="initial verification node count")
+    cluster.add_argument("--node-mode", choices=["thread", "process"],
+                         default="thread")
+    cluster.add_argument("--engine",
+                         choices=["auto", "asyncio", "selectors"],
+                         default="auto")
+    cluster.add_argument("--reports", type=int, default=2000,
+                         help="reports streamed through the cluster")
+    cluster.add_argument("--batch-size", type=int, default=256)
+    cluster.add_argument("--no-churn", dest="churn", action="store_false",
+                         help="skip the mid-stream node kill + join")
 
     replay = add("replay", "re-verify a recorded report stream offline")
     replay.add_argument("state_dir",
@@ -850,6 +1052,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "probe": cmd_probe,
     "slice": cmd_slice,
     "serve": cmd_serve,
+    "cluster": cmd_cluster,
     "replay": cmd_replay,
 }
 

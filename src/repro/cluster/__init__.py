@@ -1,0 +1,47 @@
+"""Horizontally-scalable verification tier (DESIGN.md §14).
+
+The paper's pipeline funnels every switch report into one verification
+process; this package promotes the PR 5 pair-delta / ``replica_digest``
+resync protocol across process boundaries so verification scales out:
+
+* :mod:`repro.cluster.protocol`    — length-prefixed message streams,
+* :mod:`repro.cluster.ring`        — consistent-hash placement,
+* :mod:`repro.cluster.frontend`    — asyncio/selectors multi-socket
+  ingestion + exactly-once batch routing,
+* :mod:`repro.cluster.node`        — a verification worker behind TCP,
+* :mod:`repro.cluster.coordinator` — membership, rebalancing, resync and
+  fleet-wide aggregation,
+* :mod:`repro.cluster.cluster`     — the :class:`VeriDPCluster` facade.
+"""
+
+from __future__ import annotations
+
+from .cluster import VeriDPCluster
+from .coordinator import ClusterCoordinator
+from .frontend import (
+    AsyncioIngest,
+    ClusterFrontend,
+    SelectorIngest,
+    build_ingest,
+    routing_key_of,
+)
+from .node import NodeHandle, VerificationNode, start_node
+from .protocol import MessageStream, ProtocolError, message_name
+from .ring import HashRing
+
+__all__ = [
+    "VeriDPCluster",
+    "ClusterCoordinator",
+    "ClusterFrontend",
+    "AsyncioIngest",
+    "SelectorIngest",
+    "build_ingest",
+    "routing_key_of",
+    "VerificationNode",
+    "NodeHandle",
+    "start_node",
+    "MessageStream",
+    "ProtocolError",
+    "message_name",
+    "HashRing",
+]

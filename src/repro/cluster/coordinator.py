@@ -1,0 +1,626 @@
+"""Cluster coordinator: membership, placement and convergence.
+
+The coordinator is the only component that holds the *authoritative*
+path table (inside its :class:`~repro.core.server.VeriDPServer`); the
+nodes hold compiled replicas of disjoint slices of it.  Its job is to
+keep three views consistent under churn:
+
+* **the ring** — which node owns which routing key (``tenant:<name>`` or
+  ``pair:<key>``), smoothed with virtual nodes,
+* **the placement map** — the frontend's routing truth, only ever
+  flipped *after* the destination replica holds the moved specs,
+* **the replicas** — kept current with the table through the PR 5
+  dirty-pair journal (``table.dirty_since``), shipped as ``MSG_PATCH``
+  deltas with a full ``MSG_RELOAD`` fallback on journal overflow.
+
+Rebalance invariant (DESIGN.md §14): a pair's spec reaches its new owner
+**before** routing flips, and leaves its old owner only **after** a
+post-flip drain — so a correctly-routed report never meets a replica
+without its pair, and "unknown pair" on a node is always either a race
+the coordinator resolves by authoritative re-ingest, or a genuinely
+unknown pair which re-ingest will also verdict correctly.
+
+Verdict accounting is exactly-once: node counts surface only through
+flush replies (merged here, which also acks the frontend's un-acked
+batches), a killed node's unflushed counts and unflushed batches are
+discarded and redelivered together, and unknown-pair payloads are never
+counted remotely — only by the coordinator's own re-ingest.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..core.daemon import build_pair_spec, replica_digest, wire_packing
+from ..obs import MetricsRegistry, Observability
+from .frontend import ClusterFrontend, routing_key_of
+from .node import NodeHandle, start_node
+from .protocol import (
+    MSG_DIGEST,
+    MSG_DIGEST_REPLY,
+    MSG_FLUSH,
+    MSG_FLUSH_REPLY,
+    MSG_PATCH,
+    MSG_PING,
+    MSG_PONG,
+    MSG_RELOAD,
+    MessageStream,
+)
+
+__all__ = ["ClusterCoordinator"]
+
+from ..core.verifier import Verdict
+
+_SAMPLE_CAP = 256
+
+
+class _Member:
+    """One live node from the coordinator's side: handle + control stream."""
+
+    def __init__(self, handle: NodeHandle, control: MessageStream) -> None:
+        self.node_id = handle.node_id
+        self.handle = handle
+        self.control = control
+        #: Serialises request/reply turns on the control stream.
+        self.lock = threading.Lock()
+        self._tokens = itertools.count(1)
+
+    def token(self) -> int:
+        return next(self._tokens)
+
+
+class ClusterCoordinator:
+    """Membership + placement + aggregation over verification nodes."""
+
+    def __init__(
+        self,
+        server,
+        frontend: Optional[ClusterFrontend] = None,
+        node_mode: str = "thread",
+        vector: Optional[bool] = None,
+        vnodes: int = 64,
+        heartbeat_timeout: float = 3.0,
+    ) -> None:
+        self.server = server
+        self.frontend = frontend or ClusterFrontend(persist=server.persist)
+        self.frontend.ring.vnodes = vnodes
+        self.node_mode = node_mode
+        self.vector = vector
+        self.heartbeat_timeout = heartbeat_timeout
+        self._packing = wire_packing(server.hs.layout)
+        self._members: Dict[str, _Member] = {}
+        self._lock = threading.RLock()  # membership + placement + resync
+        self._ids = itertools.count(1)
+        #: routing key -> {(in_wire, out_wire): spec} — the authoritative
+        #: compiled view the replicas are sliced from.
+        self._specs: Dict[str, Dict[Tuple[int, int], tuple]] = {}
+        #: (in_wire, out_wire) -> owning tenant name ("" = unsliced).
+        self._tenant: Dict[Tuple[int, int], str] = {}
+        self._dirty_token = None
+        self._replica_version = -1
+        #: Merged node-side metrics (deltas folded in at every flush).
+        self.registry = MetricsRegistry()
+        # cluster ledger
+        self.processed = 0
+        self.malformed = 0
+        self.crashed = 0
+        self.counters = {v.value: 0 for v in Verdict}
+        self.unknown_reingested = 0
+        self.incidents: List[Tuple[bytes, str]] = []
+        self.malformed_sample: List[bytes] = []
+        # churn counters (the rebalance-scope assertions read these)
+        self.rebalances = 0
+        self.moved_pairs = 0
+        self.rebalance_patches = 0
+        self.failovers = 0
+        self.redelivered = 0
+        self.resyncs = 0
+        self.resync_pairs = 0
+        self.full_resyncs = 0
+        self.resync_delta_bytes = 0
+        self.flushes = 0
+        self._bootstrap_specs()
+
+    # -- authoritative spec view -------------------------------------------
+
+    def _pair_wire(self, inport, outport) -> Tuple[int, int]:
+        codec = self.server.codec
+        return (codec.encode(inport), codec.encode(outport))
+
+    def _tenant_of_port(self, outport) -> str:
+        slices = self.server.slices
+        if slices is None:
+            return ""
+        return slices.port_owner.get(outport, "")
+
+    def _bootstrap_specs(self) -> None:
+        """Compile the whole table into routing-key buckets (startup)."""
+        server = self.server
+        table = server.table
+        for inport, outport in table.pairs():
+            spec = build_pair_spec(table, server.hs, inport, outport)
+            if spec is None:  # pragma: no cover - pairs() lists known keys
+                continue
+            self._admit_pair(inport, outport, spec)
+        self._replica_version = table.version
+        self._dirty_token = table.dirty_token()
+
+    def _admit_pair(self, inport, outport, spec) -> str:
+        """Index one compiled pair under its routing key; returns the key."""
+        wire = self._pair_wire(inport, outport)
+        tenant = self._tenant_of_port(outport)
+        self._tenant[wire] = tenant
+        key = routing_key_of((wire[0] << 16) | wire[1], tenant)
+        self._specs.setdefault(key, {})[wire] = spec
+        if tenant:
+            self.frontend.tenant_of[(wire[0] << 16) | wire[1]] = tenant
+        return key
+
+    def _drop_pair(self, inport, outport) -> str:
+        wire = self._pair_wire(inport, outport)
+        tenant = self._tenant.pop(wire, "")
+        key = routing_key_of((wire[0] << 16) | wire[1], tenant)
+        bucket = self._specs.get(key)
+        if bucket is not None:
+            bucket.pop(wire, None)
+            if not bucket:
+                del self._specs[key]
+                self.frontend.placement.pop(key, None)
+        return key
+
+    def _replica_of(self, node_id: str) -> Dict[Tuple[int, int], tuple]:
+        """The replica node ``node_id`` *should* hold, per placement."""
+        replica: Dict[Tuple[int, int], tuple] = {}
+        for key, owner in self.frontend.placement.items():
+            if owner == node_id:
+                replica.update(self._specs.get(key, {}))
+        return replica
+
+    def _tagged(self, bucket: Dict[Tuple[int, int], tuple]) -> Dict:
+        """Attach tenant tags: the node-side replica message shape."""
+        return {
+            wire: (spec, self._tenant.get(wire, "")) for wire, spec in bucket.items()
+        }
+
+    # -- membership --------------------------------------------------------
+
+    def members(self) -> List[str]:
+        with self._lock:
+            return sorted(self._members)
+
+    def start(self, nodes: int) -> List[str]:
+        """Bootstrap: spawn ``nodes`` members (each join rebalances)."""
+        return [self.add_node() for _ in range(nodes)]
+
+    def add_node(self, node_id: Optional[str] = None) -> str:
+        """Spawn + join one node, moving only the keys its arcs claim.
+
+        Join order is the rebalance invariant in motion: (1) the new
+        replica is loaded, (2) routing flips, (3) the old owners drain,
+        (4) only then do the moved pairs leave the old replicas.
+        """
+        with self._lock:
+            node_id = node_id or f"node-{next(self._ids)}"
+            handle = start_node(
+                node_id,
+                self._packing,
+                mode=self.node_mode,
+                vector=self.vector,
+            )
+            control = MessageStream.connect(handle.address)
+            member = _Member(handle, control)
+            # 1. who loses keys to the newcomer?
+            ring = self.frontend.ring
+            moved: Dict[str, Optional[str]] = {}  # key -> old owner
+            ring.add(node_id)
+            try:
+                for key in self._specs:
+                    if ring.owner(key) == node_id:
+                        moved[key] = self.frontend.placement.get(key)
+            finally:
+                ring.remove(node_id)
+            # 2. load the new replica before any routing can reach it.
+            replica: Dict[Tuple[int, int], tuple] = {}
+            for key in moved:
+                replica.update(self._specs.get(key, {}))
+            control.send(MSG_RELOAD, self._tagged(replica))
+            self._members[node_id] = member
+            self.frontend.attach_node(node_id, handle.address)
+            # 3. flip routing, drain the old owners.
+            for key in moved:
+                self.frontend.placement[key] = node_id
+            old_owners = sorted({o for o in moved.values() if o})
+            if old_owners:
+                self.frontend.flush_buffers()
+                self.flush()
+                # 4. the moved pairs leave the old replicas.
+                for owner in old_owners:
+                    patch = {
+                        wire: None
+                        for key, old in moved.items()
+                        if old == owner
+                        for wire in self._specs.get(key, {})
+                    }
+                    if patch:
+                        self._members[owner].control.send(MSG_PATCH, patch)
+                        self.rebalance_patches += 1
+                self.rebalances += 1
+                self.moved_pairs += len(replica)
+            return node_id
+
+    def remove_node(self, node_id: str) -> None:
+        """Graceful leave: drain, move the replica, stop the process."""
+        with self._lock:
+            member = self._members.get(node_id)
+            if member is None:
+                raise KeyError(f"unknown node {node_id!r}")
+            moved = {
+                key: owner
+                for key, owner in self.frontend.placement.items()
+                if owner == node_id
+            }
+            # Prospective owners, with the leaver off the ring.
+            ring = self.frontend.ring
+            ring.remove(node_id)
+            try:
+                new_owner_of = {key: ring.owner(key) for key in moved}
+            finally:
+                ring.add(node_id)
+            # Ship the replica slices to the survivors first.
+            patches: Dict[str, Dict] = {}
+            for key, new_owner in new_owner_of.items():
+                if new_owner is None:
+                    continue
+                patches.setdefault(new_owner, {}).update(
+                    self._tagged(self._specs.get(key, {}))
+                )
+            for owner, patch in patches.items():
+                self._members[owner].control.send(MSG_PATCH, patch)
+                self.rebalance_patches += 1
+            # Flip routing, then drain the leaver completely.
+            for key, new_owner in new_owner_of.items():
+                if new_owner is not None:
+                    self.frontend.placement[key] = new_owner
+            self.frontend.flush_buffers()
+            self.flush()
+            pending = self.frontend.detach_node(node_id)
+            del self._members[node_id]
+            if pending:  # pragma: no cover - drain above should empty it
+                self.redelivered += self.frontend.redeliver(pending)
+            if patches:
+                self.rebalances += 1
+                self.moved_pairs += sum(len(p) for p in patches.values())
+            member.control.close()
+            member.handle.stop()
+
+    def kill_node(self, node_id: str) -> None:
+        """Chaos hook: SIGKILL/stop the node with no drain whatsoever."""
+        with self._lock:
+            member = self._members.get(node_id)
+        if member is None:
+            raise KeyError(f"unknown node {node_id!r}")
+        member.handle.kill()
+
+    # -- failure detection -------------------------------------------------
+
+    def check_nodes(self) -> List[str]:
+        """Heartbeat every member; fail over the ones that are gone."""
+        dead: List[str] = []
+        with self._lock:
+            for node_id, member in list(self._members.items()):
+                if not member.handle.alive():
+                    dead.append(node_id)
+                    continue
+                try:
+                    with member.lock:
+                        token = member.token()
+                        member.control.send(MSG_PING, (token,))
+                        mtype, body = member.control.recv(
+                            timeout=self.heartbeat_timeout
+                        )
+                    if mtype != MSG_PONG or body[1] != token:
+                        dead.append(node_id)
+                except (OSError, ConnectionError):
+                    dead.append(node_id)
+            for node_id in dead:
+                self._failover(node_id)
+        return dead
+
+    def _failover(self, node_id: str) -> None:
+        """Reassign a dead node's keys and redeliver its un-acked work."""
+        member = self._members.pop(node_id, None)
+        if member is not None:
+            member.control.close()
+            member.handle.kill()
+        orphaned = [
+            key
+            for key, owner in self.frontend.placement.items()
+            if owner == node_id
+        ]
+        # detach first: takes the node off the ring so owner() below is
+        # computed against the surviving membership, and surrenders the
+        # un-acked batches (the dead node's unflushed counts died with it,
+        # so redelivering these counts every verdict exactly once).
+        pending = self.frontend.detach_node(node_id)
+        patches: Dict[str, Dict] = {}
+        for key in orphaned:
+            new_owner = self.frontend.ring.owner(key)
+            if new_owner is None:
+                continue
+            patches.setdefault(new_owner, {}).update(
+                self._tagged(self._specs.get(key, {}))
+            )
+            self.frontend.placement[key] = new_owner
+        for owner, patch in patches.items():
+            self._members[owner].control.send(MSG_PATCH, patch)
+        self.failovers += 1
+        if pending:
+            count = self.frontend.redeliver(pending)
+            self.redelivered += count
+
+    # -- replica resync (the PR 5 protocol over sockets) -------------------
+
+    def resync(self) -> Optional[int]:
+        """Bring replicas up to date with the table via the dirty journal.
+
+        Returns patched-pair count, 0 when already current, ``None`` when
+        the journal overflowed and full reloads were shipped instead.
+        """
+        with self._lock:
+            server = self.server
+            table = server.table
+            if table.version == self._replica_version:
+                return 0
+            token, dirty = table.dirty_since(self._dirty_token)
+            if dirty is None:
+                # journal overflow / table swap: rebuild everything.
+                self._specs.clear()
+                self._tenant.clear()
+                self.frontend.tenant_of.clear()
+                self._bootstrap_specs()
+                self._place_new_keys()
+                for node_id, member in self._members.items():
+                    body = self._tagged(self._replica_of(node_id))
+                    self.resync_delta_bytes += member.control.send(
+                        MSG_RELOAD, body
+                    )
+                self.resyncs += 1
+                self.full_resyncs += 1
+                self._dirty_token = token
+                self._replica_version = table.version
+                return None
+            patches: Dict[str, Dict] = {}
+            for inport, outport in dirty:
+                spec = build_pair_spec(table, server.hs, inport, outport)
+                if spec is None:
+                    # Resolve the owner BEFORE dropping: removing the last
+                    # pair of a bucket also retires its placement entry,
+                    # and the drop-patch must still reach the old owner.
+                    wire = self._pair_wire(inport, outport)
+                    tenant = self._tenant.get(wire, "")
+                    key = routing_key_of((wire[0] << 16) | wire[1], tenant)
+                    owner = self.frontend.placement.get(key)
+                    if owner is None:
+                        owner = self.frontend.ring.owner(key)
+                    self._drop_pair(inport, outport)
+                    if owner is not None:
+                        patches.setdefault(owner, {})[wire] = None
+                else:
+                    key = self._admit_pair(inport, outport, spec)
+                    wire = self._pair_wire(inport, outport)
+                    owner = self.frontend.placement.get(key)
+                    if owner is None:
+                        owner = self.frontend.ring.owner(key)
+                        if owner is not None:
+                            self.frontend.placement[key] = owner
+                    if owner is not None:
+                        patches.setdefault(owner, {})[wire] = (
+                            spec,
+                            self._tenant.get(wire, ""),
+                        )
+            for node_id, patch in patches.items():
+                member = self._members.get(node_id)
+                if member is not None:
+                    self.resync_delta_bytes += member.control.send(
+                        MSG_PATCH, patch
+                    )
+            self.resyncs += 1
+            self.resync_pairs += len(dirty)
+            self._dirty_token = token
+            self._replica_version = table.version
+            return len(dirty)
+
+    def _place_new_keys(self) -> None:
+        """Pin every un-placed routing key to its ring owner."""
+        for key in self._specs:
+            if key not in self.frontend.placement:
+                owner = self.frontend.ring.owner(key)
+                if owner is not None:
+                    self.frontend.placement[key] = owner
+
+    # -- flush / aggregation -----------------------------------------------
+
+    def flush(self, timeout: float = 10.0) -> int:
+        """Collect one round of results from every member; returns payloads
+        folded in (verified + malformed + re-ingested unknowns)."""
+        with self._lock:
+            members = list(self._members.values())
+        folded = 0
+        for member in members:
+            try:
+                with member.lock:
+                    token = member.token()
+                    member.control.send(MSG_FLUSH, (token,))
+                    while True:
+                        mtype, body = member.control.recv(timeout=timeout)
+                        if mtype == MSG_FLUSH_REPLY and body[1] == token:
+                            break
+            except (OSError, ConnectionError):
+                continue  # check_nodes() will fail it over
+            folded += self._merge_reply(body)
+        self.flushes += 1
+        return folded
+
+    def _merge_reply(self, body) -> int:
+        (
+            node_id,
+            _token,
+            processed,
+            malformed,
+            counters,
+            failures,
+            crashed,
+            unknown,
+            malformed_sample,
+            last_seq,
+            snapshot,
+        ) = body
+        with self._lock:
+            self.processed += processed
+            self.malformed += malformed
+            self.crashed += len(crashed)
+            for verdict, count in counters.items():
+                self.counters[verdict] += count
+            for payload in malformed_sample:
+                if len(self.malformed_sample) < _SAMPLE_CAP:
+                    self.malformed_sample.append(payload)
+            self.registry.merge(snapshot)
+        self.frontend.ack(node_id, last_seq)
+        # Failures re-ingest through the authoritative server for
+        # localization (Algorithm 4) and incident logging; the cluster
+        # verdict ledger already counted them from the node's counters.
+        for payload, verdict in failures:
+            self.incidents.append((payload, verdict))
+            try:
+                self.server.try_receive_report_bytes(payload, record=False)
+            except Exception:  # pragma: no cover - localization is advisory
+                pass
+        # Unknown-pair payloads: only the authoritative table can verdict
+        # these (routing race vs genuinely unknown pair).
+        folded = processed + malformed
+        for payload in unknown:
+            incident = self.server.try_receive_report_bytes(
+                payload, record=False
+            )
+            with self._lock:
+                self.unknown_reingested += 1
+                if incident is None:
+                    self.malformed += 1
+                else:
+                    verdict = incident.verification.verdict.value
+                    self.processed += 1
+                    self.counters[verdict] += 1
+                    if verdict != Verdict.PASS.value:
+                        self.incidents.append((payload, verdict))
+            folded += 1
+        return folded
+
+    def join(self, timeout: float = 30.0) -> None:
+        """Flush until every dispatched batch is acked (end of stream)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            self.frontend.flush_buffers()
+            self.flush()
+            with self._lock:
+                node_ids = list(self._members)
+            outstanding = sum(
+                sum(self.frontend.pending(node_id)) for node_id in node_ids
+            )
+            if outstanding == 0:
+                return
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"cluster join timed out with {outstanding} pending"
+                )
+            time.sleep(0.01)
+
+    # -- convergence -------------------------------------------------------
+
+    def digests(self, timeout: float = 10.0) -> Dict[str, str]:
+        """Each node's replica fingerprint, by node id."""
+        out: Dict[str, str] = {}
+        with self._lock:
+            members = list(self._members.values())
+        for member in members:
+            with member.lock:
+                token = member.token()
+                member.control.send(MSG_DIGEST, (token,))
+                while True:
+                    mtype, body = member.control.recv(timeout=timeout)
+                    if mtype == MSG_DIGEST_REPLY and body[1] == token:
+                        break
+            out[body[0]] = body[2]
+        return out
+
+    def expected_digests(self) -> Dict[str, str]:
+        """What each node's fingerprint *must* be, from the placement map."""
+        with self._lock:
+            return {
+                node_id: replica_digest(self._replica_of(node_id))
+                for node_id in self._members
+            }
+
+    def converged(self) -> bool:
+        return self.digests() == self.expected_digests()
+
+    # -- exposure ----------------------------------------------------------
+
+    def tenant_totals(self) -> Dict[str, float]:
+        """Fleet-wide per-tenant report totals (node label summed out)."""
+        snapshot = self.registry.snapshot()
+        entry = snapshot.get("veridp_cluster_tenant_reports_total")
+        totals: Dict[str, float] = {}
+        if entry is None:
+            return totals
+        tenant_at = entry["labelnames"].index("tenant")
+        for labels, value in entry["values"].items():
+            tenant = labels[tenant_at]
+            totals[tenant] = totals.get(tenant, 0) + value
+        return totals
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            out: Dict[str, object] = {
+                "nodes": len(self._members),
+                "processed": self.processed,
+                "malformed": self.malformed,
+                "crashed": self.crashed,
+                "counters": dict(self.counters),
+                "unknown_reingested": self.unknown_reingested,
+                "incidents": len(self.incidents),
+                "rebalances": self.rebalances,
+                "moved_pairs": self.moved_pairs,
+                "rebalance_patches": self.rebalance_patches,
+                "failovers": self.failovers,
+                "redelivered": self.redelivered,
+                "resyncs": self.resyncs,
+                "resync_pairs": self.resync_pairs,
+                "full_resyncs": self.full_resyncs,
+                "resync_delta_bytes": self.resync_delta_bytes,
+                "flushes": self.flushes,
+            }
+        out["frontend"] = self.frontend.stats()
+        out["tenants"] = self.tenant_totals()
+        return out
+
+    def metrics_endpoint(self, host: str = "127.0.0.1", port: int = 0):
+        """An HTTP ``/metrics`` endpoint over the merged node registries."""
+        return Observability(registry=self.registry).endpoint(
+            host=host, port=port, varz=self.stats
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def stop(self) -> None:
+        with self._lock:
+            node_ids = list(self._members)
+        for node_id in node_ids:
+            member = self._members.pop(node_id, None)
+            if member is None:
+                continue
+            self.frontend.detach_node(node_id)
+            member.control.close()
+            member.handle.stop()

@@ -85,6 +85,7 @@ from .resilience import (
     TenantQuotaQueue,
     WorkerProbe,
     WorkerSupervisor,
+    drop_stat_aliases,
 )
 from .server import Incident, VeriDPServer
 from .vector import (
@@ -105,6 +106,9 @@ __all__ = [
     "build_one_shard_spec",
     "replica_digest",
     "wire_packing",
+    "frame_batch",
+    "unframe_batch",
+    "verify_wire",
 ]
 
 _STOP = object()
@@ -558,10 +562,10 @@ class VeriDPDaemon:
 
         Canonical drop keys follow :meth:`PolicyQueue.stats` (see DESIGN.md
         §8 for the alias mapping): ``dropped_new`` / ``dropped_oldest`` /
-        ``block_timeouts`` with ``dropped`` as their total.  The historical
-        ``dropped_full_queue`` key (= ``dropped_new + block_timeouts``) is
-        kept as a compatibility alias.  After :meth:`join` the ledger
-        closes exactly::
+        ``block_timeouts`` with ``dropped`` as their total.  The deprecated
+        ``dropped_full_queue`` alias (= ``dropped_new + block_timeouts``)
+        is derived by the single :func:`drop_stat_aliases` shim.  After
+        :meth:`join` the ledger closes exactly::
 
             submitted == processed + malformed + verify_errors + dropped
         """
@@ -578,14 +582,10 @@ class VeriDPDaemon:
                 "incidents_total": self.server.incidents_total,
                 "overflow_policy": self.overflow.value,
                 "dropped_new": queue_stats["dropped_new"],
-                "dropped_full_queue": queue_stats["dropped_new"]
-                + queue_stats["block_timeouts"],
                 "dropped_oldest": queue_stats["dropped_oldest"],
                 "block_timeouts": queue_stats["block_timeouts"],
             }
-        merged["dropped"] = (
-            merged["dropped_full_queue"] + merged["dropped_oldest"]
-        )
+        drop_stat_aliases(merged)
         merged["verified"] = sum(
             v.verified_count for v in self._worker_verifiers
         )
@@ -792,6 +792,14 @@ def _verify_wire(
     if matched < 0:
         return _FAIL_NO_PATH
     return _PASS if tags[matched] == tag else _FAIL_MISMATCH
+
+
+# Public names for the replica-protocol helpers: the cluster tier
+# (repro.cluster) speaks the same frame/verify/spec machinery over
+# sockets, so these stop being private to this module's worker loop.
+frame_batch = _frame_batch
+unframe_batch = _unframe_batch
+verify_wire = _verify_wire
 
 
 def _shard_worker_main(
@@ -1098,7 +1106,7 @@ class ShardedVeriDPDaemon:
         self.processed = 0
         self.malformed = 0
         self.verify_errors = 0
-        self.dropped_full_queue = 0
+        self.dropped_new = 0  # sharded tail drop (canonical spelling)
         self.counters: Dict[Verdict, int] = {v: 0 for v in Verdict}
         self.dead_letters = DeadLetterQueue(
             capacity=dead_letter_capacity, max_attempts=dead_letter_attempts
@@ -1212,7 +1220,7 @@ class ShardedVeriDPDaemon:
             "Payloads lost to backpressure, by overflow policy decision.",
             ("policy",),
             callback=lambda: {
-                ("drop-new",): self.dropped_full_queue
+                ("drop-new",): self.dropped_new
                 + (
                     0
                     if self._fallback is None
@@ -1528,7 +1536,7 @@ class ShardedVeriDPDaemon:
             except queue.Full:
                 if self.overflow is not OverflowPolicy.BLOCK:
                     with self._merge_lock:
-                        self.dropped_full_queue += len(batch)
+                        self.dropped_new += len(batch)
                     return False
                 # BLOCK: make sure a live consumer exists, then retry
                 # (a restart swaps in a fresh queue; re-read it above).
@@ -1961,9 +1969,11 @@ class ShardedVeriDPDaemon:
                          + dropped_new + lost_in_restart
 
         ``dropped_new`` is the canonical name for sharded tail drop (the
-        only policy decision this daemon can take); ``dropped_full_queue``
-        is kept as its historical alias and ``dropped`` as the
-        policy-total, mirroring :meth:`PolicyQueue.stats` (DESIGN.md §8).
+        only policy decision this daemon can take); ``dropped_oldest``
+        and ``block_timeouts`` are emitted as 0 for key uniformity, and
+        the deprecated ``dropped_full_queue`` alias plus the ``dropped``
+        policy-total come from the single :func:`drop_stat_aliases`
+        shim, mirroring :meth:`PolicyQueue.stats` (DESIGN.md §8).
         """
         with self._dispatch_lock:
             submitted = self.submitted
@@ -1971,7 +1981,7 @@ class ShardedVeriDPDaemon:
             processed = self.processed
             malformed = self.malformed
             verify_errors = self.verify_errors
-            dropped = self.dropped_full_queue
+            dropped = self.dropped_new
             counters = dict(self.counters)
             lost = max(0, sum(self._dispatched) - sum(self._accounted))
         verified = sum(counters.values())
@@ -1988,8 +1998,8 @@ class ShardedVeriDPDaemon:
             "incidents_total": self.server.incidents_total,
             "overflow_policy": self.overflow.value,
             "dropped_new": dropped,
-            "dropped_full_queue": dropped,
-            "dropped": dropped,
+            "dropped_oldest": 0,
+            "block_timeouts": 0,
             "lost_in_restart": lost,
             "degraded": int(self.degraded),
             "vector": self.vector,
@@ -2002,13 +2012,12 @@ class ShardedVeriDPDaemon:
             fb = fallback.stats()
             for key in ("processed", "malformed", "verify_errors", "verified", "failed"):
                 stats[key] += fb[key]
-            stats["dropped_new"] += fb["dropped_new"]
-            stats["dropped_full_queue"] += fb["dropped_full_queue"]
-            stats["dropped"] += fb["dropped"]
+            for key in ("dropped_new", "dropped_oldest", "block_timeouts"):
+                stats[key] += fb[key]
             stats["dead_lettered"] += fb["dead_lettered"]
             stats["dead_letter_quarantined"] += fb["dead_letter_quarantined"]
             stats["incidents"] = fb["incidents"]
-        return stats
+        return drop_stat_aliases(stats)
 
 
 class UdpReportListener:
@@ -2031,12 +2040,18 @@ class UdpReportListener:
         port: int = 0,
         max_socket_errors: int = 8,
         error_backoff: float = 0.05,
+        max_rebinds: int = 32,
     ) -> None:
         self.daemon = daemon
         self._host = host
         self._port = port
         self.max_socket_errors = max_socket_errors
         self.error_backoff = error_backoff
+        # Lifetime cap on rebinds: consecutive-error streaks reset on any
+        # successful receive, so intermittent faults used to allow silent
+        # rebinding forever.  Past this total the listener gives up and
+        # stops (the supervisor/operator decides what happens next).
+        self.max_rebinds = max_rebinds
         self._socket: Optional[socket.socket] = None
         self._open_socket()
         self._thread: Optional[threading.Thread] = None
@@ -2046,6 +2061,7 @@ class UdpReportListener:
         self.dropped = 0
         self.wrong_size = 0  # datagrams whose length cannot be a report
         self.socket_errors = 0
+        self.rebinds = 0
         self.obs = getattr(daemon, "obs", None) or Observability()
         self._register_metrics()
 
@@ -2075,6 +2091,12 @@ class UdpReportListener:
             "veridp_udp_socket_errors_total",
             "Transient socket errors absorbed by the receive loop.",
             callback=lambda: self.socket_errors,
+        )
+        reg.counter(
+            "veridp_listener_rebind_total",
+            "Report-socket rebinds after transient errors (capped by "
+            "max_rebinds over the listener's lifetime).",
+            callback=lambda: self.rebinds,
         )
 
     def _open_socket(self) -> None:
@@ -2129,6 +2151,7 @@ class UdpReportListener:
             "dropped": self.dropped,
             "wrong_size": self.wrong_size,
             "socket_errors": self.socket_errors,
+            "rebinds": self.rebinds,
         }
 
     def _loop(self) -> None:
@@ -2149,6 +2172,12 @@ class UdpReportListener:
                 if consecutive_errors > self.max_socket_errors:
                     self._running = False
                     return
+                if self.rebinds >= self.max_rebinds:
+                    # Consecutive streaks reset on success, so without this
+                    # lifetime cap an intermittently-failing socket rebinds
+                    # silently forever.  Stop loudly instead.
+                    self._running = False
+                    return
                 time.sleep(
                     min(1.0, self.error_backoff * (2 ** consecutive_errors))
                 )
@@ -2158,6 +2187,7 @@ class UdpReportListener:
                     self._open_socket()
                 except OSError:
                     continue  # backoff again on the next pass
+                self.rebinds += 1
                 continue
             consecutive_errors = 0
             self.received += 1

@@ -36,6 +36,7 @@ __all__ = [
     "OverflowPolicy",
     "PolicyQueue",
     "TenantQuotaQueue",
+    "drop_stat_aliases",
     "QueueStopped",
     "DeadLetter",
     "DeadLetterQueue",
@@ -251,6 +252,25 @@ class PolicyQueue:
                     self.dropped_new + self.dropped_oldest + self.block_timeouts
                 ),
             }
+
+
+def drop_stat_aliases(stats: Dict[str, int]) -> Dict[str, int]:
+    """THE compatibility shim for the drop-key spellings (DESIGN.md §8).
+
+    Canonical keys are ``dropped_new`` / ``dropped_oldest`` /
+    ``block_timeouts``; this fills any that are absent with 0, derives
+    ``dropped`` (their total) and the deprecated ``dropped_full_queue``
+    alias (= ``dropped_new + block_timeouts``, its historical meaning).
+    Every ``stats()`` surface routes through here instead of hand-rolling
+    the alias, so retiring ``dropped_full_queue`` one day is one deletion.
+    Mutates and returns ``stats``.
+    """
+    new = stats.setdefault("dropped_new", 0)
+    oldest = stats.setdefault("dropped_oldest", 0)
+    timeouts = stats.setdefault("block_timeouts", 0)
+    stats["dropped"] = new + oldest + timeouts
+    stats["dropped_full_queue"] = new + timeouts
+    return stats
 
 
 class _TenantItem:

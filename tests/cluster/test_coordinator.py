@@ -1,0 +1,213 @@
+"""Coordinator: membership, scoped rebalancing, failover, and resync.
+
+These tests run full in-process clusters (thread nodes) and assert the
+rebalance invariant the subsystem is built around: membership churn moves
+*only* the pairs whose routing keys changed owner, everything else keeps
+verifying uninterrupted, and every replica fingerprint converges to the
+coordinator's authoritative table slice.
+"""
+
+import pytest
+
+from repro.cluster import VeriDPCluster
+from repro.core.server import VeriDPServer
+from repro.slice.registry import SliceRegistry, TenantSpec
+from repro.topologies import build_linear
+
+from .conftest import healthy_payloads
+
+
+def make_cluster(server, nodes=2, **kwargs):
+    return VeriDPCluster(server, nodes=nodes, node_mode="thread", **kwargs)
+
+
+class TestMembership:
+    def test_start_converges_and_verifies(self, rig):
+        scenario, server, net = rig
+        payloads = healthy_payloads(scenario, net, 120)
+        with make_cluster(server, nodes=3) as cluster:
+            assert len(cluster.nodes()) == 3
+            assert cluster.converged()
+            for payload in payloads:
+                assert cluster.submit(payload)
+            cluster.join()
+            stats = cluster.stats()
+            assert stats["processed"] == 120
+            assert stats["counters"]["pass"] == 120
+            assert stats["incidents"] == 0
+
+    def test_join_moves_only_rebalanced_keys(self, rig):
+        _, server, _ = rig
+        with make_cluster(server, nodes=2) as cluster:
+            frontend = cluster.frontend
+            before = dict(frontend.placement)
+            moved_before = cluster.coordinator.moved_pairs
+            joined = cluster.add_node()
+            after = dict(frontend.placement)
+            assert after.keys() == before.keys()
+            moved_keys = [k for k in after if after[k] != before[k]]
+            # Every moved key landed on the joiner, nothing shuffled
+            # between the incumbents.
+            assert moved_keys and all(after[k] == joined for k in moved_keys)
+            moved_pair_count = sum(
+                len(cluster.coordinator._specs[k]) for k in moved_keys
+            )
+            assert (
+                cluster.coordinator.moved_pairs - moved_before
+                == moved_pair_count
+            )
+            assert cluster.converged()
+
+    def test_graceful_leave_keeps_the_ledger_exact(self, rig):
+        scenario, server, net = rig
+        payloads = healthy_payloads(scenario, net, 150)
+        with make_cluster(server, nodes=3) as cluster:
+            for payload in payloads[:75]:
+                cluster.submit(payload)
+            victim = cluster.nodes()[0]
+            cluster.remove_node(victim)
+            assert victim not in cluster.nodes()
+            for payload in payloads[75:]:
+                cluster.submit(payload)
+            cluster.join()
+            stats = cluster.stats()
+            assert stats["processed"] == 150
+            assert stats["counters"]["pass"] == 150
+            assert cluster.converged()
+
+    def test_failover_redelivers_without_loss_or_double_count(self, rig):
+        scenario, server, net = rig
+        payloads = healthy_payloads(scenario, net, 200)
+        with make_cluster(server, nodes=3) as cluster:
+            for payload in payloads[:100]:
+                cluster.submit(payload)
+            cluster.kill_node(cluster.nodes()[0])
+            dead = cluster.check_nodes()
+            assert len(dead) == 1
+            for payload in payloads[100:]:
+                cluster.submit(payload)
+            cluster.join()
+            stats = cluster.stats()
+            assert stats["failovers"] == 1
+            assert stats["processed"] == 200  # exactly once, incl. redelivery
+            assert stats["counters"]["pass"] == 200
+            assert cluster.converged()
+
+
+class TestResync:
+    @pytest.fixture
+    def inc_rig(self, tmp_path):
+        from repro.dataplane import DataPlaneNetwork
+
+        scenario = build_linear(4)
+        server = VeriDPServer(
+            scenario.topo, state_dir=str(tmp_path / "state"), fsync="never"
+        )
+        net = DataPlaneNetwork(scenario.topo, scenario.channel)
+        yield scenario, server, net
+        server.close()
+
+    def test_rule_churn_patches_only_dirty_pairs(self, inc_rig):
+        _, server, _ = inc_rig
+        with make_cluster(server, nodes=2) as cluster:
+            coordinator = cluster.coordinator
+            assert cluster.resync() == 0  # already current
+
+            server.apply_rule_update("S1", "10.50.0.0/16", 2)
+            server.apply_rule_update("S2", "10.50.0.0/16", 2)
+            patched = cluster.resync()
+            assert patched is not None and patched > 0
+            assert coordinator.full_resyncs == 0
+            assert coordinator.resync_pairs == patched
+            assert patched < len(server.table.pairs())
+            assert coordinator.resync_delta_bytes > 0
+            assert cluster.converged()
+
+    def test_verdicts_follow_churn(self, inc_rig):
+        scenario, server, net = inc_rig
+        from repro.core.reports import pack_report
+
+        src, dst = scenario.host_pairs()[0]
+        result = net.inject_from_host(src, scenario.header_between(src, dst))
+        payloads = [pack_report(r, net.codec) for r in result.reports]
+        assert payloads
+        with make_cluster(server, nodes=2) as cluster:
+            for payload in payloads:
+                cluster.submit(payload)
+            cluster.join()
+            assert cluster.stats()["counters"]["pass"] == len(payloads)
+
+            # Remove every forwarding rule on the path's first switch and
+            # resync: the recorded paths no longer exist, so replaying the
+            # stale reports must fail — proving the nodes verify against
+            # the patched replica, not the boot-time one.
+            for switch, prefix, _port in list(
+                server.updater.provider.iter_rules()
+            ):
+                if switch == "S1":
+                    server.apply_rule_delete(switch, prefix)
+            cluster.resync()
+            for payload in payloads:
+                cluster.submit(payload)
+            cluster.join()
+            stats = cluster.stats()
+            assert stats["processed"] == 2 * len(payloads)
+            assert stats["counters"]["pass"] == len(payloads)
+
+
+class TestTenantPlacement:
+    @pytest.fixture
+    def sliced_server(self):
+        scenario = build_linear(4)
+        server = VeriDPServer(scenario.topo, scenario.channel)
+        hosts = sorted(scenario.subnets)
+        registry = SliceRegistry(server.hs, scenario.topo)
+        registry.register(TenantSpec(
+            name="red",
+            prefixes=tuple(scenario.subnets[h] for h in hosts[:2]),
+            hosts=tuple(hosts[:2]),
+            queue_share=0.5,
+        ))
+        registry.register(TenantSpec(
+            name="blue",
+            prefixes=tuple(scenario.subnets[h] for h in hosts[2:]),
+            hosts=tuple(hosts[2:]),
+            queue_share=0.5,
+        ))
+        server.set_slices(registry)
+        return scenario, server
+
+    def test_a_tenants_pairs_share_one_node(self, sliced_server):
+        _, server = sliced_server
+        with make_cluster(server, nodes=3) as cluster:
+            placement = cluster.frontend.placement
+            tenant_keys = [k for k in placement if k.startswith("tenant:")]
+            assert "tenant:red" in tenant_keys
+            assert "tenant:blue" in tenant_keys
+            # One routing key per tenant → all its pairs on one node.
+            for key in tenant_keys:
+                bucket = cluster.coordinator._specs[key]
+                assert len(bucket) >= 1
+                assert placement[key] in cluster.nodes()
+            assert cluster.converged()
+
+    def test_tenant_totals_aggregate_across_nodes(self, sliced_server, rig):
+        scenario, server = sliced_server
+        del rig  # the sliced rig replaces the plain one here
+        from repro.dataplane import DataPlaneNetwork
+
+        net = DataPlaneNetwork(scenario.topo, scenario.channel)
+        with make_cluster(server, nodes=3) as cluster:
+            payloads = healthy_payloads(scenario, net, 90)
+            for payload in payloads:
+                cluster.submit(payload)
+            cluster.join()
+            totals = cluster.coordinator.tenant_totals()
+            assert totals  # at least one tenant attributed
+            stats = cluster.stats()
+            assert stats["processed"] == 90
+            # Tenant-attributed reports never exceed the processed count
+            # and each label aggregates node shards into one number.
+            assert sum(totals.values()) <= 90
+            for tenant in totals:
+                assert tenant in ("red", "blue")

@@ -1,0 +1,169 @@
+"""Ingestion frontend: routing, batching, acks, and the socket engines."""
+
+import socket
+import time
+
+import pytest
+
+from repro.cluster.frontend import (
+    AsyncioIngest,
+    ClusterFrontend,
+    SelectorIngest,
+    build_ingest,
+    routing_key_of,
+)
+from repro.cluster.node import VerificationNode
+
+from .conftest import healthy_payloads, packing_of
+
+JOIN_DEADLINE = 20.0
+
+
+def wait_for(predicate, deadline=JOIN_DEADLINE):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+@pytest.fixture
+def fleet(rig):
+    """A frontend wired to two live (replica-less) nodes."""
+    _, server, _ = rig
+    packing = packing_of(server)
+    nodes = {
+        name: VerificationNode(name, packing).start()
+        for name in ("n1", "n2")
+    }
+    frontend = ClusterFrontend(batch_size=8)
+    for name, node in nodes.items():
+        frontend.attach_node(name, node.address)
+    yield frontend, nodes
+    for name in list(frontend.nodes()):
+        frontend.detach_node(name)
+    for node in nodes.values():
+        node.stop()
+
+
+class TestRouting:
+    def test_routing_key_is_tenant_aware(self):
+        assert routing_key_of(0x00010002, None) == "pair:65538"
+        assert routing_key_of(0x00010002, "") == "pair:65538"
+        assert routing_key_of(0x00010002, "red") == "tenant:red"
+        # Two pairs of one tenant share a routing key (→ one node).
+        assert routing_key_of(7, "red") == routing_key_of(9, "red")
+
+    def test_placement_overrides_the_ring(self, fleet, rig):
+        scenario, server, net = rig
+        frontend, _ = fleet
+        payload = healthy_payloads(scenario, net, 1)[0]
+        key = frontend.routing_key(payload)
+        ring_owner = frontend.ring.owner(key)
+        other = next(n for n in frontend.nodes() if n != ring_owner)
+        frontend.placement[key] = other
+        assert frontend.owner_of(key) == other
+        # A placement entry naming a detached node falls back to the ring.
+        frontend.placement[key] = "ghost"
+        assert frontend.owner_of(key) == ring_owner
+
+    def test_submit_without_nodes_is_counted_drop(self, rig):
+        scenario, _, net = rig
+        frontend = ClusterFrontend()
+        payload = healthy_payloads(scenario, net, 1)[0]
+        assert frontend.submit(payload) is False
+        assert frontend.stats()["dropped_no_node"] == 1
+
+    def test_precheck_rejects_garbage_before_routing(self):
+        frontend = ClusterFrontend()
+        assert frontend.submit(b"\x00" * 5) is False
+        stats = frontend.stats()
+        assert stats["precheck_rejected"] == 1
+        assert stats["dropped_no_node"] == 0
+
+
+class TestDispatch:
+    def test_batches_dispatch_at_batch_size(self, fleet, rig):
+        scenario, server, net = rig
+        frontend, _ = fleet
+        payloads = healthy_payloads(scenario, net, 64)
+        for payload in payloads:
+            assert frontend.submit(payload)
+        frontend.flush_buffers()
+        stats = frontend.stats()
+        assert stats["submitted"] == 64
+        assert stats["dispatched_reports"] == 64
+        assert stats["dispatched_batches"] >= 64 // 8
+
+    def test_ack_retires_unacked_batches(self, fleet, rig):
+        scenario, server, net = rig
+        frontend, _ = fleet
+        for payload in healthy_payloads(scenario, net, 64):
+            frontend.submit(payload)
+        frontend.flush_buffers()
+        total_unacked = sum(
+            frontend.pending(n)[0] for n in frontend.nodes()
+        )
+        assert total_unacked == frontend.stats()["dispatched_batches"]
+        for name in frontend.nodes():
+            link = frontend._links[name]
+            frontend.ack(name, link.seq)
+            assert frontend.pending(name) == (0, 0)
+
+    def test_detach_surrenders_unacked_and_buffered(self, fleet, rig):
+        scenario, server, net = rig
+        frontend, _ = fleet
+        payloads = healthy_payloads(scenario, net, 20)
+        routed = {n: [] for n in frontend.nodes()}
+        for payload in payloads:
+            frontend.submit(payload)
+            owner = frontend.owner_of(frontend.routing_key(payload))
+            routed[owner].append(payload)
+        victim = max(routed, key=lambda n: len(routed[n]))
+        pending = frontend.detach_node(victim)
+        # Everything routed to the victim comes back — dispatched-but-
+        # unacked batches unframed plus the partial buffer, in order.
+        assert sorted(pending) == sorted(routed[victim])
+        assert victim not in frontend.nodes()
+        redelivered = frontend.redeliver(pending)
+        assert redelivered == len(pending)
+        # Redelivery does not double-count submissions.
+        assert frontend.stats()["submitted"] == 20
+
+
+@pytest.mark.parametrize("engine_cls", [AsyncioIngest, SelectorIngest])
+class TestIngestEngines:
+    def test_udp_and_tcp_reports_reach_the_frontend(
+        self, engine_cls, fleet, rig
+    ):
+        scenario, server, net = rig
+        frontend, _ = fleet
+        payloads = healthy_payloads(scenario, net, 40)
+        ingest = engine_cls(frontend)
+        udp_addr = ingest.listen_udp("127.0.0.1", 0)
+        tcp_addr = ingest.listen_tcp("127.0.0.1", 0)
+        ingest.start()
+        try:
+            client = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            for payload in payloads[:20]:
+                client.sendto(payload, udp_addr)
+            client.close()
+            stream = socket.create_connection(tcp_addr, timeout=5)
+            stream.sendall(b"".join(payloads[20:]))
+            stream.close()
+            assert wait_for(lambda: frontend.submitted >= 40), (
+                frontend.stats()
+            )
+            assert frontend.stats()["precheck_rejected"] == 0
+        finally:
+            ingest.stop()
+
+
+class TestBuildIngest:
+    def test_auto_prefers_asyncio(self, rig):
+        frontend = ClusterFrontend()
+        assert build_ingest(frontend, engine="auto").engine == "asyncio"
+        assert build_ingest(frontend, engine="selectors").engine == "selectors"
+        with pytest.raises(ValueError):
+            build_ingest(frontend, engine="bogus")

@@ -1,0 +1,205 @@
+"""Verification nodes: the socket-facing shard workers.
+
+Each test drives a node purely over its wire protocol — RELOAD a replica,
+stream BATCH frames, FLUSH the deltas — exactly as the coordinator and
+frontend do, so the protocol surface is what's pinned.
+"""
+
+import pytest
+
+from repro.cluster.node import VerificationNode, start_node
+from repro.cluster.protocol import (
+    MSG_BATCH,
+    MSG_DIGEST,
+    MSG_DIGEST_REPLY,
+    MSG_FLUSH,
+    MSG_FLUSH_REPLY,
+    MSG_HELLO,
+    MSG_HELLO_REPLY,
+    MSG_PATCH,
+    MSG_PING,
+    MSG_PONG,
+    MSG_RELOAD,
+    MessageStream,
+)
+from repro.core.daemon import frame_batch, replica_digest
+from repro.core.verifier import Verdict
+
+from .conftest import healthy_payloads, packing_of, tagged_replica
+
+PASS = Verdict.PASS.value
+
+
+@pytest.fixture
+def node(rig):
+    _, server, _ = rig
+    worker = VerificationNode("n1", packing_of(server)).start()
+    yield worker
+    worker.stop()
+
+
+def connect(node):
+    return MessageStream.connect(node.address)
+
+
+def flush(stream, token=1):
+    stream.send(MSG_FLUSH, (token,))
+    mtype, body = stream.recv(timeout=10)
+    assert mtype == MSG_FLUSH_REPLY
+    assert body[1] == token
+    return body
+
+
+class TestProtocolSurface:
+    def test_hello_ping_digest(self, rig, node):
+        _, server, _ = rig
+        stream = connect(node)
+        try:
+            stream.send(MSG_HELLO, ("test",))
+            mtype, body = stream.recv(timeout=10)
+            assert mtype == MSG_HELLO_REPLY and body == ("n1", 0)
+
+            stream.send(MSG_PING, (42,))
+            mtype, body = stream.recv(timeout=10)
+            assert mtype == MSG_PONG and body == ("n1", 42)
+
+            replica = tagged_replica(server)
+            stream.send(MSG_RELOAD, replica)
+            stream.send(MSG_DIGEST, (7,))
+            mtype, body = stream.recv(timeout=10)
+            assert mtype == MSG_DIGEST_REPLY
+            expected = replica_digest({k: v[0] for k, v in replica.items()})
+            assert body == ("n1", 7, expected)
+        finally:
+            stream.close()
+
+    def test_batch_verifies_and_flush_resets(self, rig, node):
+        scenario, server, net = rig
+        payloads = healthy_payloads(scenario, net, 200)
+        stream = connect(node)
+        try:
+            stream.send(MSG_RELOAD, tagged_replica(server))
+            frame, odd = frame_batch(payloads)
+            stream.send(MSG_BATCH, (3, frame, odd))
+            reply = flush(stream)
+            (_, _, processed, malformed, counters,
+             failures, crashed, unknown, _, last_seq, snapshot) = reply
+            assert processed == 200 and malformed == 0
+            assert counters[PASS] == 200
+            assert failures == [] and crashed == [] and unknown == []
+            assert last_seq == 3
+            assert snapshot.get("veridp_node_processed_total") is not None
+            # Flush zeroed the deltas: a second flush reports nothing new.
+            reply = flush(stream, token=2)
+            assert reply[2] == 0 and reply[4][PASS] == 0
+        finally:
+            stream.close()
+
+    def test_malformed_payloads_are_counted_not_raised(self, rig, node):
+        scenario, server, net = rig
+        stream = connect(node)
+        try:
+            stream.send(MSG_RELOAD, tagged_replica(server))
+            good = healthy_payloads(scenario, net, 4)
+            bad = [b"\x00" * 9, good[0][:-1] + b"\xff"]
+            frame, odd = frame_batch(good + bad)
+            stream.send(MSG_BATCH, (1, frame, odd))
+            reply = flush(stream)
+            processed, malformed = reply[2], reply[3]
+            accounted = processed + malformed + len(reply[6]) + len(reply[7])
+            assert accounted == 6
+            assert malformed >= 1  # the truncated one at minimum
+            assert reply[8]  # malformed_sample carries evidence
+        finally:
+            stream.close()
+
+
+class TestMigrationSurface:
+    def test_unknown_pairs_return_instead_of_verdict(self, rig, node):
+        """Reports for pairs outside the replica are shipped back, never
+        counted — the mid-migration contract the coordinator relies on."""
+        scenario, server, net = rig
+        payloads = healthy_payloads(scenario, net, 8)
+        stream = connect(node)
+        try:
+            # No replica loaded at all: everything is unknown.
+            frame, odd = frame_batch(payloads)
+            stream.send(MSG_BATCH, (1, frame, odd))
+            reply = flush(stream)
+            assert reply[2] == 0  # processed
+            assert sorted(reply[7]) == sorted(payloads)  # unknown, intact
+        finally:
+            stream.close()
+
+    def test_patch_drops_and_restores_pairs(self, rig, node):
+        scenario, server, net = rig
+        payloads = healthy_payloads(scenario, net, 1)
+        target = payloads[0]
+        wire = (
+            int.from_bytes(target[2:4], "big"),
+            int.from_bytes(target[4:6], "big"),
+        )
+        replica = tagged_replica(server)
+        stream = connect(node)
+        try:
+            stream.send(MSG_RELOAD, replica)
+            stream.send(MSG_PATCH, {wire: None})  # migrate the pair away
+            frame, odd = frame_batch([target])
+            stream.send(MSG_BATCH, (1, frame, odd))
+            reply = flush(stream)
+            assert reply[2] == 0 and reply[7] == [target]
+
+            stream.send(MSG_PATCH, {wire: replica[wire]})  # migrate it back
+            stream.send(MSG_BATCH, (2, frame, odd))
+            reply = flush(stream, token=2)
+            assert reply[2] == 1 and reply[4][PASS] == 1
+        finally:
+            stream.close()
+
+    def test_tenant_attribution_rides_the_replica_tags(self, rig, node):
+        scenario, server, net = rig
+        payloads = healthy_payloads(scenario, net, 96)
+        stream = connect(node)
+        try:
+            stream.send(MSG_RELOAD, tagged_replica(server, tenant="red"))
+            frame, odd = frame_batch(payloads)
+            stream.send(MSG_BATCH, (1, frame, odd))
+            reply = flush(stream)
+            assert reply[2] == 96
+            family = reply[10].get("veridp_cluster_tenant_reports_total")
+            assert family is not None
+            tenant_total = 0.0
+            for labels, value in family["values"].items():
+                assert "red" in labels
+                tenant_total += value
+            assert tenant_total == 96
+        finally:
+            stream.close()
+
+
+class TestProcessMode:
+    def test_process_node_speaks_the_same_protocol(self, rig):
+        scenario, server, net = rig
+        handle = start_node("p1", packing_of(server), mode="process")
+        try:
+            assert handle.alive()
+            stream = connect(handle)
+            try:
+                stream.send(MSG_RELOAD, tagged_replica(server))
+                payloads = healthy_payloads(scenario, net, 64)
+                frame, odd = frame_batch(payloads)
+                stream.send(MSG_BATCH, (1, frame, odd))
+                reply = flush(stream)
+                assert reply[2] == 64 and reply[4][PASS] == 64
+            finally:
+                stream.close()
+        finally:
+            handle.stop()
+        assert not handle.alive()
+
+    def test_kill_is_abrupt(self, rig):
+        _, server, _ = rig
+        handle = start_node("p2", packing_of(server), mode="process")
+        assert handle.alive()
+        handle.kill()
+        assert not handle.alive()

@@ -1,0 +1,74 @@
+"""Consistent-hash ring: determinism, balance, and minimal movement."""
+
+import pytest
+
+from repro.cluster.ring import HashRing
+
+KEYS = [f"pair:{i}" for i in range(2000)]
+
+
+def ring_of(members, vnodes=64):
+    ring = HashRing(vnodes=vnodes)
+    for member in members:
+        ring.add(member)
+    return ring
+
+
+class TestDeterminism:
+    def test_same_members_same_placement(self):
+        a = ring_of(["n1", "n2", "n3"])
+        b = ring_of(["n3", "n1", "n2"])  # insertion order must not matter
+        assert [a.owner(k) for k in KEYS] == [b.owner(k) for k in KEYS]
+
+    def test_empty_ring_owns_nothing(self):
+        assert HashRing().owner("pair:1") is None
+
+    def test_duplicate_add_rejected(self):
+        ring = ring_of(["n1"])
+        with pytest.raises(ValueError):
+            ring.add("n1")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            HashRing().remove("n1")
+
+
+class TestMovement:
+    def test_leave_moves_only_the_victims_keys(self):
+        ring = ring_of(["n1", "n2", "n3"])
+        before = {k: ring.owner(k) for k in KEYS}
+        ring.remove("n2")
+        for key in KEYS:
+            if before[key] != "n2":
+                assert ring.owner(key) == before[key]
+            else:
+                assert ring.owner(key) in ("n1", "n3")
+
+    def test_join_moves_a_bounded_fraction(self):
+        ring = ring_of(["n1", "n2", "n3"])
+        before = {k: ring.owner(k) for k in KEYS}
+        ring.add("n4")
+        moved = sum(1 for k in KEYS if ring.owner(k) != before[k])
+        # Ideal is 1/4 of the keys; allow 2x slack for vnode variance.
+        assert 0 < moved <= len(KEYS) // 2
+        # Every moved key landed on the joiner — no unrelated churn.
+        assert all(
+            ring.owner(k) == "n4" for k in KEYS if ring.owner(k) != before[k]
+        )
+
+
+class TestBalance:
+    def test_shares_are_roughly_even(self):
+        ring = ring_of(["n1", "n2", "n3", "n4"])
+        shares = ring.shares(KEYS)
+        assert sum(shares.values()) == len(KEYS)
+        ideal = len(KEYS) / 4
+        for member, count in shares.items():
+            assert count > ideal * 0.4, (member, shares)
+            assert count < ideal * 2.0, (member, shares)
+
+    def test_membership_introspection(self):
+        ring = ring_of(["n1", "n2"])
+        assert len(ring) == 2
+        assert "n1" in ring and "zz" not in ring
+        assert ring.members() == ["n1", "n2"]

@@ -686,3 +686,61 @@ class TestSupervisedShardedDaemon:
                 daemon.submit(payload)
             daemon.join()
             assert daemon.stats()["verified"] >= len(payloads) - daemon.stats()["lost_in_restart"]
+
+
+class TestListenerRebindCap:
+    """ISSUE 9 satellite: the rebind loop has a lifetime cap + counter."""
+
+    def _force_socket_error(self, listener):
+        # Close the socket out from under the loop while _running stays
+        # set: recvfrom raises OSError and the rebind path engages.
+        listener._socket.close()
+
+    def test_transient_error_rebinds_and_counts(self, rig):
+        _, server, _ = rig
+        daemon = VeriDPDaemon(server, workers=1)
+        listener = UdpReportListener(daemon)
+        listener.start()
+        try:
+            self._force_socket_error(listener)
+            deadline = time.time() + 5
+            while listener.rebinds < 1 and time.time() < deadline:
+                time.sleep(0.01)
+            assert listener.rebinds == 1
+            assert listener.stats()["rebinds"] == 1
+            assert listener._running  # survived the transient error
+        finally:
+            listener.stop()
+            daemon.stop()
+
+    def test_rebind_cap_stops_the_listener_loudly(self, rig):
+        _, server, _ = rig
+        daemon = VeriDPDaemon(server, workers=1)
+        listener = UdpReportListener(daemon, max_rebinds=0)
+        listener.start()
+        try:
+            self._force_socket_error(listener)
+            listener._thread.join(timeout=5)
+            assert not listener._thread.is_alive()
+            assert not listener._running  # gave up, did not spin forever
+            assert listener.rebinds == 0
+            assert listener.stats()["socket_errors"] >= 1
+        finally:
+            listener.stop()
+            daemon.stop()
+
+    def test_rebind_metric_is_exported(self, rig):
+        _, server, _ = rig
+        daemon = VeriDPDaemon(server, workers=1)
+        listener = UdpReportListener(daemon)
+        listener.start()
+        try:
+            self._force_socket_error(listener)
+            deadline = time.time() + 5
+            while listener.rebinds < 1 and time.time() < deadline:
+                time.sleep(0.01)
+            snapshot = daemon.obs.registry.snapshot()
+            assert snapshot.value("veridp_listener_rebind_total") == 1
+        finally:
+            listener.stop()
+            daemon.stop()

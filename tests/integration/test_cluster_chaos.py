@@ -1,0 +1,158 @@
+"""The cluster acceptance scenario: chaos stream + kill + rebalance.
+
+A 3-node cluster (process nodes — real SIGKILL targets) verifies a
+chaos-campaign report stream while suffering one induced node kill with
+rejoin and one coordinator-driven rebalance mid-stream.  The run must
+finish with the ledger reconciling *exactly* — every accepted payload
+verified once, none lost to the kill window, none double-counted by the
+redelivery — and the rebalances must have moved only the migrated pairs.
+
+Seeded like the daemon chaos campaign (``CHAOS_SEED``); a scaled-down
+stream runs by default, ``CHAOS_FULL=1`` opts into the big one.
+"""
+
+import os
+
+from repro.cluster import VeriDPCluster
+from repro.core.reports import pack_report
+from repro.core.server import VeriDPServer
+from repro.dataplane import (
+    BitFlipReports,
+    DataPlaneNetwork,
+    DuplicateReports,
+    LoseReports,
+    ReorderReports,
+    ReportStreamFaultInjector,
+    TruncateReports,
+)
+from repro.topologies import build_linear
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "1202"))
+FULL = os.environ.get("CHAOS_FULL", "") == "1"
+TOTAL_REPORTS = 20_000 if FULL else 4_000
+JOIN_DEADLINE = 120.0
+
+
+def make_rig():
+    scenario = build_linear(4)
+    server = VeriDPServer(scenario.topo, scenario.channel)
+    net = DataPlaneNetwork(scenario.topo, scenario.channel)
+    return scenario, server, net
+
+
+def healthy_payloads(scenario, net, count):
+    pairs = scenario.host_pairs()
+    base = []
+    for src, dst in pairs:
+        result = net.inject_from_host(src, scenario.header_between(src, dst))
+        base += [pack_report(r, net.codec) for r in result.reports]
+    payloads = []
+    while len(payloads) < count:
+        payloads += base
+    return payloads[:count]
+
+
+def campaign_faults():
+    return [
+        LoseReports(0.05),
+        DuplicateReports(0.01),
+        ReorderReports(0.1, window=32),
+        TruncateReports(0.01),
+        BitFlipReports(0.01),
+    ]
+
+
+class TestClusterChaos:
+    def test_cluster_survives_kill_rejoin_and_rebalance(self):
+        scenario, server, net = make_rig()
+        payloads = healthy_payloads(scenario, net, TOTAL_REPORTS)
+        injection = ReportStreamFaultInjector(
+            campaign_faults(), seed=CHAOS_SEED
+        ).run(payloads)
+        stream = injection.payloads
+        kill_at = len(stream) // 3
+        rebalance_at = 2 * len(stream) // 3
+
+        with VeriDPCluster(
+            server, nodes=3, node_mode="process", batch_size=64
+        ) as cluster:
+            coordinator = cluster.coordinator
+            boot_moves = coordinator.moved_pairs  # bootstrap placement
+            boot_rebalances = coordinator.rebalances
+            for i, payload in enumerate(stream):
+                cluster.submit(payload)
+                if i == kill_at:
+                    cluster.kill_node(cluster.nodes()[0])
+                    dead = cluster.check_nodes()
+                    assert len(dead) == 1
+                    rejoined = cluster.add_node()  # kill + rejoin
+                    assert rejoined in cluster.nodes()
+                if i == rebalance_at:
+                    # Coordinator-driven rebalance: a voluntary join that
+                    # re-slices the ring while the stream is in flight.
+                    placement_before = dict(cluster.frontend.placement)
+                    moves_before = coordinator.moved_pairs
+                    joined = cluster.add_node()
+                    placement_after = dict(cluster.frontend.placement)
+                    moved_keys = [
+                        k for k in placement_after
+                        if placement_before.get(k) != placement_after[k]
+                    ]
+                    # Scoped movement: every migrated key went to the
+                    # joiner, and the move counter covers exactly the
+                    # pairs under the migrated keys — nothing else.
+                    assert all(
+                        placement_after[k] == joined for k in moved_keys
+                    )
+                    moved_pair_count = sum(
+                        len(coordinator._specs[k]) for k in moved_keys
+                    )
+                    assert (
+                        coordinator.moved_pairs - moves_before
+                        == moved_pair_count
+                    )
+            cluster.join(timeout=JOIN_DEADLINE)
+            stats = cluster.stats()
+            converged = cluster.converged()
+
+        # The churn happened as scripted.
+        assert stats["failovers"] == 1
+        assert stats["rebalances"] - boot_rebalances == 2  # rejoin + voluntary
+        assert stats["moved_pairs"] > boot_moves
+
+        # Exact accounting: every accepted payload got exactly one verdict
+        # — the kill window redelivered, never dropped or double-counted.
+        front = stats["frontend"]
+        accepted = (
+            front["submitted"]
+            - front["precheck_rejected"]
+            - front["dropped_no_node"]
+        )
+        assert front["dropped_no_node"] == 0
+        assert stats["processed"] + stats["malformed"] == accepted
+        assert sum(stats["counters"].values()) == stats["processed"]
+        assert stats["crashed"] == 0
+
+        # Verdict fidelity: healthy deliveries pass; corruption bounds
+        # the failures (the injector reports how many bytes it touched).
+        corrupted_bound = injection.corrupted
+        failures = stats["processed"] - stats["counters"]["pass"]
+        assert failures <= corrupted_bound
+        assert stats["incidents"] <= corrupted_bound
+
+        # Replicas converged after all the churn.
+        assert converged
+
+    def test_fault_free_control_run_is_all_pass(self):
+        """The control arm: no faults, no churn — pure pass-through."""
+        scenario, server, net = make_rig()
+        payloads = healthy_payloads(scenario, net, 500)
+        with VeriDPCluster(server, nodes=3, node_mode="process") as cluster:
+            for payload in payloads:
+                cluster.submit(payload)
+            cluster.join(timeout=JOIN_DEADLINE)
+            stats = cluster.stats()
+            assert stats["processed"] == 500
+            assert stats["counters"]["pass"] == 500
+            assert stats["frontend"]["redelivered_reports"] == 0
+            assert cluster.converged()
