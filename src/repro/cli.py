@@ -370,7 +370,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             metrics_host=args.metrics_host,
         )
     daemon.start()
-    listener = UdpReportListener(daemon, host=args.host, port=args.port)
+    listener = UdpReportListener(
+        daemon,
+        host=args.host,
+        port=args.port,
+        ingest_batch=args.ingest_batch,
+    )
     listener.start()
     print(f"listening for tag reports on udp://{listener.address[0]}:{listener.address[1]}")
     if daemon.metrics_address is not None:
@@ -436,6 +441,7 @@ def _serve_cluster(args: argparse.Namespace, scenario, server) -> int:
         node_mode=args.cluster_mode,
         engine=args.engine,
         batch_size=args.batch_size,
+        ingest_batch=args.ingest_batch,
         vector=False if args.no_vector else None,
     )
     endpoint = None
@@ -962,6 +968,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cluster ingestion engine (auto prefers asyncio)")
     serve.add_argument("--batch-size", type=int, default=256,
                        help="cluster frontend dispatch batch size")
+    serve.add_argument("--ingest-batch", type=int, default=128,
+                       help="datagrams drained per socket wakeup into one "
+                            "zero-copy frame (1 = per-datagram ingestion)")
 
     cluster = add("cluster", "self-driving sharded-cluster demo with "
                              "failover and rebalance")

@@ -29,6 +29,7 @@ class VeriDPCluster:
         node_mode: str = "thread",
         engine: str = "auto",
         batch_size: int = 256,
+        ingest_batch: Optional[int] = None,
         vector: Optional[bool] = None,
         vnodes: int = 64,
         persist=None,
@@ -47,7 +48,12 @@ class VeriDPCluster:
             vector=vector,
             vnodes=vnodes,
         )
-        self.ingest = build_ingest(self.frontend, engine=engine)
+        if ingest_batch is None:
+            self.ingest = build_ingest(self.frontend, engine=engine)
+        else:
+            self.ingest = build_ingest(
+                self.frontend, engine=engine, ingest_batch=ingest_batch
+            )
         self._running = False
         self._initial_nodes = nodes
 
@@ -84,6 +90,9 @@ class VeriDPCluster:
 
     def submit(self, payload: bytes) -> bool:
         return self.frontend.submit(payload)
+
+    def submit_frame(self, frame) -> int:
+        return self.frontend.submit_frame(frame)
 
     def submit_many(self, payloads) -> int:
         count = 0

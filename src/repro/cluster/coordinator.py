@@ -387,6 +387,8 @@ class ClusterCoordinator:
                     self.resync_delta_bytes += member.control.send(
                         MSG_RELOAD, body
                     )
+                for member in self._members.values():
+                    self._await_applied(member)
                 self.resyncs += 1
                 self.full_resyncs += 1
                 self._dirty_token = token
@@ -427,11 +429,40 @@ class ClusterCoordinator:
                     self.resync_delta_bytes += member.control.send(
                         MSG_PATCH, patch
                     )
+            for node_id in patches:
+                member = self._members.get(node_id)
+                if member is not None:
+                    self._await_applied(member)
             self.resyncs += 1
             self.resync_pairs += len(dirty)
             self._dirty_token = token
             self._replica_version = table.version
             return len(dirty)
+
+    def _await_applied(self, member: _Member, timeout: float = 10.0) -> None:
+        """Barrier: block until the member has applied every control
+        message sent so far.
+
+        ``MSG_PATCH``/``MSG_RELOAD`` carry no reply of their own, and
+        batches travel on a *different* connection — so without a
+        barrier, ``resync()`` could return while a node still verifies
+        against its stale replica, and a batch dispatched immediately
+        after would be judged by the old spec (wrong verdict, not
+        unknown-pair).  The control stream is FIFO and the node applies
+        each message under its state lock before reading the next, so a
+        digest round-trip on the same stream proves the patches are
+        live.  A dead member is left for ``check_nodes`` to fail over.
+        """
+        try:
+            with member.lock:
+                token = member.token()
+                member.control.send(MSG_DIGEST, (token,))
+                while True:
+                    mtype, body = member.control.recv(timeout=timeout)
+                    if mtype == MSG_DIGEST_REPLY and body[1] == token:
+                        return
+        except (OSError, ConnectionError):
+            return
 
     def _place_new_keys(self) -> None:
         """Pin every un-placed routing key to its ring owner."""

@@ -38,9 +38,22 @@ from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.daemon import frame_batch, unframe_batch
-from ..core.reports import REPORT_SIZE, payload_precheck
+from ..core.ingest import (
+    DEFAULT_INGEST_BATCH,
+    HAVE_NUMPY,
+    FrameBuffer,
+    drain_socket,
+    pair_keys,
+    screen_frame,
+)
+from ..core.reports import REPORT_SIZE, Frame, payload_precheck
 from .protocol import MSG_BATCH, MessageStream
 from .ring import HashRing
+
+try:  # pragma: no cover - exercised via both branches in CI matrices
+    import numpy as np
+except Exception:  # pragma: no cover
+    np = None  # type: ignore[assignment]
 
 __all__ = [
     "ClusterFrontend",
@@ -87,6 +100,8 @@ class _NodeLink:
             OrderedDict()
         )
         self.buffer: List[bytes] = []
+        self.fbuffer: List[bytes] = []  # frame chunks from submit_frame
+        self.fcount = 0  # rows pending in fbuffer
         self.dead = False
 
 
@@ -157,8 +172,12 @@ class ClusterFrontend:
             for frame, odd in link.unacked.values():
                 pending.extend(unframe_batch(frame, odd))
             pending.extend(link.buffer)
+            for chunk in link.fbuffer:
+                pending.extend(unframe_batch(chunk, []))
             link.unacked.clear()
             link.buffer = []
+            link.fbuffer = []
+            link.fcount = 0
         return pending
 
     def nodes(self) -> List[str]:
@@ -197,9 +216,86 @@ class ClusterFrontend:
             # buffer for redelivery, so a node's death window loses
             # nothing — the payloads just wait for the failover.
             link.buffer.append(payload)
-            if len(link.buffer) >= self.batch_size and not link.dead:
+            if (
+                len(link.buffer) + link.fcount >= self.batch_size
+                and not link.dead
+            ):
                 self._dispatch_locked(link)
         return True
+
+    def submit_frame(self, frame: Frame) -> int:
+        """Ingest a frame of wire rows in one routing pass.
+
+        One vectorized screen + one ``np.unique`` over the pair-key column
+        replaces per-row precheck/route/append rounds; each owner's rows
+        land in its link's frame-chunk buffer as one contiguous chunk.
+        Returns the rows accepted (screen rejects and ownerless rows are
+        counted exactly as scalar :meth:`submit` counts them).  Falls back
+        to per-row :meth:`submit` when numpy is unavailable or an observer
+        tap needs to see individual payloads.
+        """
+        count = frame.count
+        if count == 0:
+            return 0
+        if self.observer is not None or not HAVE_NUMPY:
+            accepted = 0
+            for row in frame.rows():
+                if self.submit(row):
+                    accepted += 1
+            return accepted
+        clean, rejected = screen_frame(frame.payload())
+        nrows = len(clean) // REPORT_SIZE
+        targets: List[Tuple[_NodeLink, bytes, int]] = []
+        with self._route_lock:
+            self.submitted += count
+            self.precheck_rejected += len(rejected)
+            if not nrows:
+                return 0
+            keys = pair_keys(clean)
+            raw = np.frombuffer(clean, dtype=np.uint8).reshape(
+                -1, REPORT_SIZE
+            )
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            # Map each unique pair key to a node slot (None = unroutable),
+            # then fan rows out per slot in one mask pass each.
+            node_slots: Dict[Optional[str], int] = {}
+            slot_nodes: List[Optional[str]] = []
+            codes = np.empty(uniq.shape[0], dtype=np.int64)
+            for j, key in enumerate(uniq.tolist()):
+                key = int(key)
+                node = self.owner_of(
+                    routing_key_of(key, self.tenant_of.get(key))
+                )
+                if node is not None and node not in self._links:
+                    node = None
+                slot = node_slots.get(node)
+                if slot is None:
+                    slot = len(slot_nodes)
+                    node_slots[node] = slot
+                    slot_nodes.append(node)
+                codes[j] = slot
+            row_slots = codes[inverse]
+            for slot, node in enumerate(slot_nodes):
+                mask = row_slots == slot
+                rows = int(mask.sum())
+                if node is None:
+                    self.dropped_no_node += rows
+                    continue
+                targets.append(
+                    (self._links[node], raw[mask].tobytes(), rows)
+                )
+        accepted = 0
+        for link, chunk, rows in targets:
+            with link.lock:
+                link.fbuffer.append(chunk)
+                link.fcount += rows
+                accepted += rows
+                if (
+                    len(link.buffer) + link.fcount >= self.batch_size
+                    and not link.dead
+                ):
+                    self._dispatch_locked(link)
+        return accepted
 
     def redeliver(self, payloads: List[bytes]) -> int:
         """Re-route a detached node's pending payloads; returns the count."""
@@ -216,14 +312,31 @@ class ClusterFrontend:
     # -- dispatch ----------------------------------------------------------
 
     def _dispatch_locked(self, link: _NodeLink) -> None:
-        """Ship ``link.buffer`` as one batch (caller holds ``link.lock``)."""
-        batch = link.buffer
+        """Ship the link's pending singles and frame chunks as one batch
+        (caller holds ``link.lock``)."""
+        singles = link.buffer
         link.buffer = []
+        chunks = link.fbuffer
+        link.fbuffer = []
+        rows = link.fcount + len(singles)
+        link.fcount = 0
+        sized, odd = frame_batch(singles)
+        frame = b"".join(chunks) + sized if chunks else sized
         if self.persist is not None:
             # WAL-before-verify at batch granularity: the batch is durable
-            # before any node sees it, exactly like the sharded daemon.
-            self.persist.log_report_batch(batch)
-        frame, odd = frame_batch(batch)
+            # before any node sees it, exactly like the sharded daemon —
+            # one RT_REPORT_BATCH record per frame when the store supports
+            # frame logging.
+            log_frame = getattr(self.persist, "log_report_frame", None)
+            if log_frame is not None:
+                if frame:
+                    log_frame(frame)
+                if odd:
+                    self.persist.log_report_batch(odd)
+            else:
+                self.persist.log_report_batch(
+                    unframe_batch(frame, odd)
+                )
         link.seq += 1
         link.unacked[link.seq] = (frame, odd)
         try:
@@ -237,7 +350,7 @@ class ClusterFrontend:
             return
         with self._route_lock:
             self.dispatched_batches += 1
-            self.dispatched_reports += len(batch)
+            self.dispatched_reports += rows
 
     def flush_buffers(self) -> None:
         """Dispatch every node's partial buffer (end-of-stream / timer)."""
@@ -245,7 +358,7 @@ class ClusterFrontend:
             links = list(self._links.values())
         for link in links:
             with link.lock:
-                if link.buffer and not link.dead:
+                if (link.buffer or link.fbuffer) and not link.dead:
                     self._dispatch_locked(link)
 
     def ack(self, node_id: str, last_seq: int) -> int:
@@ -273,7 +386,7 @@ class ClusterFrontend:
         if link is None:
             return (0, 0)
         with link.lock:
-            return (len(link.unacked), len(link.buffer))
+            return (len(link.unacked), len(link.buffer) + link.fcount)
 
     def stats(self) -> Dict[str, int]:
         with self._route_lock:
@@ -324,16 +437,25 @@ class AsyncioIngest:
 
     engine = "asyncio"
 
-    def __init__(self, frontend: ClusterFrontend) -> None:
+    def __init__(
+        self,
+        frontend: ClusterFrontend,
+        ingest_batch: int = DEFAULT_INGEST_BATCH,
+    ) -> None:
         if not HAVE_ASYNCIO:
             raise RuntimeError("asyncio is unavailable; use SelectorIngest")
         self.frontend = frontend
+        # > 1 selects the frame-native drain loop (one readability wakeup
+        # drains up to this many datagrams into one submit_frame); 1 keeps
+        # the per-datagram protocol path.
+        self.ingest_batch = max(1, int(ingest_batch))
         self._loop: Optional["asyncio.AbstractEventLoop"] = None
         self._thread: Optional[threading.Thread] = None
         self._udp_socks: List[socket.socket] = []
         self._tcp_socks: List[socket.socket] = []
         self._transports: List = []
         self._servers: List = []
+        self._readers: List[socket.socket] = []
         self.datagrams = 0
         self.tcp_connections = 0
 
@@ -387,6 +509,11 @@ class AsyncioIngest:
                 transport.close()
             for server in self._servers:
                 server.close()
+            for sock in self._readers:
+                try:
+                    loop.remove_reader(sock)
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
             loop.stop()
 
         loop.call_soon_threadsafe(shutdown)
@@ -406,6 +533,28 @@ class AsyncioIngest:
     # -- protocols ---------------------------------------------------------
 
     async def _serve_udp(self, sock: socket.socket) -> None:
+        if self.ingest_batch > 1:
+            # Frame-native drain: one readability callback drains every
+            # pending datagram (up to ingest_batch) into a preallocated
+            # frame buffer and hands the frontend one frame.  The socket
+            # is already non-blocking (_bind_udp).
+            fb = FrameBuffer(self.ingest_batch)
+
+            def on_readable() -> None:
+                count, odd = drain_socket(sock, fb, self.ingest_batch)
+                if not count:
+                    return
+                self.datagrams += count
+                for payload, _nbytes in odd:
+                    # Wrong-sized datagrams take the scalar path; submit()
+                    # counts them as precheck-rejected, same as before.
+                    self.frontend.submit(payload)
+                if fb.rows:
+                    self.frontend.submit_frame(Frame(fb.take()))
+
+            self._loop.add_reader(sock, on_readable)
+            self._readers.append(sock)
+            return
         ingest = self
 
         class Proto(asyncio.DatagramProtocol):
@@ -428,6 +577,13 @@ class AsyncioIngest:
                     if not chunk:
                         break
                     pending += chunk
+                    if self.ingest_batch > 1:
+                        # Submit the maximal aligned prefix as one frame.
+                        cut = (len(pending) // REPORT_SIZE) * REPORT_SIZE
+                        if cut:
+                            self.frontend.submit_frame(Frame(pending[:cut]))
+                            pending = pending[cut:]
+                        continue
                     while len(pending) >= REPORT_SIZE:
                         self.frontend.submit(pending[:REPORT_SIZE])
                         pending = pending[REPORT_SIZE:]
@@ -448,8 +604,13 @@ class SelectorIngest:
 
     engine = "selectors"
 
-    def __init__(self, frontend: ClusterFrontend) -> None:
+    def __init__(
+        self,
+        frontend: ClusterFrontend,
+        ingest_batch: int = DEFAULT_INGEST_BATCH,
+    ) -> None:
         self.frontend = frontend
+        self.ingest_batch = max(1, int(ingest_batch))
         self._selector = selectors.DefaultSelector()
         self._thread: Optional[threading.Thread] = None
         self._running = False
@@ -492,11 +653,31 @@ class SelectorIngest:
 
     def _loop(self) -> None:
         buffers: Dict[socket.socket, bytes] = {}
+        fbufs: Dict[socket.socket, FrameBuffer] = {}
+        batched = self.ingest_batch > 1
         while self._running:
             for key, _events in self._selector.select(timeout=0.2):
                 kind, _ = key.data
                 sock = key.fileobj
                 if kind == "udp":
+                    if batched:
+                        # Frame-native drain (same shape as AsyncioIngest):
+                        # empty the socket into a preallocated buffer, one
+                        # submit_frame per wakeup.
+                        fb = fbufs.get(sock)
+                        if fb is None:
+                            fb = fbufs[sock] = FrameBuffer(self.ingest_batch)
+                        count, odd = drain_socket(
+                            sock, fb, self.ingest_batch
+                        )
+                        if not count:
+                            continue
+                        self.datagrams += count
+                        for payload, _nbytes in odd:
+                            self.frontend.submit(payload)
+                        if fb.rows:
+                            self.frontend.submit_frame(Frame(fb.take()))
+                        continue
                     try:
                         data, _addr = sock.recvfrom(65536)
                     except OSError:
@@ -525,18 +706,28 @@ class SelectorIngest:
                         buffers.pop(sock, None)
                         continue
                     pending = buffers[sock] + chunk
-                    while len(pending) >= REPORT_SIZE:
-                        self.frontend.submit(pending[:REPORT_SIZE])
-                        pending = pending[REPORT_SIZE:]
+                    if batched:
+                        cut = (len(pending) // REPORT_SIZE) * REPORT_SIZE
+                        if cut:
+                            self.frontend.submit_frame(Frame(pending[:cut]))
+                            pending = pending[cut:]
+                    else:
+                        while len(pending) >= REPORT_SIZE:
+                            self.frontend.submit(pending[:REPORT_SIZE])
+                            pending = pending[REPORT_SIZE:]
                     buffers[sock] = pending
 
 
-def build_ingest(frontend: ClusterFrontend, engine: str = "auto"):
+def build_ingest(
+    frontend: ClusterFrontend,
+    engine: str = "auto",
+    ingest_batch: int = DEFAULT_INGEST_BATCH,
+):
     """Pick the ingest engine: ``asyncio`` (default), ``selectors``."""
     if engine == "auto":
         engine = "asyncio" if HAVE_ASYNCIO else "selectors"
     if engine == "asyncio":
-        return AsyncioIngest(frontend)
+        return AsyncioIngest(frontend, ingest_batch=ingest_batch)
     if engine == "selectors":
-        return SelectorIngest(frontend)
+        return SelectorIngest(frontend, ingest_batch=ingest_batch)
     raise ValueError(f"unknown ingest engine {engine!r}")

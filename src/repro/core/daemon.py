@@ -68,11 +68,20 @@ from ..obs import (
     MetricsRegistry,
     Observability,
 )
+from .ingest import (
+    DEFAULT_INGEST_BATCH,
+    FrameBuffer,
+    drain_socket,
+    dst_ips as _frame_dst_ips,
+    screen_frame,
+    shard_split,
+)
 from .pathtable import PathTable
 from .reports import (
     _REPORT_STRUCT,
     REPORT_SIZE,
     REPORT_VERSION,
+    Frame,
     ReportDecodeError,
     payload_precheck,
     unpack_report,
@@ -112,6 +121,15 @@ __all__ = [
 ]
 
 _STOP = object()
+
+
+def _log_frame(persist, frame: Frame) -> None:
+    """WAL a frame as one ``RT_REPORT_BATCH`` record (durable servers)."""
+    log = getattr(persist, "log_report_frame", None)
+    if log is not None:
+        log(frame.payload())
+    else:  # pragma: no cover - PersistentState always has log_report_frame
+        persist.log_report_batch(list(frame.rows()))
 
 #: How many undecodable payloads a shard worker keeps per flush window for
 #: parent-side dead-lettering (the *count* is always exact; the payload
@@ -191,6 +209,12 @@ class VeriDPDaemon:
         self.processed = 0
         self.malformed = 0  # undecodable payloads (must not kill a worker)
         self.verify_errors = 0  # payloads that crashed the verifier
+        self.frames = 0  # frames handed over via submit_frame
+        self._wire_pass = 0  # frame rows bulk-passed by the wire kernel
+        self._wirev: Optional[WireBatchVerifier] = None
+        self._wirev_version = -1
+        self._wirev_failed = not _HAVE_VECTOR
+        self._wirev_lock = threading.Lock()
         self.dead_letters = DeadLetterQueue(
             capacity=dead_letter_capacity, max_attempts=dead_letter_attempts
         )
@@ -342,12 +366,25 @@ class VeriDPDaemon:
             "Wall-clock seconds spent verifying one batch of reports.",
             buckets=DEFAULT_BUCKETS,
         ).labels()
+        reg.counter(
+            "veridp_ingest_frames_total",
+            "Report frames handed to the daemon by batched ingestion.",
+            callback=lambda: self.frames,
+        )
+        self._frame_rows_hist = reg.histogram(
+            "veridp_ingest_frame_rows",
+            "Reports per frame at the queue handoff.",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+        ).labels()
 
     def _merged_verdicts(self) -> Dict[tuple, int]:
         merged = {v: n for v, n in self.server.verifier.counters.items()}
         for verifier in self._worker_verifiers:
             for verdict, count in verifier.counters.items():
                 merged[verdict] += count
+        # Rows the frame fast path bulk-passed without materialising a
+        # TagReport (scalar-parity pinned: a wire-kernel PASS is a PASS).
+        merged[Verdict.PASS] += self._wire_pass
         return {(v.value,): n for v, n in merged.items()}
 
     # -- lifecycle -----------------------------------------------------------
@@ -420,6 +457,61 @@ class VeriDPDaemon:
             persist.log_report(payload)
         return self._queue.put(payload, timeout=self.submit_timeout)
 
+    def submit_frame(self, frame: Frame) -> int:
+        """Enqueue a frame of pre-screened wire reports; returns how many
+        rows the overflow policy admitted.
+
+        The frame rides the queue as one item (weighted by its row count),
+        so the whole handoff costs one lock acquisition and one condvar
+        signal regardless of size.  On a durable server the WAL gets one
+        ``RT_REPORT_BATCH`` record per frame.  Partial admission narrows
+        the frame's window instead of copying; refused rows are counted
+        per report by the queue, exactly like scalar :meth:`submit`.
+        """
+        count = frame.count
+        if count == 0:
+            return 0
+        persist = self.server.persist
+        if persist is not None and self.record_reports:
+            _log_frame(persist, frame)
+        if isinstance(self._queue, TenantQuotaQueue):
+            tenants = self._classify_frame(frame)
+            admitted = self._queue.put_frame(
+                frame, timeout=self.submit_timeout, tenants=tenants
+            )
+        else:
+            admitted = self._queue.put_frame(frame, timeout=self.submit_timeout)
+        with self._lock:
+            self.frames += 1
+        self._frame_rows_hist.observe(count)
+        return admitted
+
+    def _classify_frame(self, frame: Frame) -> List[Optional[str]]:
+        """Per-row tenant attribution for a frame (vectorized LPM when the
+        registry supports it, scalar otherwise)."""
+        registry = getattr(self.server, "slices", None)
+        if registry is None:
+            # No slice registry to LPM against — honor whatever custom
+            # classifier the quota queue was built with, row by row.
+            classify = getattr(self._queue, "_classify", None)
+            if classify is None:
+                return [None] * frame.count
+            return [classify(row) for row in frame.rows()]
+        payload = frame.payload()
+        if _HAVE_VECTOR:
+            ips = _frame_dst_ips(payload)
+        else:
+            ips = [
+                int.from_bytes(
+                    payload[i * REPORT_SIZE + 18 : i * REPORT_SIZE + 22], "big"
+                )
+                for i in range(frame.count)
+            ]
+        batch = getattr(registry, "classify_dst_batch", None)
+        if batch is not None:
+            return batch(ips)
+        return [registry.classify_dst(int(ip)) for ip in ips]
+
     def join(self, timeout: Optional[float] = None) -> bool:
         """Block until every queued report has been processed."""
         return self._queue.join(timeout=timeout)
@@ -454,23 +546,25 @@ class VeriDPDaemon:
         q = self._queue
         batch_size = self.batch_size
         while True:
-            item = q.get()
-            stop = item is _STOP
-            batch: List[bytes] = [] if stop else [item]
-            if not stop:
-                # Opportunistically drain up to a batch; a _STOP seen while
-                # draining ends this worker after the batch is processed
-                # (stop() enqueues one _STOP per worker, and they are
-                # interchangeable).
-                while len(batch) < batch_size:
-                    try:
-                        extra = q.get_nowait()
-                    except IndexError:
-                        break
-                    if extra is _STOP:
-                        stop = True
-                        break
-                    batch.append(extra)
+            # One blocking wait, then everything already queued up to a
+            # batch — frames come back whole (a _STOP seen anywhere in the
+            # slice ends this worker after the slice is processed; stop()
+            # enqueues one _STOP per worker, and they are interchangeable).
+            items = q.get_many(batch_size)
+            stop = False
+            batch: List[bytes] = []
+            frames: List[Frame] = []
+            done = 0
+            for item in items:
+                if item is _STOP:
+                    stop = True
+                    done += 1
+                elif isinstance(item, Frame):
+                    frames.append(item)
+                    done += item.count
+                else:
+                    batch.append(item)
+                    done += 1
             if batch:
                 try:
                     self._process_batch(verifier, batch)
@@ -481,10 +575,81 @@ class VeriDPDaemon:
                         self.dead_letters.add(payload, "verify", exc)
                     with self._lock:
                         self.verify_errors += len(batch)
-            for _ in range(len(batch) + (1 if stop else 0)):
-                q.task_done()
+            for frame in frames:
+                try:
+                    self._process_frame(verifier, frame)
+                except Exception as exc:  # pragma: no cover - last resort
+                    for payload in frame.rows():
+                        self.dead_letters.add(payload, "verify", exc)
+                    with self._lock:
+                        self.verify_errors += frame.count
+            q.task_done(done)
             if stop:
                 return
+
+    def _wire_verifier(self) -> Optional[WireBatchVerifier]:
+        """Lazily compiled wire-format batch kernel for the frame fast path.
+
+        Compiled from the same spec builder the sharded daemon ships to its
+        workers (one shard covering every pair), cached against the path
+        table version, and permanently disabled for layouts
+        :func:`wire_packing` cannot express — those fall back to the scalar
+        path wholesale.
+        """
+        if self._wirev_failed:
+            return None
+        version = self.server.table.version
+        wirev = self._wirev
+        if wirev is not None and self._wirev_version == version:
+            return wirev
+        with self._wirev_lock:
+            if self._wirev is None or self._wirev_version != version:
+                try:
+                    packing = wire_packing(self.server.hs.layout)
+                    pairs = build_one_shard_spec(
+                        self.server.table,
+                        self.server.hs,
+                        self.server.codec,
+                        workers=1,
+                        shard=0,
+                    )
+                    self._wirev = WireBatchVerifier(pairs, packing)
+                    self._wirev_version = version
+                except Exception:
+                    self._wirev_failed = True
+                    self._wirev = None
+                    return None
+            return self._wirev
+
+    def _process_frame(self, verifier: "Verifier", frame: Frame) -> None:
+        """Verify a frame: bulk-pass clean rows via the wire kernel, route
+        every flagged row (failure, malformed, scalar-only pair) through
+        :meth:`_process_batch` so incidents / DLQ records / counters are
+        bit-identical to per-datagram ingestion."""
+        n = frame.count
+        wirev = self._wire_verifier() if n >= _VECTOR_MIN_BATCH else None
+        if wirev is None:
+            self._process_batch(verifier, list(frame.rows()))
+            return
+        payload = frame.payload()
+        try:
+            with self.obs.span("verify", reports=n):
+                started = time.perf_counter()
+                codes = wirev.verify_frame(payload)
+                elapsed = time.perf_counter() - started
+            self._batch_hist.observe(elapsed)
+        except Exception:
+            self._process_batch(verifier, list(frame.rows()))
+            return
+        flagged = codes.nonzero()[0]
+        pass_rows = n - int(flagged.shape[0])
+        if pass_rows:
+            with self._lock:
+                self.processed += pass_rows
+                self._wire_pass += pass_rows
+        if flagged.shape[0]:
+            salvage = [frame.row(int(i)) for i in flagged.tolist()]
+            self._process_batch(verifier, salvage)
 
     def _process_batch(self, verifier: "Verifier", payloads: List[bytes]) -> None:
         reports = []
@@ -578,6 +743,8 @@ class VeriDPDaemon:
                 "verify_errors": self.verify_errors,
                 "queued": queue_stats["queued"],
                 "workers": self.workers,
+                "frames": self.frames,
+                "wire_pass": self._wire_pass,
                 "incidents": len(self.server.incidents),
                 "incidents_total": self.server.incidents_total,
                 "overflow_policy": self.overflow.value,
@@ -586,7 +753,7 @@ class VeriDPDaemon:
                 "block_timeouts": queue_stats["block_timeouts"],
             }
         drop_stat_aliases(merged)
-        merged["verified"] = sum(
+        merged["verified"] = merged["wire_pass"] + sum(
             v.verified_count for v in self._worker_verifiers
         )
         merged["failed"] = sum(
@@ -1121,6 +1288,8 @@ class ShardedVeriDPDaemon:
         self._out_queues: List = []
         self._hb_queues: List = []
         self._buffers: List[List[bytes]] = []
+        self._fbuffers: List[List[bytes]] = []  # per-shard frame chunks
+        self._fcounts: List[int] = []  # rows pending in _fbuffers
         self._dispatched: List[int] = []
         self._accounted: List[int] = []
         self._generations: List[int] = []
@@ -1231,7 +1400,8 @@ class ShardedVeriDPDaemon:
         reg.gauge(
             "veridp_queue_depth",
             "Payloads buffered parent-side awaiting dispatch.",
-            callback=lambda: sum(len(b) for b in self._buffers),
+            callback=lambda: sum(len(b) for b in self._buffers)
+            + sum(self._fcounts),
         )
         reg.counter(
             "veridp_lost_in_restart_total",
@@ -1359,6 +1529,8 @@ class ShardedVeriDPDaemon:
         self._out_queues = [None] * self.workers
         self._hb_queues = [None] * self.workers
         self._buffers = [[] for _ in range(self.workers)]
+        self._fbuffers = [[] for _ in range(self.workers)]
+        self._fcounts = [0] * self.workers
         self._dispatched = [0] * self.workers
         self._accounted = [0] * self.workers
         self._generations = [0] * self.workers
@@ -1487,63 +1659,144 @@ class ShardedVeriDPDaemon:
             self.resync_replicas()
         pair_key = int.from_bytes(payload[2:6], "big")
         shard = _shard_of(pair_key, self.workers)
-        batch: Optional[List[bytes]] = None
+        take = None
         with self._dispatch_lock:
             self.submitted += 1
-            buffer = self._buffers[shard]
-            buffer.append(payload)
-            if len(buffer) >= self.batch_size:
-                batch = buffer
-                self._buffers[shard] = []
-        if batch is not None:
-            return self._dispatch(shard, batch)
+            self._buffers[shard].append(payload)
+            if (
+                len(self._buffers[shard]) + self._fcounts[shard]
+                >= self.batch_size
+            ):
+                take = self._take_shard_locked(shard)
+        if take is not None:
+            return self._dispatch(shard, *take)
         return True
 
-    def _dispatch(self, shard: int, batch: List[bytes]) -> bool:
+    def submit_frame(self, frame: Frame) -> int:
+        """Split a frame across the shard buffers by pair key.
+
+        One vectorized :func:`~repro.core.ingest.shard_split` replaces
+        ``frame.count`` scalar hash/route/append rounds; each shard's chunk
+        lands in a frame-chunk buffer that dispatch concatenates with any
+        buffered singles (the worker protocol already ships ``(frame,
+        odd)``).  Returns the rows admitted — with the same approximation
+        scalar :meth:`submit` makes: a dispatch batch the overflow policy
+        refuses counts wholly against the call that triggered it.
+        """
+        count = frame.count
+        if count == 0:
+            return 0
+        fallback = self._fallback
+        if fallback is not None:
+            persist = self.server.persist
+            if persist is not None and self.record_reports:
+                _log_frame(persist, frame)
+            with self._dispatch_lock:
+                self.submitted += count
+            return fallback.submit_frame(frame)
+        if not self._running:
+            raise RuntimeError("daemon is not running; call start() first")
+        if self.server._flush_deadline is not None:
+            with self._server_mutex:
+                self.server.maybe_flush_updates()
+        if self.server.table.version != self._replica_version:
+            self.resync_replicas()
+        chunks = shard_split(frame.payload(), self.workers)
+        dispatch: List[Tuple[int, Tuple[List[bytes], List[bytes], int]]] = []
+        with self._dispatch_lock:
+            self.submitted += count
+            for shard, chunk in enumerate(chunks):
+                if not chunk:
+                    continue
+                self._fbuffers[shard].append(chunk)
+                self._fcounts[shard] += len(chunk) // REPORT_SIZE
+                if (
+                    len(self._buffers[shard]) + self._fcounts[shard]
+                    >= self.batch_size
+                ):
+                    dispatch.append((shard, self._take_shard_locked(shard)))
+        admitted = count
+        for shard, (singles, frame_chunks, rows) in dispatch:
+            if not self._dispatch(shard, singles, frame_chunks, rows):
+                admitted = max(0, admitted - rows)
+        return admitted
+
+    def _take_shard_locked(
+        self, shard: int
+    ) -> Tuple[List[bytes], List[bytes], int]:
+        """Swap out a shard's pending singles and frame chunks (lock held)."""
+        singles = self._buffers[shard]
+        self._buffers[shard] = []
+        chunks = self._fbuffers[shard]
+        self._fbuffers[shard] = []
+        rows = len(singles) + self._fcounts[shard]
+        self._fcounts[shard] = 0
+        return singles, chunks, rows
+
+    def _dispatch(
+        self,
+        shard: int,
+        singles: List[bytes],
+        chunks: List[bytes],
+        rows: int,
+    ) -> bool:
         """Hand one batch to a shard worker under the overflow policy.
 
         Runs outside the dispatch lock: a ``block`` wait here must not
         stall other producers, and the supervisor's restart path (which
         the wait leans on for liveness) must never deadlock against us.
         """
-        with self.obs.span("admit", shard=shard, reports=len(batch)):
-            return self._dispatch_inner(shard, batch)
+        with self.obs.span("admit", shard=shard, reports=rows):
+            return self._dispatch_inner(shard, singles, chunks, rows)
 
-    def _dispatch_inner(self, shard: int, batch: List[bytes]) -> bool:
-        # WAL-before-verify, at batch granularity: the whole batch is
-        # logged in one append before any worker can see it.  Logged
-        # exactly once — a mid-dispatch degrade below delegates to a
-        # fallback whose own logging is off.
+    def _dispatch_inner(
+        self,
+        shard: int,
+        singles: List[bytes],
+        chunks: List[bytes],
+        rows: int,
+    ) -> bool:
+        sized = [p for p in singles if len(p) == REPORT_SIZE]
+        odd = [p for p in singles if len(p) != REPORT_SIZE]
+        frame = b"".join(chunks + sized)
+        # WAL-before-verify, at batch granularity: one RT_REPORT_BATCH
+        # record per frame (plus one for the rare oddballs), appended
+        # before any worker can see the rows.  Logged exactly once — a
+        # mid-dispatch degrade below delegates to a fallback whose own
+        # logging is off.
         persist = self.server.persist
         if persist is not None and self.record_reports:
-            persist.log_report_batch(batch)
-        framed = None
+            if frame:
+                persist.log_report_frame(frame)
+            if odd:
+                persist.log_report_batch(odd)
         while True:
             fallback = self._fallback
             if fallback is not None:  # degraded mid-dispatch
                 ok = True
-                for payload in batch:
+                if frame:
+                    nrows = len(frame) // REPORT_SIZE
+                    ok = fallback.submit_frame(Frame(frame)) == nrows
+                for payload in odd:
                     ok = fallback.submit(payload) and ok
                 return ok
             in_queue = self._in_queues[shard]
-            if framed is None:
-                framed = _frame_batch(batch)
             try:
                 if self.overflow is OverflowPolicy.BLOCK:
-                    in_queue.put(("batch",) + framed, timeout=0.2)
+                    in_queue.put(("batch", frame, odd), timeout=0.2)
                 else:
-                    in_queue.put_nowait(("batch",) + framed)
+                    in_queue.put_nowait(("batch", frame, odd))
             except queue.Full:
                 if self.overflow is not OverflowPolicy.BLOCK:
                     with self._merge_lock:
-                        self.dropped_new += len(batch)
+                        self.dropped_new += rows
                     return False
                 # BLOCK: make sure a live consumer exists, then retry
                 # (a restart swaps in a fresh queue; re-read it above).
                 self._revive()
                 continue
             with self._merge_lock:
-                self._dispatched[shard] += len(batch)
+                self._dispatched[shard] += rows
             return True
 
     def _revive(self) -> None:
@@ -1561,14 +1814,12 @@ class ShardedVeriDPDaemon:
             return
         with self._dispatch_lock:
             batches = [
-                (shard, self._buffers[shard])
+                (shard, self._take_shard_locked(shard))
                 for shard in range(self.workers)
-                if self._buffers[shard]
+                if self._buffers[shard] or self._fbuffers[shard]
             ]
-            for shard, _ in batches:
-                self._buffers[shard] = []
-        for shard, batch in batches:
-            self._dispatch(shard, batch)
+        for shard, (singles, chunks, rows) in batches:
+            self._dispatch(shard, singles, chunks, rows)
         if self._fallback is not None:  # degraded while flushing
             self._fallback.join()
             return
@@ -1928,9 +2179,15 @@ class ShardedVeriDPDaemon:
             for shard in range(self.workers):
                 if persist is not None and self.record_reports:
                     persist.log_report_batch(self._buffers[shard])
+                    for chunk in self._fbuffers[shard]:
+                        persist.log_report_frame(chunk)
                 for payload in self._buffers[shard]:
                     fallback.submit(payload)
+                for chunk in self._fbuffers[shard]:
+                    fallback.submit_frame(Frame(chunk))
                 self._buffers[shard] = []
+                self._fbuffers[shard] = []
+                self._fcounts[shard] = 0
             self.degraded = True
             self._fallback = fallback
 
@@ -2041,6 +2298,7 @@ class UdpReportListener:
         max_socket_errors: int = 8,
         error_backoff: float = 0.05,
         max_rebinds: int = 32,
+        ingest_batch: int = DEFAULT_INGEST_BATCH,
     ) -> None:
         self.daemon = daemon
         self._host = host
@@ -2052,6 +2310,11 @@ class UdpReportListener:
         # rebinding forever.  Past this total the listener gives up and
         # stops (the supervisor/operator decides what happens next).
         self.max_rebinds = max_rebinds
+        # Datagrams drained per socket wakeup.  > 1 selects the frame-native
+        # fast path (one blocking recv, then a non-blocking drain into a
+        # preallocated frame buffer, one submit_frame per drain); 1 keeps
+        # the legacy one-datagram-per-submit loop.
+        self.ingest_batch = max(1, int(ingest_batch))
         self._socket: Optional[socket.socket] = None
         self._open_socket()
         self._thread: Optional[threading.Thread] = None
@@ -2060,6 +2323,7 @@ class UdpReportListener:
         self.malformed = 0
         self.dropped = 0
         self.wrong_size = 0  # datagrams whose length cannot be a report
+        self.oversize = 0  # datagrams longer than a report (kernel-truncated)
         self.socket_errors = 0
         self.rebinds = 0
         self.obs = getattr(daemon, "obs", None) or Observability()
@@ -2098,9 +2362,27 @@ class UdpReportListener:
             "max_rebinds over the listener's lifetime).",
             callback=lambda: self.rebinds,
         )
+        reg.counter(
+            "veridp_listener_oversize_total",
+            "Datagrams longer than a wire report (kernel-truncated at the "
+            "receive buffer; dead-lettered, never silently clipped).",
+            callback=lambda: self.oversize,
+        )
+        self._drain_hist = reg.histogram(
+            "veridp_ingest_drain_depth",
+            "Datagrams drained from the socket per receive wakeup.",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        ).labels()
 
     def _open_socket(self) -> None:
         sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        if self.ingest_batch > 1:
+            # The drain loop empties the socket in bursts; a deeper kernel
+            # buffer rides out the gap between wakeups at high rates.
+            try:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1 << 21)
+            except OSError:  # pragma: no cover - platform-dependent cap
+                pass
         sock.bind((self._host, self._port))
         # The timeout doubles as the stop() wakeup: _loop re-checks the
         # running flag at least this often, so join can never hang behind
@@ -2150,47 +2432,95 @@ class UdpReportListener:
             "malformed": self.malformed,
             "dropped": self.dropped,
             "wrong_size": self.wrong_size,
+            "oversize": self.oversize,
             "socket_errors": self.socket_errors,
             "rebinds": self.rebinds,
         }
 
+    def _recover_socket(self, consecutive_errors: int) -> int:
+        """Absorb one transient socket error: count, back off, rebind.
+
+        Returns the updated consecutive-error count, or -1 when a budget
+        (error streak or lifetime rebinds) is exhausted and the loop must
+        stop.  A failed rebind leaves the count unchanged so the next pass
+        backs off again.
+        """
+        self.socket_errors += 1
+        consecutive_errors += 1
+        if consecutive_errors > self.max_socket_errors:
+            return -1
+        if self.rebinds >= self.max_rebinds:
+            # Consecutive streaks reset on success, so without this
+            # lifetime cap an intermittently-failing socket rebinds
+            # silently forever.  Stop loudly instead.
+            return -1
+        time.sleep(min(1.0, self.error_backoff * (2**consecutive_errors)))
+        try:
+            if self._socket is not None:
+                self._socket.close()
+            self._open_socket()
+        except OSError:
+            return consecutive_errors  # backoff again on the next pass
+        self.rebinds += 1
+        return consecutive_errors
+
+    def _dead_letter_odd(self, payload: bytes, nbytes: int) -> None:
+        """Route one wrong-length datagram to the DLQ with the right tag.
+
+        A datagram of exactly ``REPORT_SIZE + 1`` bytes overflowed the
+        receive slot — the kernel truncated it, so its true length is
+        unknowable; it is counted as *oversize*, never silently clipped
+        to a plausible report.
+        """
+        if nbytes == REPORT_SIZE + 1:
+            self.oversize += 1
+            self.daemon.dead_letter_transport(
+                payload,
+                f"oversize datagram truncated at {REPORT_SIZE + 1} bytes "
+                f"(a wire report is {REPORT_SIZE} bytes)",
+            )
+        else:
+            self.wrong_size += 1
+            self.daemon.dead_letter_transport(
+                payload,
+                f"wrong size {nbytes} (a wire report is {REPORT_SIZE} bytes)",
+            )
+
     def _loop(self) -> None:
+        if self.ingest_batch > 1:
+            self._loop_batched()
+        else:
+            self._loop_scalar()
+
+    def _loop_scalar(self) -> None:
+        """Legacy one-datagram-per-submit loop (``ingest_batch=1``).
+
+        The receive buffer is sized from ``REPORT_SIZE`` (not a magic
+        constant): one extra byte turns any oversize datagram into a
+        detectable kernel truncation instead of a silent clip.
+        """
         consecutive_errors = 0
         while self._running:
             sock = self._socket
             if sock is None:
                 return
             try:
-                payload, _ = sock.recvfrom(2048)
+                payload, _ = sock.recvfrom(REPORT_SIZE + 1)
             except socket.timeout:
                 continue
             except OSError:
                 if not self._running:
                     return  # socket closed under us during stop()
-                self.socket_errors += 1
-                consecutive_errors += 1
-                if consecutive_errors > self.max_socket_errors:
+                consecutive_errors = self._recover_socket(consecutive_errors)
+                if consecutive_errors < 0:
                     self._running = False
                     return
-                if self.rebinds >= self.max_rebinds:
-                    # Consecutive streaks reset on success, so without this
-                    # lifetime cap an intermittently-failing socket rebinds
-                    # silently forever.  Stop loudly instead.
-                    self._running = False
-                    return
-                time.sleep(
-                    min(1.0, self.error_backoff * (2 ** consecutive_errors))
-                )
-                try:
-                    if self._socket is not None:
-                        self._socket.close()
-                    self._open_socket()
-                except OSError:
-                    continue  # backoff again on the next pass
-                self.rebinds += 1
                 continue
             consecutive_errors = 0
             self.received += 1
+            if len(payload) == REPORT_SIZE + 1:
+                self._dead_letter_odd(payload, len(payload))
+                continue
             reason = payload_precheck(payload)
             if reason is not None:
                 # A datagram that *cannot* decode never reaches the queue:
@@ -2209,3 +2539,75 @@ class UdpReportListener:
                 continue
             if accepted is False:
                 self.dropped += 1
+
+    def _loop_batched(self) -> None:
+        """Frame-native receive loop: one blocking recv, then a
+        non-blocking drain of up to ``ingest_batch`` datagrams into a
+        preallocated frame buffer, one version screen and one
+        ``submit_frame`` per drain.  A report only becomes an individual
+        bytes object on the error paths (odd sizes, bad version)."""
+        fb = FrameBuffer(self.ingest_batch)
+        consecutive_errors = 0
+        while self._running:
+            sock = self._socket
+            if sock is None:
+                return
+            try:
+                nbytes = sock.recv_into(fb.slot())
+            except socket.timeout:
+                continue
+            except OSError:
+                if not self._running:
+                    return  # socket closed under us during stop()
+                consecutive_errors = self._recover_socket(consecutive_errors)
+                if consecutive_errors < 0:
+                    self._running = False
+                    return
+                continue
+            consecutive_errors = 0
+            odd: List[Tuple[bytes, int]] = []
+            if nbytes == REPORT_SIZE:
+                fb.commit()
+            else:
+                odd.append((fb.slot_bytes(nbytes), nbytes))
+            # Opportunistic drain: everything already queued in the kernel,
+            # without blocking (drain_socket swallows socket errors — the
+            # next blocking recv surfaces them through the recovery path).
+            drained = 1
+            try:
+                sock.settimeout(0)
+                extra, more_odd = drain_socket(
+                    sock, fb, self.ingest_batch - 1
+                )
+                drained += extra
+                odd.extend(more_odd)
+            finally:
+                try:
+                    sock.settimeout(0.2)
+                except OSError:  # pragma: no cover - closed under us
+                    pass
+            self.received += drained
+            self._drain_hist.observe(drained)
+            for payload, n in odd:
+                self._dead_letter_odd(payload, n)
+            if not fb.rows:
+                continue
+            clean, rejected = screen_frame(fb.take())
+            for payload, reason in rejected:
+                self.wrong_size += 1
+                self.daemon.dead_letter_transport(payload, reason)
+            if not clean:
+                continue
+            frame = Frame(clean)
+            count = frame.count
+            try:
+                admitted = self.daemon.submit_frame(frame)
+            except Exception as exc:
+                self.malformed += count
+                for payload in frame.rows():
+                    self.daemon.dead_letter_transport(
+                        payload, f"submit failed: {exc}"
+                    )
+                continue
+            if admitted < count:
+                self.dropped += count - admitted

@@ -26,6 +26,7 @@ __all__ = [
     "TagReport",
     "PortCodec",
     "ReportDecodeError",
+    "Frame",
     "pack_report",
     "unpack_report",
     "REPORT_VERSION",
@@ -211,6 +212,93 @@ def unpack_report(payload: bytes, codec: PortCodec) -> TagReport:
         tag=tag,
         ttl_expired=bool(flags & _FLAG_TTL_EXPIRED),
     )
+
+
+class Frame:
+    """A contiguous run of wire-format report rows, handled as one unit.
+
+    The batched ingestion path (socket drain loop -> queue -> verifier)
+    moves reports around as frames so a report only becomes an individual
+    ``bytes`` object on error/salvage paths.  A frame is a window
+    ``[start, stop)`` of ``REPORT_SIZE``-byte rows over a shared buffer:
+    partial admission (overflow policies) narrows the window instead of
+    copying, and ``tenants`` — when set by the quota queue — carries the
+    per-row tenant attribution aligned to *absolute* row indexes of
+    ``data`` so evictions can release the right occupancy slot.
+    """
+
+    __slots__ = ("data", "start", "stop", "tenants")
+
+    def __init__(
+        self,
+        data: bytes,
+        start: int = 0,
+        stop: Optional[int] = None,
+        tenants: Optional[Tuple[Optional[str], ...]] = None,
+    ) -> None:
+        nrows, rem = divmod(len(data), REPORT_SIZE)
+        if rem:
+            raise ValueError(
+                f"frame length {len(data)} is not a multiple of {REPORT_SIZE}"
+            )
+        if stop is None:
+            stop = nrows
+        if not 0 <= start <= stop <= nrows:
+            raise ValueError(f"bad frame window [{start}, {stop}) over {nrows} rows")
+        self.data = data
+        self.start = start
+        self.stop = stop
+        self.tenants = tenants
+
+    @property
+    def count(self) -> int:
+        """Number of rows still in the window."""
+        return self.stop - self.start
+
+    def payload(self) -> bytes:
+        """The window's rows as one contiguous bytes object (zero-copy when
+        the window spans the whole underlying buffer)."""
+        if self.start == 0 and self.stop * REPORT_SIZE == len(self.data):
+            data = self.data
+            return data if isinstance(data, bytes) else bytes(data)
+        return bytes(self.data[self.start * REPORT_SIZE : self.stop * REPORT_SIZE])
+
+    def row(self, i: int) -> bytes:
+        """Row ``i`` (relative to the window start) as bytes — salvage path."""
+        if not 0 <= i < self.count:
+            raise IndexError(f"row {i} out of range for {self.count}-row frame")
+        off = (self.start + i) * REPORT_SIZE
+        return bytes(self.data[off : off + REPORT_SIZE])
+
+    def rows(self) -> "Iterable[bytes]":
+        """Iterate the window's rows as individual bytes objects."""
+        for i in range(self.count):
+            yield self.row(i)
+
+    def row_tenant(self, i: int) -> Optional[str]:
+        """Tenant attributed to row ``i`` of the window (None if unstamped)."""
+        if self.tenants is None:
+            return None
+        return self.tenants[self.start + i]
+
+    def split(self, n: int) -> "Frame":
+        """Carve the first ``n`` window rows into a new frame (shared buffer)
+        and advance this frame's window past them."""
+        if not 0 <= n <= self.count:
+            raise ValueError(f"cannot split {n} rows off a {self.count}-row frame")
+        head = Frame.__new__(Frame)
+        head.data = self.data
+        head.start = self.start
+        head.stop = self.start + n
+        head.tenants = self.tenants
+        self.start += n
+        return head
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Frame({self.count} rows [{self.start}:{self.stop}])"
 
 
 def payload_precheck(payload: bytes) -> Optional[str]:

@@ -30,7 +30,9 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .reports import Frame, REPORT_SIZE
 
 __all__ = [
     "OverflowPolicy",
@@ -87,6 +89,14 @@ class PolicyQueue:
     ``dropped_oldest``, ``block_timeouts``) surfaced via :meth:`stats`.
     ``task_done``/``join`` semantics match the stdlib queue so daemon
     workers can drain it the same way.
+
+    The queue is *report-weighted*: a queued item is either one payload
+    (weight 1) or a :class:`~repro.core.reports.Frame` of ``frame.count``
+    reports, and ``maxsize``, ``qsize`` and every drop counter are measured
+    in reports, not items.  Overflow policies act at report granularity —
+    a frame that does not fully fit is split (``DROP_NEW``/``BLOCK`` admit
+    the fitting prefix, ``DROP_OLDEST`` evicts queued reports one at a
+    time) so drop accounting stays exact per report.
     """
 
     def __init__(
@@ -99,24 +109,29 @@ class PolicyQueue:
         self.maxsize = maxsize
         self.policy = OverflowPolicy.coerce(policy)
         self._items: Deque[object] = deque()
+        self._size = 0  # queued *reports* (frames weigh frame.count)
         self._mutex = threading.Lock()
         self._not_empty = threading.Condition(self._mutex)
         self._not_full = threading.Condition(self._mutex)
         self._all_done = threading.Condition(self._mutex)
         self._unfinished = 0
         self._closed = False
-        self.puts = 0  # non-forced put() calls: the queue's "submitted" ledger
+        self.puts = 0  # non-forced submitted reports: the queue's ledger
         self.dropped_new = 0
         self.dropped_oldest = 0
         self.block_timeouts = 0
 
     def __len__(self) -> int:
         with self._mutex:
-            return len(self._items)
+            return self._size
 
     def qsize(self) -> int:
-        """Approximate number of queued items."""
+        """Approximate number of queued reports (frames weigh their rows)."""
         return len(self)
+
+    @staticmethod
+    def _weight(item: object) -> int:
+        return item.count if isinstance(item, Frame) else 1
 
     # -- producer side ----------------------------------------------------
 
@@ -126,7 +141,7 @@ class PolicyQueue:
         timeout: Optional[float] = None,
         force: bool = False,
     ) -> bool:
-        """Admit ``item`` under the configured policy; True if admitted.
+        """Admit ``item`` under the configured policy; True if fully admitted.
 
         ``force=True`` bypasses the bound entirely (used for control
         sentinels such as stop tokens, which must never be dropped).
@@ -135,40 +150,152 @@ class PolicyQueue:
             if force:
                 # Control sentinels (stop tokens) are not workload; they stay
                 # out of the submitted ledger.
-                self._admit(item)
+                self._admit(item, self._weight(item))
                 return True
-            self.puts += 1
-            if len(self._items) < self.maxsize:
-                self._admit(item)
-                return True
-            if self.policy is OverflowPolicy.DROP_NEW:
-                self.dropped_new += 1
-                return False
-            if self.policy is OverflowPolicy.DROP_OLDEST:
-                self._items.popleft()
-                self.dropped_oldest += 1
-                # The evicted item will never be processed; settle its
-                # join() obligation here.
-                self._mark_done()
-                self._admit(item)
-                return True
-            # BLOCK: wait for room (bounded by timeout when given).
-            deadline = None if timeout is None else time.monotonic() + timeout
-            while len(self._items) >= self.maxsize:
-                remaining = (
-                    None if deadline is None else deadline - time.monotonic()
-                )
-                if remaining is not None and remaining <= 0:
-                    self.block_timeouts += 1
-                    return False
-                self._not_full.wait(remaining)
-            self._admit(item)
-            return True
+            weight = self._weight(item)
+            return self._put_one_locked(item, timeout) == weight
 
-    def _admit(self, item: object) -> None:
+    def put_many(
+        self,
+        items: Iterable[object],
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Admit a batch under one lock acquisition; returns admitted reports.
+
+        Each item is admitted under the same per-item policy semantics as
+        :meth:`put`; the batch shape only changes the locking cost (one
+        mutex round-trip and one consumer wakeup per call instead of one
+        per report).
+        """
+        admitted = 0
+        with self._mutex:
+            for item in items:
+                admitted += self._put_one_locked(item, timeout)
+        return admitted
+
+    def put_frame(
+        self,
+        frame: Frame,
+        timeout: Optional[float] = None,
+        tenants: Optional[Sequence[Optional[str]]] = None,
+    ) -> int:
+        """Admit a frame's reports in bulk; returns how many were admitted.
+
+        ``tenants`` is accepted for interface parity with
+        :class:`TenantQuotaQueue` and ignored here.
+        """
+        with self._mutex:
+            return self._put_one_locked(frame, timeout)
+
+    def _put_one_locked(self, item: object, timeout: Optional[float]) -> int:
+        """Ledger + policy admission for one item; returns admitted reports."""
+        weight = self._weight(item)
+        self.puts += weight
+        return self._policy_put(item, weight, timeout)
+
+    def _policy_put(
+        self, item: object, weight: int, timeout: Optional[float]
+    ) -> int:
+        """Admit up to ``weight`` reports of ``item`` under the overflow
+        policy (mutex held); every refused/evicted report is counted."""
+        if weight == 0:
+            return 0
+        room = self.maxsize - self._size
+        if weight <= room:
+            self._admit(item, weight)
+            return weight
+        is_frame = isinstance(item, Frame)
+        if self.policy is OverflowPolicy.DROP_NEW:
+            admitted = 0
+            if room > 0 and is_frame:
+                self._admit(item.split(room), room)
+                admitted = room
+            self.dropped_new += weight - admitted
+            if is_frame:
+                self._on_refused_rows(item, item.start, item.stop)
+            else:
+                self._on_refused_item(item)
+            return admitted
+        if self.policy is OverflowPolicy.DROP_OLDEST:
+            # Evict queued reports one at a time (each one counted) until
+            # the new item fits; a frame wider than the whole queue also
+            # sheds its own oldest rows (newest-wins at report granularity).
+            target = self.maxsize - min(weight, self.maxsize)
+            while self._size > target and self._items:
+                self._evict_oldest()
+            if weight > self.maxsize:
+                excess = weight - self.maxsize
+                self.dropped_oldest += excess
+                if is_frame:
+                    self._on_refused_rows(item, item.start, item.start + excess)
+                    item.start += excess
+                weight = self.maxsize
+            self._admit(item, weight)
+            return weight
+        # BLOCK: admit what fits now, wait for room for the rest (bounded
+        # by timeout when given); a timeout counts every unadmitted report.
+        admitted = 0
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            room = self.maxsize - self._size
+            remaining_w = self._weight(item) if is_frame else weight - admitted
+            if remaining_w <= room:
+                self._admit(item, remaining_w)
+                return admitted + remaining_w
+            if room > 0 and is_frame:
+                self._admit(item.split(room), room)
+                admitted += room
+            remaining_t = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            if remaining_t is not None and remaining_t <= 0:
+                # A scalar can never be partially admitted, so the window
+                # weight is the full unadmitted remainder in both cases.
+                rest = self._weight(item) if is_frame else weight
+                self.block_timeouts += rest
+                if is_frame:
+                    self._on_refused_rows(item, item.start, item.stop)
+                else:
+                    self._on_refused_item(item)
+                return admitted
+            self._not_full.wait(remaining_t)
+
+    def _admit(self, item: object, weight: int) -> None:
         self._items.append(item)
-        self._unfinished += 1
+        self._size += weight
+        self._unfinished += weight
         self._not_empty.notify()
+
+    def _evict_oldest(self) -> None:
+        """Evict one queued *report* (a scalar item or one frame row) to
+        make room — DROP_OLDEST machinery; counts and settles it."""
+        item = self._items[0]
+        if isinstance(item, Frame) and item.count > 1:
+            self._on_evicted(item, item.start)
+            item.start += 1
+        else:
+            self._items.popleft()
+            if isinstance(item, Frame):
+                self._on_evicted(item, item.start)
+            else:
+                self._on_evicted(item, None)
+        self._size -= 1
+        self.dropped_oldest += 1
+        # The evicted report will never be processed; settle its join()
+        # obligation here.
+        self._mark_done(1)
+
+    # Attribution hooks (no-ops here; TenantQuotaQueue releases per-tenant
+    # occupancy and counts per-tenant drops through them).
+
+    def _on_evicted(self, item: object, row: Optional[int]) -> None:
+        pass
+
+    def _on_refused_rows(self, frame: Frame, lo: int, hi: int) -> None:
+        pass
+
+    def _on_refused_item(self, item: object) -> None:
+        pass
 
     # -- consumer side ----------------------------------------------------
 
@@ -188,28 +315,78 @@ class PolicyQueue:
                 if remaining is not None and remaining <= 0:
                     raise TimeoutError("queue.get timed out")
                 self._not_empty.wait(remaining)
-            item = self._items.popleft()
-            self._not_full.notify()
-            return item
+            return self._pop_locked()
 
     def get_nowait(self) -> object:
         """Pop without blocking; raises ``IndexError`` when empty."""
         with self._mutex:
             if not self._items:
                 raise IndexError("queue is empty")
-            item = self._items.popleft()
-            self._not_full.notify()
-            return item
+            return self._pop_locked()
 
-    def task_done(self) -> None:
-        """Signal that one previously-gotten item is fully processed."""
+    def get_many(
+        self, max_reports: int, timeout: Optional[float] = None
+    ) -> List[object]:
+        """Pop up to ``max_reports`` queued reports as a list of items.
+
+        Blocks (like :meth:`get`) only for the first item; the rest are
+        drained without waiting.  The first item is returned even if it
+        alone exceeds ``max_reports`` — a frame is never split on the
+        consumer side.  One lock acquisition replaces the get +
+        get_nowait-drain loop per batch.
+        """
+        if max_reports <= 0:
+            raise ValueError(f"max_reports must be positive, got {max_reports}")
         with self._mutex:
-            self._mark_done()
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while not self._items:
+                if self._closed:
+                    raise QueueStopped
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError("queue.get_many timed out")
+                self._not_empty.wait(remaining)
+            out: List[object] = []
+            total = 0
+            while self._items:
+                weight = self._weight(self._items[0])
+                if out and total + weight > max_reports:
+                    break
+                out.append(self._pop_locked(notify=False))
+                total += weight
+                if total >= max_reports:
+                    break
+            if total > 1:
+                self._not_full.notify_all()
+            else:
+                self._not_full.notify()
+            return out
 
-    def _mark_done(self) -> None:
-        if self._unfinished <= 0:
+    def _pop_locked(self, notify: bool = True) -> object:
+        item = self._items.popleft()
+        weight = self._weight(item)
+        self._size -= weight
+        if notify:
+            if weight > 1:
+                self._not_full.notify_all()
+            else:
+                self._not_full.notify()
+        return item
+
+    def task_done(self, reports: int = 1) -> None:
+        """Signal that ``reports`` previously-gotten reports are processed.
+
+        Frame consumers settle a whole frame with ``task_done(frame.count)``.
+        """
+        with self._mutex:
+            self._mark_done(reports)
+
+    def _mark_done(self, reports: int = 1) -> None:
+        if self._unfinished < reports:
             raise ValueError("task_done() called too many times")
-        self._unfinished -= 1
+        self._unfinished -= reports
         if self._unfinished == 0:
             self._all_done.notify_all()
 
@@ -243,7 +420,7 @@ class PolicyQueue:
         """
         with self._mutex:
             return {
-                "queued": len(self._items),
+                "queued": self._size,
                 "puts": self.puts,
                 "dropped_new": self.dropped_new,
                 "dropped_oldest": self.dropped_oldest,
@@ -336,55 +513,125 @@ class TenantQuotaQueue(PolicyQueue):
             return self._default_cap
         return self._caps.get(tenant, self._default_cap)
 
-    def put(
-        self,
-        item: object,
-        timeout: Optional[float] = None,
-        force: bool = False,
-    ) -> bool:
-        """Admit ``item`` under both the global bound and its tenant's quota."""
-        if force:
-            return super().put(item, timeout=timeout, force=True)
+    def _put_one_locked(self, item: object, timeout: Optional[float]) -> int:
+        if isinstance(item, Frame):
+            return self._put_frame_locked(item, timeout)
+        self.puts += 1
+        return self._put_scalar_locked(item, timeout)
+
+    def _put_scalar_locked(self, item: object, timeout: Optional[float]) -> int:
+        """Scalar admission under both the global bound and the tenant quota
+        (mutex held); returns 1 when admitted, 0 when refused."""
         tenant = self._classify(item)
+        self.tenant_puts[tenant] = self.tenant_puts.get(tenant, 0) + 1
+        if self._occupancy.get(tenant, 0) >= self.cap_of(tenant):
+            self._drop(tenant, new=True)
+            return 0
+        if self._size < self.maxsize:
+            self._admit_stamped(tenant, item)
+            return 1
+        if self.policy is OverflowPolicy.DROP_NEW:
+            self._drop(tenant, new=True)
+            return 0
+        if self.policy is OverflowPolicy.DROP_OLDEST:
+            self._evict_oldest()
+            self._admit_stamped(tenant, item)
+            return 1
+        # BLOCK: the *global* bound may be waited out (the tenant is
+        # under quota here, so the wait is legitimate backpressure).
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self._size >= self.maxsize:
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                self.block_timeouts += 1
+                self.tenant_dropped[tenant] = (
+                    self.tenant_dropped.get(tenant, 0) + 1
+                )
+                return 0
+            self._not_full.wait(remaining)
+        self._admit_stamped(tenant, item)
+        return 1
+
+    def put_frame(
+        self,
+        frame: Frame,
+        timeout: Optional[float] = None,
+        tenants: Optional[Sequence[Optional[str]]] = None,
+    ) -> int:
+        """Admit a frame with quota charges applied in bulk, counted per row.
+
+        ``tenants`` gives the per-row attribution for the frame's current
+        window (``frame.count`` entries); omitted rows are unattributed.
+        When every tenant in the frame fits under its cap the whole frame
+        is admitted (or split) as one item — one occupancy bump per tenant
+        instead of one per report.  Only when some tenant is at its cap
+        does admission fall back to row-at-a-time so refusals are charged
+        to exactly the over-quota rows, like the scalar path.
+        """
+        frame.tenants = self._stamp_rows(frame, tenants)
         with self._mutex:
-            self.puts += 1
-            self.tenant_puts[tenant] = self.tenant_puts.get(tenant, 0) + 1
+            return self._put_frame_locked(frame, timeout)
+
+    @staticmethod
+    def _stamp_rows(
+        frame: Frame, tenants: Optional[Sequence[Optional[str]]]
+    ) -> Tuple[Optional[str], ...]:
+        """Build the absolute per-row tenant tuple for ``frame.data``."""
+        nrows = len(frame.data) // REPORT_SIZE
+        if tenants is None:
+            if frame.tenants is not None:
+                return frame.tenants
+            return (None,) * nrows
+        window = tuple(tenants)
+        if len(window) != frame.count:
+            raise ValueError(
+                f"{len(window)} tenant stamps for a {frame.count}-row frame"
+            )
+        return (
+            (None,) * frame.start + window + (None,) * (nrows - frame.stop)
+        )
+
+    def _put_frame_locked(self, frame: Frame, timeout: Optional[float]) -> int:
+        weight = frame.count
+        self.puts += weight
+        if weight == 0:
+            return 0
+        if frame.tenants is None:
+            frame.tenants = self._stamp_rows(frame, None)
+        window = frame.tenants[frame.start : frame.stop]
+        counts: Dict[Optional[str], int] = {}
+        for tenant in window:
+            counts[tenant] = counts.get(tenant, 0) + 1
+        for tenant, n in counts.items():
+            self.tenant_puts[tenant] = self.tenant_puts.get(tenant, 0) + n
+        over_quota = any(
+            self._occupancy.get(tenant, 0) + n > self.cap_of(tenant)
+            for tenant, n in counts.items()
+        )
+        if not over_quota:
+            # Bulk path: reserve every row's occupancy up front; the
+            # refusal/eviction hooks release whatever the policy sheds.
+            for tenant, n in counts.items():
+                self._occupancy[tenant] = self._occupancy.get(tenant, 0) + n
+            return self._policy_put(frame, weight, timeout)
+        # Contended path: some tenant is at its cap, so rows are admitted
+        # individually — refusals land on exactly the over-quota rows and
+        # every counter stays per report, matching the scalar path.
+        admitted = 0
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for i, tenant in enumerate(window):
             if self._occupancy.get(tenant, 0) >= self.cap_of(tenant):
                 self._drop(tenant, new=True)
-                return False
-            if len(self._items) < self.maxsize:
-                self._admit_stamped(tenant, item)
-                return True
-            if self.policy is OverflowPolicy.DROP_NEW:
-                self._drop(tenant, new=True)
-                return False
-            if self.policy is OverflowPolicy.DROP_OLDEST:
-                victim = self._items.popleft()
-                self.dropped_oldest += 1
-                if isinstance(victim, _TenantItem):
-                    self._occupancy[victim.tenant] -= 1
-                    self.tenant_dropped[victim.tenant] = (
-                        self.tenant_dropped.get(victim.tenant, 0) + 1
-                    )
-                self._mark_done()
-                self._admit_stamped(tenant, item)
-                return True
-            # BLOCK: the *global* bound may be waited out (the tenant is
-            # under quota here, so the wait is legitimate backpressure).
-            deadline = None if timeout is None else time.monotonic() + timeout
-            while len(self._items) >= self.maxsize:
-                remaining = (
-                    None if deadline is None else deadline - time.monotonic()
-                )
-                if remaining is not None and remaining <= 0:
-                    self.block_timeouts += 1
-                    self.tenant_dropped[tenant] = (
-                        self.tenant_dropped.get(tenant, 0) + 1
-                    )
-                    return False
-                self._not_full.wait(remaining)
-            self._admit_stamped(tenant, item)
-            return True
+                continue
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            item = _TenantItem(tenant, frame.row(i))
+            self._occupancy[tenant] = self._occupancy.get(tenant, 0) + 1
+            admitted += self._policy_put(item, 1, remaining)
+        return admitted
 
     def _drop(self, tenant: Optional[str], new: bool) -> None:
         if new:
@@ -393,13 +640,45 @@ class TenantQuotaQueue(PolicyQueue):
 
     def _admit_stamped(self, tenant: Optional[str], payload: object) -> None:
         self._occupancy[tenant] = self._occupancy.get(tenant, 0) + 1
-        self._admit(_TenantItem(tenant, payload))
+        self._admit(_TenantItem(tenant, payload), 1)
+
+    # -- attribution hooks (called by the base policy machinery) -----------
+
+    def _on_evicted(self, item: object, row: Optional[int]) -> None:
+        if isinstance(item, Frame):
+            tenant = item.tenants[row] if item.tenants is not None else None
+        elif isinstance(item, _TenantItem):
+            tenant = item.tenant
+        else:
+            return  # force-put sentinel, never attributed
+        self._occupancy[tenant] = self._occupancy.get(tenant, 0) - 1
+        self.tenant_dropped[tenant] = self.tenant_dropped.get(tenant, 0) + 1
+
+    def _on_refused_rows(self, frame: Frame, lo: int, hi: int) -> None:
+        # Rows refused at admission had their occupancy reserved by the
+        # bulk path; release it and charge the drop to each row's tenant.
+        for i in range(lo, hi):
+            tenant = frame.tenants[i] if frame.tenants is not None else None
+            self._occupancy[tenant] = self._occupancy.get(tenant, 0) - 1
+            self.tenant_dropped[tenant] = self.tenant_dropped.get(tenant, 0) + 1
+
+    def _on_refused_item(self, item: object) -> None:
+        if isinstance(item, _TenantItem):
+            self._occupancy[item.tenant] = self._occupancy.get(item.tenant, 0) - 1
+            self.tenant_dropped[item.tenant] = (
+                self.tenant_dropped.get(item.tenant, 0) + 1
+            )
 
     def _unstamp(self, item: object) -> object:
         if isinstance(item, _TenantItem):
             with self._mutex:
                 self._occupancy[item.tenant] -= 1
             return item.payload
+        if isinstance(item, Frame) and item.tenants is not None:
+            with self._mutex:
+                for i in range(item.start, item.stop):
+                    self._occupancy[item.tenants[i]] -= 1
+            return item
         return item  # force-put sentinel, never stamped
 
     def get(self, timeout: Optional[float] = None) -> object:
@@ -407,6 +686,14 @@ class TenantQuotaQueue(PolicyQueue):
 
     def get_nowait(self) -> object:
         return self._unstamp(super().get_nowait())
+
+    def get_many(
+        self, max_reports: int, timeout: Optional[float] = None
+    ) -> List[object]:
+        return [
+            self._unstamp(item)
+            for item in super().get_many(max_reports, timeout)
+        ]
 
     def stats(self) -> Dict[str, object]:
         """Global admission counters plus the per-tenant breakdown."""

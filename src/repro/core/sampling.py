@@ -98,7 +98,9 @@ class FlowSampler:
         flow is always sampled.
         """
         self.seen_count += 1
-        state = self._state.get(flow_key)
+        # Pop + reinsert on every touch: dict insertion order then *is* hit
+        # recency, making eviction O(1) instead of an O(n) min-scan.
+        state = self._state.pop(flow_key, None)
         if state is None:
             self._evict_if_full(now)
             self._state[flow_key] = (now, now)
@@ -115,9 +117,12 @@ class FlowSampler:
     def _evict_if_full(self, now: float) -> None:
         if self.capacity is None or len(self._state) < self.capacity:
             return
-        # Evict the least recently hit flow (the hardware array policy).
-        victim = min(self._state.items(), key=lambda kv: kv[1][1])[0]
-        del self._state[victim]
+        # Evict the least recently hit flow (the hardware array policy):
+        # the front of the dict, since every hit moves its key to the back.
+        # Same victim the old min-scan chose whenever hit instants are
+        # strictly increasing; equal-instant ties can break differently
+        # (the bounded-table emulation never specified tie order).
+        del self._state[next(iter(self._state))]
 
     @property
     def active_flows(self) -> int:

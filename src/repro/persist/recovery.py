@@ -43,6 +43,7 @@ from ..bdd.headerspace import HeaderSpace, format_ipv4
 from ..core.bloom import BloomTagScheme
 from ..core.incremental import IncrementalPathTable, LpmProvider
 from ..core.pathtable import PathTable
+from ..core.reports import REPORT_SIZE
 from ..netmodel.rules import Forward
 from .snapshot import SNAPSHOT_FORMAT, SnapshotStore
 from .wal import RT_CONTROL, RT_MALFORMED, RT_REPORT, ControlEvent, WriteAheadLog
@@ -419,6 +420,15 @@ class PersistentState:
         header/CRC cost amortises over the batch.
         """
         return self.wal.append_report_batch(payloads)
+
+    def log_report_frame(self, frame: bytes) -> int:
+        """Log a contiguous frame of wire reports as one batch record.
+
+        Replay-compatible with :meth:`log_report_batch` — the record body
+        is byte-identical — but built without splitting the frame into
+        per-report payloads first.
+        """
+        return self.wal.append_report_frame(frame, REPORT_SIZE)
 
     def log_malformed(self, payload: bytes) -> int:
         return self.wal.append_malformed(payload)

@@ -463,6 +463,37 @@ class WriteAheadLog:
             self.batched_report_payloads += count
             return seq
 
+    def append_report_frame(self, frame: bytes, row_size: int) -> int:
+        """Log a frame of fixed-``row_size`` payloads as ONE batch record.
+
+        Same record type and body layout as :meth:`append_report_batch`
+        (length prefix per payload), built with strided slice assignment
+        instead of a per-payload Python loop — the batched-ingestion WAL
+        hot path.  Replay is byte-identical to logging the rows one list
+        at a time.
+        """
+        if not 0 < row_size <= 0xFFFF:
+            raise WalError(f"report frame row size {row_size} not loggable")
+        count, rem = divmod(len(frame), row_size)
+        if rem:
+            raise WalError(
+                f"report frame length {len(frame)} is not a multiple of "
+                f"{row_size}"
+            )
+        with self._lock:
+            if not count:
+                return self._last_seq
+            stride = row_size + _BATCH_LEN.size
+            body = bytearray(count * stride)
+            plen = _BATCH_LEN.pack(row_size)
+            body[0::stride] = plen[0:1] * count
+            body[1::stride] = plen[1:2] * count
+            for j in range(row_size):
+                body[_BATCH_LEN.size + j :: stride] = frame[j::row_size]
+            seq = self.append(RT_REPORT_BATCH, bytes(body))
+            self.batched_report_payloads += count
+            return seq
+
     def append_malformed(self, payload: bytes) -> int:
         return self.append(RT_MALFORMED, payload)
 

@@ -132,15 +132,67 @@ class TestDispatch:
         assert frontend.stats()["submitted"] == 20
 
 
+class TestSubmitFrame:
+    def test_frame_routes_rows_like_scalar_submit(self, fleet, rig):
+        from repro.core.reports import Frame
+
+        scenario, server, net = rig
+        frontend, _ = fleet
+        payloads = healthy_payloads(scenario, net, 48)
+        # Scalar routing ground truth, computed without dispatching.
+        expected = {n: 0 for n in frontend.nodes()}
+        for payload in payloads:
+            expected[frontend.owner_of(frontend.routing_key(payload))] += 1
+        admitted = frontend.submit_frame(Frame(b"".join(payloads)))
+        assert admitted == len(payloads)
+        frontend.flush_buffers()
+        stats = frontend.stats()
+        assert stats["submitted"] == len(payloads)
+        assert stats["dispatched_reports"] == len(payloads)
+        assert stats["precheck_rejected"] == 0
+        # Ack everything and confirm per-node delivery matched the ring.
+        for name in frontend.nodes():
+            link = frontend._links[name]
+            if expected[name]:
+                assert link.seq > 0
+            frontend.ack(name, link.seq)
+            assert frontend.pending(name) == (0, 0)
+
+    def test_frame_screens_bad_versions(self, fleet, rig):
+        from repro.core.reports import Frame
+
+        scenario, server, net = rig
+        frontend, _ = fleet
+        payloads = healthy_payloads(scenario, net, 8)
+        bad = bytearray(payloads[0])
+        bad[0] = 99
+        admitted = frontend.submit_frame(Frame(b"".join(payloads + [bytes(bad)])))
+        assert admitted == len(payloads)
+        stats = frontend.stats()
+        assert stats["precheck_rejected"] == 1
+        assert stats["submitted"] == len(payloads) + 1
+
+    def test_frame_without_nodes_counts_drops(self, rig):
+        from repro.core.reports import Frame
+
+        scenario, _, net = rig
+        frontend = ClusterFrontend()
+        payloads = healthy_payloads(scenario, net, 6)
+        admitted = frontend.submit_frame(Frame(b"".join(payloads)))
+        assert admitted == 0
+        assert frontend.stats()["dropped_no_node"] == len(payloads)
+
+
 @pytest.mark.parametrize("engine_cls", [AsyncioIngest, SelectorIngest])
+@pytest.mark.parametrize("ingest_batch", [1, 32])
 class TestIngestEngines:
     def test_udp_and_tcp_reports_reach_the_frontend(
-        self, engine_cls, fleet, rig
+        self, engine_cls, ingest_batch, fleet, rig
     ):
         scenario, server, net = rig
         frontend, _ = fleet
         payloads = healthy_payloads(scenario, net, 40)
-        ingest = engine_cls(frontend)
+        ingest = engine_cls(frontend, ingest_batch=ingest_batch)
         udp_addr = ingest.listen_udp("127.0.0.1", 0)
         tcp_addr = ingest.listen_tcp("127.0.0.1", 0)
         ingest.start()

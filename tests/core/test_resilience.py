@@ -5,14 +5,24 @@ import time
 
 import pytest
 
+from repro.core.reports import REPORT_SIZE, Frame
 from repro.core.resilience import (
     DeadLetterQueue,
     OverflowPolicy,
     PolicyQueue,
     RestartBackoff,
+    TenantQuotaQueue,
     WorkerProbe,
     WorkerSupervisor,
 )
+
+
+def mkframe(n, fill=0x41, tenants=None):
+    """An ``n``-row frame of synthetic wire rows (row i's last byte is i)."""
+    data = b"".join(
+        bytes([1, fill]) + bytes(REPORT_SIZE - 3) + bytes([i]) for i in range(n)
+    )
+    return Frame(data, tenants=tenants)
 
 
 class TestOverflowPolicy:
@@ -102,6 +112,232 @@ class TestPolicyQueue:
     def test_requires_positive_maxsize(self):
         with pytest.raises(ValueError):
             PolicyQueue(0)
+
+
+class TestPolicyQueueFrames:
+    """The report-weighted queue: frames weigh their rows, and every
+    overflow policy accounts drops per report at frame boundaries."""
+
+    def test_frame_weighs_its_rows(self):
+        q = PolicyQueue(10)
+        assert q.put_frame(mkframe(4)) == 4
+        assert q.qsize() == 4
+        assert q.stats()["puts"] == 4
+        frame = q.get()
+        assert isinstance(frame, Frame) and frame.count == 4
+        q.task_done(reports=4)
+        assert q.join(timeout=1.0)
+
+    def test_drop_new_admits_the_fitting_prefix(self):
+        q = PolicyQueue(6, OverflowPolicy.DROP_NEW)
+        assert q.put_frame(mkframe(4)) == 4
+        assert q.put_frame(mkframe(4)) == 2  # split at the bound
+        stats = q.stats()
+        assert stats["dropped_new"] == 2
+        assert stats["queued"] == 6
+        assert stats["puts"] == 8
+        first, second = q.get(), q.get()
+        assert first.count == 4
+        assert second.count == 2
+        # The admitted prefix is the frame's *head* rows.
+        assert second.row(0)[-1] == 0 and second.row(1)[-1] == 1
+
+    def test_drop_new_refuses_whole_frame_when_no_room(self):
+        q = PolicyQueue(3, OverflowPolicy.DROP_NEW)
+        assert q.put_frame(mkframe(3)) == 3
+        assert q.put_frame(mkframe(5)) == 0
+        assert q.stats()["dropped_new"] == 5
+
+    def test_drop_oldest_evicts_queued_reports_one_at_a_time(self):
+        q = PolicyQueue(5, OverflowPolicy.DROP_OLDEST)
+        assert q.put_frame(mkframe(3, fill=0xAA)) == 3
+        assert q.put_frame(mkframe(4, fill=0xBB)) == 4
+        stats = q.stats()
+        assert stats["dropped_oldest"] == 2
+        assert stats["queued"] == 5
+        # The old frame survives with a narrowed window (rows 2..3).
+        old = q.get()
+        assert old.count == 1
+        assert old.row(0)[-1] == 2
+        assert q.get().count == 4
+        # Evictions settled their join obligation at eviction time.
+        q.task_done(reports=1)
+        q.task_done(reports=4)
+        assert q.join(timeout=1.0)
+
+    def test_drop_oldest_frame_wider_than_queue_sheds_own_head(self):
+        q = PolicyQueue(4, OverflowPolicy.DROP_OLDEST)
+        q.put("x")
+        assert q.put_frame(mkframe(6)) == 4  # newest-wins: keeps rows 2..5
+        stats = q.stats()
+        assert stats["dropped_oldest"] == 3  # "x" plus the frame's rows 0-1
+        frame = q.get()
+        assert frame.count == 4
+        assert frame.row(0)[-1] == 2
+
+    def test_block_admits_prefix_then_times_out_mid_frame(self):
+        q = PolicyQueue(4, OverflowPolicy.BLOCK)
+        assert q.put_frame(mkframe(3)) == 3
+        admitted = q.put_frame(mkframe(3), timeout=0.01)
+        assert admitted == 1  # the fitting prefix went in before the wait
+        stats = q.stats()
+        assert stats["block_timeouts"] == 2
+        assert stats["queued"] == 4
+
+    def test_block_admits_rest_when_consumer_makes_room(self):
+        q = PolicyQueue(4, OverflowPolicy.BLOCK)
+        q.put_frame(mkframe(4))
+        got = []
+
+        def producer():
+            got.append(q.put_frame(mkframe(4), timeout=5.0))
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        drained = q.get()
+        q.task_done(reports=drained.count)
+        thread.join(timeout=5)
+        assert got == [4]
+
+    def test_put_many_mixes_scalars_and_frames(self):
+        q = PolicyQueue(10)
+        admitted = q.put_many([b"a", mkframe(3), b"b", mkframe(2)])
+        assert admitted == 7
+        assert q.qsize() == 7
+        assert q.stats()["puts"] == 7
+
+    def test_put_many_counts_refusals_per_report(self):
+        q = PolicyQueue(4, OverflowPolicy.DROP_NEW)
+        admitted = q.put_many([mkframe(3), mkframe(3), b"x"])
+        assert admitted == 4  # 3 + a 1-row split prefix
+        stats = q.stats()
+        assert stats["dropped_new"] == 3  # 2 frame rows + the scalar
+        assert stats["puts"] == 7
+
+    def test_get_many_batches_without_splitting_frames(self):
+        q = PolicyQueue(32)
+        q.put(b"a")
+        q.put_frame(mkframe(4))
+        q.put(b"b")
+        items = q.get_many(3)
+        # The scalar fits; the 4-row frame would exceed the budget and is
+        # never split on the consumer side, so the batch stops before it.
+        assert items == [b"a"]
+        items = q.get_many(16)
+        assert isinstance(items[0], Frame) and items[0].count == 4
+        assert items[1] == b"b"
+
+    def test_get_many_returns_oversized_first_item_whole(self):
+        q = PolicyQueue(32)
+        q.put_frame(mkframe(8))
+        items = q.get_many(2)
+        assert len(items) == 1 and items[0].count == 8
+
+    def test_get_many_blocks_for_first_item_only(self):
+        q = PolicyQueue(8)
+        with pytest.raises(TimeoutError):
+            q.get_many(4, timeout=0.01)
+
+    def test_get_many_rejects_nonpositive_budget(self):
+        q = PolicyQueue(8)
+        with pytest.raises(ValueError):
+            q.get_many(0)
+
+
+class TestTenantQuotaFrames:
+    """Frame admission under per-tenant quotas: bulk charges stay exact
+    per report and per tenant."""
+
+    def make_queue(self, maxsize=8, policy=OverflowPolicy.DROP_NEW, **kwargs):
+        kwargs.setdefault("shares", {"red": 0.5, "blue": 0.5})
+        return TenantQuotaQueue(maxsize, policy, **kwargs)
+
+    def test_bulk_path_charges_each_tenant_once(self):
+        q = self.make_queue()
+        frame = mkframe(4)
+        admitted = q.put_frame(frame, tenants=["red", "red", "blue", None])
+        assert admitted == 4
+        tenants = q.stats()["tenants"]
+        assert tenants["red"]["queued"] == 2
+        assert tenants["blue"]["queued"] == 1
+        assert tenants[""]["queued"] == 1
+        assert tenants["red"]["puts"] == 2
+
+    def test_get_releases_per_row_occupancy(self):
+        q = self.make_queue()
+        q.put_frame(mkframe(3), tenants=["red", "red", "blue"])
+        frame = q.get()
+        assert isinstance(frame, Frame) and frame.count == 3
+        assert frame.row_tenant(0) == "red"
+        tenants = q.stats()["tenants"]
+        assert tenants["red"]["queued"] == 0
+        assert tenants["blue"]["queued"] == 0
+
+    def test_over_quota_tenant_refused_row_wise(self):
+        # red's cap is 4 of 8; a frame carrying 5 red rows and 2 blue rows
+        # must shed exactly the over-quota red row.
+        q = self.make_queue()
+        frame = mkframe(7)
+        admitted = q.put_frame(
+            frame, tenants=["red"] * 5 + ["blue"] * 2
+        )
+        assert admitted == 6
+        tenants = q.stats()["tenants"]
+        assert tenants["red"]["queued"] == 4
+        assert tenants["red"]["dropped"] == 1
+        assert tenants["blue"]["queued"] == 2
+        assert tenants["blue"]["dropped"] == 0
+        assert q.stats()["dropped_new"] == 1
+
+    def test_quota_refusal_is_per_tenant_even_under_block(self):
+        # BLOCK never lets an over-quota tenant stall the others.
+        q = self.make_queue(policy=OverflowPolicy.BLOCK)
+        q.put_frame(mkframe(4), tenants=["red"] * 4)  # red at cap
+        admitted = q.put_frame(
+            mkframe(3), timeout=0.05, tenants=["red", "blue", "blue"]
+        )
+        assert admitted == 2
+        tenants = q.stats()["tenants"]
+        assert tenants["red"]["dropped"] == 1
+        assert tenants["blue"]["queued"] == 2
+
+    def test_global_refusal_releases_bulk_reservation(self):
+        # The bulk path reserves occupancy up front; rows the *global*
+        # policy then refuses must release it (and charge the tenant).
+        q = self.make_queue(maxsize=4, shares={"red": 1.0})
+        assert q.put_frame(mkframe(3), tenants=["red"] * 3) == 3
+        assert q.put_frame(mkframe(3), tenants=["red"] * 3) == 1
+        tenants = q.stats()["tenants"]
+        assert tenants["red"]["queued"] == 4
+        assert tenants["red"]["dropped"] == 2
+        assert q.stats()["dropped_new"] == 2
+
+    def test_eviction_releases_the_right_tenants_occupancy(self):
+        q = self.make_queue(
+            maxsize=4, policy=OverflowPolicy.DROP_OLDEST,
+            shares={"red": 1.0, "blue": 1.0},
+        )
+        q.put_frame(mkframe(2), tenants=["red", "red"])
+        q.put_frame(mkframe(4), tenants=["blue"] * 4)
+        tenants = q.stats()["tenants"]
+        assert tenants["red"]["queued"] == 0
+        assert tenants["red"]["dropped"] == 2
+        assert tenants["blue"]["queued"] == 4
+        assert q.stats()["dropped_oldest"] == 2
+
+    def test_scalar_and_frame_ledgers_are_one_currency(self):
+        q = self.make_queue(maxsize=16)
+        q.put(b"scalar-row")
+        q.put_frame(mkframe(3), tenants=["red", "red", "blue"])
+        stats = q.stats()
+        assert stats["puts"] == 4
+        assert stats["queued"] == 4
+
+    def test_tenant_stamp_length_must_match_window(self):
+        q = self.make_queue()
+        with pytest.raises(ValueError, match="tenant stamps"):
+            q.put_frame(mkframe(3), tenants=["red"])
 
 
 class TestDeadLetterQueue:

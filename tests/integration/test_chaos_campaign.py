@@ -20,11 +20,13 @@ version is opt-in via ``CHAOS_FULL=1`` so the tier-1 suite stays fast.
 """
 
 import os
+import socket
+import time
 import urllib.request
 
 import pytest
 
-from repro.core.daemon import ShardedVeriDPDaemon, VeriDPDaemon
+from repro.core.daemon import ShardedVeriDPDaemon, UdpReportListener, VeriDPDaemon
 from repro.obs.exposition import parse_prometheus_text
 from repro.core.reports import pack_report
 from repro.core.resilience import RestartBackoff
@@ -233,6 +235,84 @@ class TestChaosCampaign:
             "verify_errors"
         ] == len(injection.payloads)
         assert stats["failed"] + stats["malformed"] <= injection.corrupted
+
+    def test_batched_listener_reconciles_ledger_exactly(self):
+        """ISSUE 10: the campaign delivered over real UDP through the
+        *batched* listener (frame drain -> vectorized screen -> frame
+        queue handoff -> wire-kernel verify) must reconcile the ledger
+        exactly: every received datagram is either admitted to the daemon
+        or transport-rejected with a counted reason, and every admitted
+        report has exactly one fate."""
+        scenario, server, net = make_rig()
+        payloads = healthy_payloads(scenario, net, TOTAL_REPORTS // 4)
+        injection = ReportStreamFaultInjector(
+            campaign_faults(), seed=CHAOS_SEED
+        ).run(payloads)
+        # A few oversize datagrams on top: the campaign's faults only ever
+        # shorten or flip, and the truncation detector deserves live fire.
+        oversize_extras = 3
+        stream = list(injection.payloads) + [
+            payloads[0] + b"oversized-tail"
+        ] * oversize_extras
+        total = len(stream)
+
+        with VeriDPDaemon(server, workers=2, overflow="block") as daemon:
+            with UdpReportListener(daemon, ingest_batch=64) as listener:
+                sender = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+                try:
+                    for sent, payload in enumerate(stream, start=1):
+                        sender.sendto(payload, listener.address)
+                        if sent % 256 == 0:
+                            # Pace the sender so the kernel receive buffer
+                            # never overflows: loopback must deliver every
+                            # datagram or the reconciliation is meaningless.
+                            deadline = time.time() + 30
+                            while (
+                                listener.received < sent - 1024
+                                and time.time() < deadline
+                            ):
+                                time.sleep(0.002)
+                finally:
+                    sender.close()
+                deadline = time.time() + JOIN_DEADLINE
+                while listener.received < total and time.time() < deadline:
+                    time.sleep(0.01)
+                assert daemon.join(timeout=JOIN_DEADLINE)
+                lstats = listener.stats()
+            stats = daemon.stats()
+
+        # Every datagram arrived (the pacing above guarantees delivery).
+        assert lstats["received"] == total
+        assert lstats["oversize"] == oversize_extras
+        assert lstats["malformed"] == 0  # no submit ever raised
+
+        # Transport split: received == admitted-to-daemon + rejected-at-edge.
+        transport_rejects = (
+            lstats["oversize"] + lstats["wrong_size"] + lstats["malformed"]
+        )
+        assert stats["submitted"] + transport_rejects == total
+
+        # Exact fates: processed, malformed (transport rejects included —
+        # they are dead-lettered through the same counter), verify errors,
+        # or counted queue drops.  Nothing vanishes.
+        assert (
+            stats["processed"]
+            + stats["malformed"]
+            + stats["verify_errors"]
+            + stats["dropped"]
+            == total
+        )
+        assert stats["dropped"] == 0  # block policy: loss-free admission
+        assert stats["verified"] == stats["processed"]
+        assert stats["frames"] > 0  # the frame path actually carried the run
+
+        # False positives bounded by injected corruption (+ our oversize).
+        assert (
+            stats["failed"] + stats["malformed"]
+            <= injection.corrupted + oversize_extras
+        )
+        # Dead letters trace to counted events only.
+        assert stats["dead_lettered"] <= stats["malformed"] + stats["failed"]
 
     @pytest.mark.skipif(not FULL, reason="CHAOS_FULL=1 runs the 50k campaign")
     def test_full_scale_marker(self):

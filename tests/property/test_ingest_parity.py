@@ -1,0 +1,246 @@
+"""Parity properties for the batched ingestion fast paths (hypothesis).
+
+Every vectorized helper on the frame path must be *bit-identical* to the
+scalar code it replaced: the screen to ``payload_precheck`` (including the
+exact dead-letter reason strings), the column extraction to
+``unpack_report``-style field decoding, the shard split to the scalar
+Knuth hash, the tenant LPM batch to the scalar longest-prefix probe, and
+the O(1) LRU sampler eviction to the old min-scan policy.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd.headerspace import HeaderSpace
+from repro.core.daemon import _shard_of
+from repro.core.ingest import HAVE_NUMPY, screen_frame, shard_split
+from repro.core.reports import REPORT_SIZE, REPORT_VERSION, payload_precheck
+from repro.core.sampling import FlowSampler
+from repro.slice.registry import SliceRegistry, TenantSpec
+
+# -- strategies -----------------------------------------------------------
+
+# Bias the version byte towards valid / near-valid values so frames mix
+# clean and rejected rows instead of being all-rejected noise.
+version_bytes = st.sampled_from(
+    [REPORT_VERSION, REPORT_VERSION, REPORT_VERSION, 0, 2, 99, 255]
+)
+
+rows = st.tuples(
+    version_bytes, st.binary(min_size=REPORT_SIZE - 1, max_size=REPORT_SIZE - 1)
+).map(lambda vb: bytes([vb[0]]) + vb[1])
+
+frames = st.lists(rows, min_size=0, max_size=64).map(b"".join)
+
+
+# -- screen parity --------------------------------------------------------
+
+
+class TestScreenParity:
+    @given(frame=frames)
+    @settings(max_examples=200, deadline=None)
+    def test_screen_frame_matches_scalar_precheck(self, frame):
+        clean, rejected = screen_frame(frame)
+        expect_clean = []
+        expect_rejected = []
+        for i in range(len(frame) // REPORT_SIZE):
+            row = frame[i * REPORT_SIZE : (i + 1) * REPORT_SIZE]
+            reason = payload_precheck(row)
+            if reason is None:
+                expect_clean.append(row)
+            else:
+                expect_rejected.append((row, reason))
+        assert clean == b"".join(expect_clean)
+        # Same rows, same order, and the *same reason strings* the scalar
+        # path would dead-letter with.
+        assert list(rejected) == expect_rejected
+
+
+# -- column extraction parity ---------------------------------------------
+
+_ROW_STRUCT = struct.Struct(">BBHHQIIBHH")
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="column extraction requires numpy")
+class TestColumnParity:
+    @given(frame=frames)
+    @settings(max_examples=100, deadline=None)
+    def test_frame_columns_match_struct_unpack(self, frame):
+        from repro.core.ingest import frame_columns
+
+        cols = frame_columns(frame)
+        names = (
+            "version", "flags", "inport", "outport", "tag",
+            "src_ip", "dst_ip", "proto", "src_port", "dst_port",
+        )
+        for i in range(len(frame) // REPORT_SIZE):
+            row = frame[i * REPORT_SIZE : (i + 1) * REPORT_SIZE]
+            for name, value in zip(names, _ROW_STRUCT.unpack(row)):
+                assert int(cols[name][i]) == value, name
+
+    @given(frame=frames)
+    @settings(max_examples=100, deadline=None)
+    def test_pair_keys_and_dst_ips_match_byte_slices(self, frame):
+        from repro.core.ingest import dst_ips, pair_keys
+
+        keys = pair_keys(frame)
+        ips = dst_ips(frame)
+        for i in range(len(frame) // REPORT_SIZE):
+            row = frame[i * REPORT_SIZE : (i + 1) * REPORT_SIZE]
+            assert int(keys[i]) == int.from_bytes(row[2:6], "big")
+            assert int(ips[i]) == int.from_bytes(row[18:22], "big")
+
+
+# -- shard split parity ---------------------------------------------------
+
+
+class TestShardSplitParity:
+    @given(frame=frames, workers=st.integers(min_value=1, max_value=9))
+    @settings(max_examples=200, deadline=None)
+    def test_split_matches_scalar_hash_and_preserves_rows(self, frame, workers):
+        chunks = shard_split(frame, workers)
+        assert len(chunks) == workers
+        expected = [[] for _ in range(workers)]
+        for i in range(len(frame) // REPORT_SIZE):
+            row = frame[i * REPORT_SIZE : (i + 1) * REPORT_SIZE]
+            expected[_shard_of(int.from_bytes(row[2:6], "big"), workers)].append(
+                row
+            )
+        # Same shard owns every row, order preserved within a shard, and
+        # the concatenation loses/duplicates nothing.
+        assert chunks == [b"".join(rows) for rows in expected]
+        assert sum(len(c) for c in chunks) == len(frame)
+
+
+# -- tenant LPM parity ----------------------------------------------------
+
+_HS = HeaderSpace()  # shared BDD manager; footprints are hash-consed
+
+prefix_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=32),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def build_registry(specs):
+    """Register one tenant per prefix, skipping footprint overlaps (the
+    registry rejects them by design — the parity property only needs *a*
+    valid LPM table, not any particular one)."""
+    registry = SliceRegistry(_HS)
+    for i, (value, plen) in enumerate(specs):
+        masked = value >> (32 - plen) << (32 - plen) if plen else 0
+        try:
+            registry.register(
+                TenantSpec(name=f"t{i}", prefixes=(f"{_fmt(masked)}/{plen}",))
+            )
+        except ValueError:
+            pass  # overlap with an earlier tenant
+    return registry
+
+
+def _fmt(value):
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+class TestTenantLpmParity:
+    @given(
+        specs=prefix_specs,
+        dsts=st.lists(
+            st.integers(min_value=0, max_value=(1 << 32) - 1),
+            min_size=0,
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_classify_matches_scalar_probe(self, specs, dsts):
+        registry = build_registry(specs)
+        # Probe declared-prefix neighborhoods too, not just random space.
+        probes = list(dsts)
+        for value, plen in specs:
+            masked = value >> (32 - plen) << (32 - plen) if plen else 0
+            probes += [masked, masked | 1, (masked - 1) % (1 << 32)]
+        batch = registry.classify_dst_batch(probes)
+        assert batch == [registry.classify_dst(d) for d in probes]
+
+    def test_batch_cache_invalidated_on_registry_change(self):
+        registry = SliceRegistry(HeaderSpace())
+        registry.register(TenantSpec(name="a", prefixes=("10.0.0.0/8",)))
+        probe = [0x0A000001, 0x0B000001]
+        assert registry.classify_dst_batch(probe) == ["a", None]
+        registry.register(TenantSpec(name="b", prefixes=("11.0.0.0/8",)))
+        assert registry.classify_dst_batch(probe) == ["a", "b"]
+        registry.remove("a")
+        assert registry.classify_dst_batch(probe) == [None, "b"]
+
+
+# -- sampler LRU parity ---------------------------------------------------
+
+
+class MinScanSampler:
+    """The pre-optimization FlowSampler eviction: an O(n) scan for the
+    smallest last-hit instant.  Kept here as the reference model."""
+
+    def __init__(self, default_interval=1.0, capacity=None):
+        self.default_interval = default_interval
+        self.capacity = capacity
+        self._state = {}
+
+    def should_sample(self, flow_key, now):
+        state = self._state.get(flow_key)
+        if state is None:
+            if self.capacity is not None and len(self._state) >= self.capacity:
+                victim = min(self._state, key=lambda k: self._state[k][1])
+                del self._state[victim]
+            self._state[flow_key] = (now, now)
+            return True
+        last_sampled, _ = state
+        if now - last_sampled > self.default_interval:
+            self._state[flow_key] = (now, now)
+            return True
+        self._state[flow_key] = (last_sampled, now)
+        return False
+
+
+class TestSamplerLruParity:
+    @given(
+        keys=st.lists(
+            st.integers(min_value=0, max_value=7), min_size=1, max_size=200
+        ),
+        capacity=st.integers(min_value=1, max_value=5),
+        step=st.floats(min_value=0.01, max_value=3.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_o1_eviction_matches_min_scan_reference(self, keys, capacity, step):
+        """With strictly increasing hit instants (the only regime the
+        bounded-table emulation ever specified), the insertion-order
+        eviction picks the same victim as the old min-scan — so decisions,
+        counters, and the tracked flow set all agree."""
+        fast = FlowSampler(default_interval=1.0, capacity=capacity)
+        reference = MinScanSampler(default_interval=1.0, capacity=capacity)
+        for i, key in enumerate(keys):
+            now = (i + 1) * step  # strictly increasing: no last-hit ties
+            assert fast.should_sample(key, now) == reference.should_sample(
+                key, now
+            ), f"decision diverged at step {i} (key {key})"
+            assert set(fast._state) == set(reference._state)
+            assert fast._state == reference._state
+        assert fast.active_flows <= capacity
+
+    @given(
+        keys=st.lists(
+            st.integers(min_value=0, max_value=50), min_size=1, max_size=100
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_unbounded_sampler_never_evicts(self, keys):
+        sampler = FlowSampler(default_interval=0.5)
+        for i, key in enumerate(keys):
+            sampler.should_sample(key, float(i))
+        assert sampler.active_flows == len(set(keys))
+        assert sampler.seen_count == len(keys)
